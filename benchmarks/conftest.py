@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it next to the thesis's reference numbers.  Durations are scaled by
+``REPRO_BENCH_SCALE`` (default 0.7: houseA becomes ~400 h with a ~210 h
+precomputation period) and each dataset is evaluated over
+``REPRO_BENCH_PAIRS`` segment pairs (default 40; the thesis used 100).
+Set them to 1.0/100 to run the full-scale protocol.
+
+Results are cached across benchmarks within one session (the accuracy,
+timing, computation and degree benchmarks all project the same protocol
+run).
+"""
+
+import os
+
+import pytest
+
+from repro.eval.experiments import ProtocolSettings
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.7"))
+BENCH_PAIRS = int(os.environ.get("REPRO_BENCH_PAIRS", "40"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return ProtocolSettings(
+        hours_scale=BENCH_SCALE, pairs=BENCH_PAIRS, seed=BENCH_SEED
+    )
+
+
+def show(title: str, body: str, paper: str = "") -> None:
+    print(f"\n=== {title} ===")
+    print(body)
+    if paper:
+        print(f"--- paper reference ---\n{paper}")

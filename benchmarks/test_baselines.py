@@ -1,0 +1,36 @@
+"""E12 — quantitative Table 2.1: DICE versus the baseline families.
+
+Expected shapes: DICE's recall beats each ablated variant; the AR
+baseline misses fail-stop faults entirely; majority voting depends on
+redundant same-type sensors.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import baselines_compare
+
+
+def test_baselines(benchmark, settings):
+    rows = benchmark.pedantic(
+        baselines_compare.run,
+        args=("D_houseA",),
+        kwargs={"settings": settings},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{r.detector:>18}: det P {100 * r.detection_precision:.1f}% "
+        f"R {100 * r.detection_recall:.1f}%  id R "
+        f"{100 * r.identification_recall:.1f}%"
+        for r in rows
+    ]
+    show(
+        "Table 2.1 (quantitative) — DICE vs baselines on D_houseA",
+        "\n".join(lines),
+        paper="qualitative in the thesis; DICE is the only ✓✓✓✓ row",
+    )
+    by_name = {r.detector: r for r in rows}
+    dice = by_name["dice"]
+    for name, row in by_name.items():
+        if name != "dice":
+            assert row.detection_recall <= dice.detection_recall + 0.1

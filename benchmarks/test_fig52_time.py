@@ -1,0 +1,34 @@
+"""E4 — Fig. 5.2: detection and identification time per dataset.
+
+Paper shapes: everything but houseA detects within ~10 minutes and
+identifies within ~30; houseA (degree 1.4) is the outlier at ~22/~73
+minutes; overall averages ~3 min detection / ~28 min identification.
+"""
+
+from conftest import show
+
+from repro.eval import report
+from repro.eval.experiments import timing
+
+
+def test_fig52_time(benchmark, settings):
+    rows = benchmark.pedantic(
+        timing.run, args=(None, settings), rounds=1, iterations=1
+    )
+    show(
+        "Fig. 5.2 — detection & identification time (minutes)",
+        report.format_timing(rows),
+        paper=(
+            "averages: detect ~3 min, identify ~28 min; houseA slowest "
+            "(21.9 / 72.8 min); testbed datasets fastest"
+        ),
+    )
+    assert len(rows) == 10
+    for row in rows:
+        assert row.detection_minutes >= 0.0
+        assert row.identification_minutes >= 0.0
+    # Latency is bounded: well within the 12-hour floor of prior art.
+    # (Detection and identification means are computed over different
+    # outcome subsets — all detections vs. correct identifications — so no
+    # per-dataset ordering between the two means is asserted.)
+    assert all(r.detection_minutes < 120.0 for r in rows)

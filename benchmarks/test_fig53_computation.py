@@ -1,0 +1,25 @@
+"""E6 — Fig. 5.3: per-window computation time per real-time stage.
+
+Paper shapes: the correlation check (the probable-group scan) dominates
+and grows with the sensor/bit count; transition check and identification
+are negligible; the worst dataset stays under 50 ms per one-minute window.
+"""
+
+from conftest import show
+
+from repro.eval import report
+from repro.eval.experiments import computation
+
+
+def test_fig53_computation(benchmark, settings):
+    rows = benchmark.pedantic(
+        computation.run, args=(None, settings), rounds=1, iterations=1
+    )
+    show(
+        "Fig. 5.3 — computation time per window (ms)",
+        report.format_computation(rows),
+        paper="max ~50 ms per window (hh102, 112 sensors); correlation check dominates",
+    )
+    for row in rows:
+        assert row.total_ms < 50.0
+        assert row.transition_check_ms <= row.correlation_check_ms + 0.5

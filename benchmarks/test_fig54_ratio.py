@@ -1,0 +1,36 @@
+"""E8 — Fig. 5.4: which check detects which fault class.
+
+Paper shape: all fail-stop faults fall to the correlation check; stuck-at
+faults mostly require the transition check; the remaining classes are
+mixed with a correlation-check majority.
+"""
+
+from conftest import show
+
+from repro.eval import report
+from repro.eval.experiments import detection_ratio
+from repro.faults import FaultType
+
+
+def test_fig54_ratio(benchmark, settings):
+    rows = benchmark.pedantic(
+        detection_ratio.run, args=(None, settings), rounds=1, iterations=1
+    )
+    show(
+        "Fig. 5.4 — detection-check ratio by fault type",
+        report.format_detection_ratio(rows),
+        paper="fail-stop: 100% correlation check; stuck-at: mostly transition check",
+    )
+    by_type = {r.fault_type: r for r in rows}
+    fail_stop = by_type[FaultType.FAIL_STOP]
+    # Fail-stop is overwhelmingly a correlation-check catch, as in the
+    # paper.  The paper's second claim — stuck-at being *mostly* a
+    # transition-check catch — does not fully reproduce on this substrate:
+    # our event-driven simulated sensors are deterministic enough that a
+    # frozen sensor usually still produces a never-seen combination (see
+    # EXPERIMENTS.md, E8).  The transition check remains load-bearing for
+    # the stuck-at class; every class must be detected by one of the two.
+    assert fail_stop.correlation_share >= 0.8
+    for row in rows:
+        assert row.detections > 0
+        assert row.correlation_share + row.transition_share == 1.0

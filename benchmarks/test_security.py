@@ -1,0 +1,26 @@
+"""E11 — Ch. VI security attacks (temperature spoof, light spoof).
+
+Paper: DICE detected both attacks on the testbed.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import security
+
+
+def test_security_attacks(benchmark, settings):
+    outcomes = benchmark.pedantic(
+        security.run, args=("D_houseA", settings), rounds=1, iterations=1
+    )
+    lines = [
+        f"{o.kind}: victim {o.victim} detected={o.detected} "
+        f"in {o.detection_minutes if o.detection_minutes is not None else '-'} min "
+        f"identified={o.identified}"
+        for o in outcomes
+    ]
+    show(
+        "Ch. VI — security attacks",
+        "\n".join(lines),
+        paper="both the fan-forcing temperature spoof and the blind-driving light spoof detected",
+    )
+    assert all(o.detected for o in outcomes)

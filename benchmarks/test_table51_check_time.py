@@ -1,0 +1,36 @@
+"""E5 — Table 5.1: detection time split by the detecting check (houseA/B/C).
+
+Paper shape: faults caught by the transition check surface roughly three
+times more slowly than faults caught by the correlation check (houseA:
+10.5 vs 29.0 min; houseB: 2.8 vs 5.3; houseC: 3.4 vs 9.9).
+"""
+
+from conftest import show
+
+from repro.eval import report
+from repro.eval.experiments import timing
+
+
+def test_table51_check_time(benchmark, settings):
+    rows = benchmark.pedantic(
+        timing.run_by_check,
+        args=(["houseA", "houseB", "houseC"], settings),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Table 5.1 — detection time by check (minutes)",
+        report.format_check_timing(rows),
+        paper="houseA 10.5/29.0, houseB 2.8/5.3, houseC 3.4/9.9 (corr/trans)",
+    )
+    slower = [
+        r
+        for r in rows
+        if r.correlation_check_minutes is not None
+        and r.transition_check_minutes is not None
+    ]
+    # Wherever both checks caught faults, the transition check must not be
+    # systematically faster than the correlation check.
+    if slower:
+        mean_ratio = sum(r.slowdown for r in slower) / len(slower)
+        assert mean_ratio > 0.8

@@ -1,0 +1,29 @@
+"""E7 — Table 5.2: correlation degree and sensor count.
+
+Paper values: houseA 1.4 (14 sensors), houseB 2.9 (27), houseC 4.6 (23),
+twor 7.2 (71), hh102 3.8 (112), DICE testbed 10.6 (37).  Key shapes:
+houseA is the lowest; degree is not proportional to sensor count.
+"""
+
+from conftest import show
+
+from repro.eval import report
+from repro.eval.experiments import correlation_degree
+
+
+def test_table52_degree(benchmark, settings):
+    rows = benchmark.pedantic(
+        correlation_degree.run, args=(None, settings), rounds=1, iterations=1
+    )
+    show(
+        "Table 5.2 — correlation degree",
+        report.format_degree(rows),
+        paper="houseA 1.4 < houseB 2.9 < hh102 3.8 < houseC 4.6 < twor 7.2 < DICE 10.6",
+    )
+    by_name = {r.dataset: r for r in rows}
+    assert by_name["houseA"].correlation_degree == min(
+        r.correlation_degree for r in rows
+    )
+    # Degree is not proportional to the sensor census: hh102 has the most
+    # sensors but nowhere near the highest degree per sensor.
+    assert by_name["hh102"].num_sensors == max(r.num_sensors for r in rows)

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs wheel support that this
+offline environment lacks; `python setup.py develop` installs the same
+editable package with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

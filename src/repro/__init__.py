@@ -1,0 +1,24 @@
+"""DICE reproduction: detecting and identifying faulty IoT devices in smart
+homes with context extraction (Choi, DSN 2018 / POSTECH thesis 2017).
+
+Quick tour
+----------
+>>> from repro.datasets import load_dataset
+>>> from repro.core import DiceDetector
+>>> data = load_dataset("houseA", seed=7)
+>>> training = data.trace.slice(0, 300 * 3600.0)
+>>> detector = DiceDetector(data.trace.registry).fit(training)
+
+Subpackages
+-----------
+``repro.model``      devices, events, array-backed traces
+``repro.core``       the DICE algorithm (the paper's contribution)
+``repro.smarthome``  smart-home simulator (floor plan, physics, residents)
+``repro.datasets``   the ten evaluation datasets of Table 4.1
+``repro.faults``     fault injection (Ch. IV) and security attacks (Ch. VI)
+``repro.eval``       metrics and the experiments behind every table/figure
+``repro.baselines``  comparator detectors (Table 2.1 families)
+``repro.streaming``  online, event-at-a-time DICE runtime
+"""
+
+__version__ = "1.0.0"

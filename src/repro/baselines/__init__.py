@@ -1,0 +1,28 @@
+"""Comparison detectors: DICE ablations and Table 2.1 approach families."""
+
+from .base import BaselineDetection, BaselineDetector, BaselineReport
+from .dice_variants import CorrelationOnlyDetector, MarkovOnlyDetector
+from .lcs_clean import LcsCleanDetector
+from .majority_vote import MajorityVoteDetector
+from .timeseries_ar import TimeSeriesARDetector
+
+#: Constructors for every bundled baseline, keyed by name.
+BASELINES = {
+    CorrelationOnlyDetector.name: CorrelationOnlyDetector,
+    MarkovOnlyDetector.name: MarkovOnlyDetector,
+    MajorityVoteDetector.name: MajorityVoteDetector,
+    TimeSeriesARDetector.name: TimeSeriesARDetector,
+    LcsCleanDetector.name: LcsCleanDetector,
+}
+
+__all__ = [
+    "BaselineDetection",
+    "BaselineDetector",
+    "BaselineReport",
+    "CorrelationOnlyDetector",
+    "MarkovOnlyDetector",
+    "LcsCleanDetector",
+    "MajorityVoteDetector",
+    "TimeSeriesARDetector",
+    "BASELINES",
+]

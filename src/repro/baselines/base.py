@@ -1,0 +1,57 @@
+"""Common interface for the comparison detectors.
+
+Every baseline mirrors the DICE driver surface — ``fit`` on fault-free
+training data, ``process`` on a segment — and returns a
+:class:`BaselineReport`, so the comparison experiment (E12) can run any
+mix of detectors over the same segment pairs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from ..model import Trace
+
+
+@dataclass
+class BaselineDetection:
+    """One anomaly a baseline raised."""
+
+    time: float
+    device_id: Optional[str] = None
+
+
+@dataclass
+class BaselineReport:
+    """What a baseline observed over one segment."""
+
+    detections: List[BaselineDetection] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def first_detection(self) -> Optional[BaselineDetection]:
+        return self.detections[0] if self.detections else None
+
+    def identified_devices(self) -> FrozenSet[str]:
+        return frozenset(
+            d.device_id for d in self.detections if d.device_id is not None
+        )
+
+
+class BaselineDetector(abc.ABC):
+    """Fit-once, process-many detector interface."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def fit(self, trace: Trace) -> "BaselineDetector":
+        """Learn normal behaviour from fault-free data."""
+
+    @abc.abstractmethod
+    def process(self, segment: Trace) -> BaselineReport:
+        """Scan one real-time segment for anomalies."""

@@ -1,0 +1,118 @@
+"""DICE ablation baselines: correlation-only and transition-only.
+
+These isolate the contribution of each DICE check (the paper argues both
+are necessary: Fig. 5.4 shows fail-stop faults need the correlation check
+and stuck-at faults need the transition check).
+
+* :class:`CorrelationOnlyDetector` — DICE with the transition check
+  disabled; it can only notice unseen sensor combinations.
+* :class:`MarkovOnlyDetector` — a 6thSense-style Markov-chain monitor:
+  state sets are interned like DICE groups, but the *only* test is the
+  transition probability of consecutive states (unknown states are mapped
+  to their nearest group rather than flagged).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import (
+    DEFAULT_CONFIG,
+    CorrelationChecker,
+    DiceConfig,
+    GroupRegistry,
+    StateSetEncoder,
+    TransitionChecker,
+    TransitionModel,
+)
+from ..model import Trace
+from .base import BaselineDetection, BaselineDetector, BaselineReport
+
+
+class CorrelationOnlyDetector(BaselineDetector):
+    """DICE's correlation check alone."""
+
+    name = "correlation-only"
+
+    def __init__(self, config: DiceConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self._encoder: Optional[StateSetEncoder] = None
+        self._checker: Optional[CorrelationChecker] = None
+
+    def fit(self, trace: Trace) -> "CorrelationOnlyDetector":
+        self._encoder = StateSetEncoder(
+            trace.registry, self.config.window_seconds
+        ).fit(trace)
+        windowed = self._encoder.encode(trace)
+        groups, _ = GroupRegistry.from_windows(windowed)
+        self._checker = CorrelationChecker(groups, self.config)
+        return self
+
+    def process(self, segment: Trace) -> BaselineReport:
+        if self._checker is None:
+            raise RuntimeError("fit() first")
+        windowed = self._encoder.encode(segment)
+        report = BaselineReport()
+        for i, mask in enumerate(windowed.masks):
+            result = self._checker.check(mask)
+            if result.is_violation:
+                time = windowed.window_start(i) + windowed.window_seconds
+                device = None
+                if result.probable_groups:
+                    nearest = result.probable_groups[0][0]
+                    diff = mask ^ self._checker.groups.mask_of(nearest)
+                    owners = windowed.layout.devices_of_mask(diff)
+                    device = owners[0] if owners else None
+                report.detections.append(BaselineDetection(time, device))
+        return report
+
+
+class MarkovOnlyDetector(BaselineDetector):
+    """A transition-probability-only monitor (6thSense-style)."""
+
+    name = "markov-only"
+
+    def __init__(self, config: DiceConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self._encoder: Optional[StateSetEncoder] = None
+        self._groups: Optional[GroupRegistry] = None
+        self._checker: Optional[TransitionChecker] = None
+
+    def fit(self, trace: Trace) -> "MarkovOnlyDetector":
+        self._encoder = StateSetEncoder(
+            trace.registry, self.config.window_seconds
+        ).fit(trace)
+        windowed = self._encoder.encode(trace)
+        self._groups, sequence = GroupRegistry.from_windows(windowed)
+        transitions = TransitionModel.extract(
+            sequence, windowed.actuator_activations
+        )
+        self._checker = TransitionChecker(transitions, self.config, self._groups)
+        return self
+
+    def _nearest_group(self, mask: int) -> Optional[int]:
+        exact = self._groups.lookup(mask)
+        if exact is not None:
+            return exact
+        candidates = self._groups.candidates(mask, self._groups.layout.num_bits)
+        return candidates[0][0] if candidates else None
+
+    def process(self, segment: Trace) -> BaselineReport:
+        if self._checker is None:
+            raise RuntimeError("fit() first")
+        windowed = self._encoder.encode(segment)
+        report = BaselineReport()
+        prev_group: Optional[int] = None
+        prev_acts = frozenset()
+        for i, (mask, acts) in enumerate(windowed):
+            group = self._nearest_group(mask)
+            if group is not None:
+                violations = self._checker.check(prev_group, group, prev_acts, acts)
+                if violations:
+                    time = windowed.window_start(i) + windowed.window_seconds
+                    report.detections.append(
+                        BaselineDetection(time, violations[0].actuator)
+                    )
+            prev_group = group
+            prev_acts = acts
+        return report

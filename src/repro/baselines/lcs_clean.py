@@ -1,0 +1,111 @@
+"""CLEAN-style co-activation outlier baseline (§2.3).
+
+CLEAN clusters binary sensors by the similarity of their event sequences
+and flags sensors that drift away from their cluster.  This
+implementation keeps the spirit with a tractable similarity: training
+computes, for each sensor, its *partners* — sensors whose window-level
+activations overlap strongly (Jaccard similarity above a threshold).  At
+run time, a sensor whose observed co-activation rate with its partners
+collapses relative to training is reported as an outlier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core import DEFAULT_CONFIG, DiceConfig, StateSetEncoder
+from ..model import Trace
+from .base import BaselineDetection, BaselineDetector, BaselineReport
+
+
+def _activation_sets(encoder: StateSetEncoder, trace: Trace) -> Dict[str, Set[int]]:
+    """Windows in which each sensor was active."""
+    windowed = encoder.encode(trace)
+    layout = windowed.layout
+    active: Dict[str, Set[int]] = {
+        d.device_id: set() for d in trace.registry.sensors()
+    }
+    for i, mask in enumerate(windowed.masks):
+        if not mask:
+            continue
+        for device_id in layout.devices_of_mask(mask):
+            active[device_id].add(i)
+    return active
+
+
+def _jaccard(a: Set[int], b: Set[int]) -> float:
+    if not a and not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+class LcsCleanDetector(BaselineDetector):
+    """Co-activation-cluster outlier detection."""
+
+    name = "clean-lcs"
+
+    def __init__(
+        self,
+        config: DiceConfig = DEFAULT_CONFIG,
+        partner_similarity: float = 0.3,
+        drop_ratio: float = 0.3,
+        min_active_windows: int = 5,
+    ) -> None:
+        self.config = config
+        self.partner_similarity = partner_similarity
+        self.drop_ratio = drop_ratio
+        self.min_active_windows = min_active_windows
+        self._encoder: Optional[StateSetEncoder] = None
+        self._partners: Dict[str, List[str]] = {}
+        self._train_rate: Dict[str, float] = {}
+
+    def fit(self, trace: Trace) -> "LcsCleanDetector":
+        self._encoder = StateSetEncoder(
+            trace.registry, self.config.window_seconds
+        ).fit(trace)
+        active = _activation_sets(self._encoder, trace)
+        self._partners = {}
+        self._train_rate = {}
+        for device_id, windows in active.items():
+            if len(windows) < self.min_active_windows:
+                continue
+            partners = [
+                other
+                for other, other_windows in active.items()
+                if other != device_id
+                and _jaccard(windows, other_windows) >= self.partner_similarity
+            ]
+            if not partners:
+                continue
+            partner_windows: Set[int] = set()
+            for partner in partners:
+                partner_windows |= active[partner]
+            if not partner_windows:
+                continue
+            self._partners[device_id] = partners
+            self._train_rate[device_id] = len(windows & partner_windows) / len(
+                partner_windows
+            )
+        return self
+
+    def process(self, segment: Trace) -> BaselineReport:
+        if self._encoder is None:
+            raise RuntimeError("fit() first")
+        active = _activation_sets(self._encoder, segment)
+        report = BaselineReport()
+        for device_id, partners in self._partners.items():
+            partner_windows: Set[int] = set()
+            for partner in partners:
+                partner_windows |= active.get(partner, set())
+            if len(partner_windows) < self.min_active_windows:
+                continue
+            rate = len(active.get(device_id, set()) & partner_windows) / len(
+                partner_windows
+            )
+            if rate < self.drop_ratio * self._train_rate[device_id]:
+                report.detections.append(
+                    BaselineDetection(segment.end, device_id)
+                )
+        return report

@@ -1,0 +1,101 @@
+"""Homogeneous majority-vote baseline.
+
+The classic WSN approach (§2.2): sensors of the same modality that live
+close together should agree; a sensor persistently disagreeing with the
+majority of its peers is flagged.  Peers here are same-modality sensors of
+the same room (falling back to same-modality house-wide when a room has no
+peers), and agreement is window-level activation as seen by the DICE
+encoder — which keeps the comparison apples-to-apples.
+
+Its structural weakness, which the paper uses to motivate heterogeneous
+approaches, shows up immediately: deployments without redundant same-type
+sensors (houseA!) leave most devices peerless and therefore unprotected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core import DEFAULT_CONFIG, DiceConfig, StateSetEncoder
+from ..model import Trace
+from .base import BaselineDetection, BaselineDetector, BaselineReport
+
+
+class MajorityVoteDetector(BaselineDetector):
+    """Flags sensors that disagree with their modality peers."""
+
+    name = "majority-vote"
+
+    def __init__(
+        self,
+        config: DiceConfig = DEFAULT_CONFIG,
+        min_peers: int = 2,
+        disagreement_windows: int = 3,
+    ) -> None:
+        self.config = config
+        self.min_peers = min_peers
+        self.disagreement_windows = disagreement_windows
+        self._encoder: Optional[StateSetEncoder] = None
+        self._peers: Dict[str, List[str]] = {}
+
+    def fit(self, trace: Trace) -> "MajorityVoteDetector":
+        self._encoder = StateSetEncoder(
+            trace.registry, self.config.window_seconds
+        ).fit(trace)
+        self._peers = {}
+        sensors = trace.registry.sensors()
+        for sensor in sensors:
+            room_peers = [
+                other.device_id
+                for other in sensors
+                if other.device_id != sensor.device_id
+                and other.sensor_type == sensor.sensor_type
+                and other.room == sensor.room
+            ]
+            if len(room_peers) < self.min_peers:
+                room_peers = [
+                    other.device_id
+                    for other in sensors
+                    if other.device_id != sensor.device_id
+                    and other.sensor_type == sensor.sensor_type
+                ]
+            if len(room_peers) >= self.min_peers:
+                self._peers[sensor.device_id] = room_peers
+        return self
+
+    def _activity_of(self, windowed, device_id: str) -> List[bool]:
+        bits = windowed.layout.bits_of_device(device_id)
+        return [
+            any(mask >> bit & 1 for bit in bits) for mask in windowed.masks
+        ]
+
+    def process(self, segment: Trace) -> BaselineReport:
+        if self._encoder is None:
+            raise RuntimeError("fit() first")
+        windowed = self._encoder.encode(segment)
+        activity = {
+            device_id: self._activity_of(windowed, device_id)
+            for device_id in set(self._peers)
+            | {p for peers in self._peers.values() for p in peers}
+        }
+        report = BaselineReport()
+        for device_id, peers in self._peers.items():
+            mine = activity[device_id]
+            streak = 0
+            for i in range(len(windowed)):
+                votes = sum(activity[p][i] for p in peers)
+                majority = votes * 2 > len(peers)
+                if mine[i] != majority:
+                    streak += 1
+                    if streak >= self.disagreement_windows:
+                        time = (
+                            windowed.window_start(i) + windowed.window_seconds
+                        )
+                        report.detections.append(
+                            BaselineDetection(time, device_id)
+                        )
+                        break
+                else:
+                    streak = 0
+        report.detections.sort(key=lambda d: d.time)
+        return report

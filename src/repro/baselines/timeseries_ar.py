@@ -1,0 +1,107 @@
+"""Time-series prediction-residual baseline (§2.2, Sharma et al. style).
+
+For every numeric sensor an AR(1) model over per-window mean readings is
+fitted on training data; at run time the one-step prediction residual is
+compared against a multiple of the training residual deviation.  Windows
+without readings are skipped — the model can only judge values the sensor
+actually reports, which is exactly the class of methods the paper
+criticises: fail-stop faults (no data at all) are invisible to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import DEFAULT_CONFIG, DiceConfig
+from ..model import Trace
+from .base import BaselineDetection, BaselineDetector, BaselineReport
+
+
+@dataclass
+class _ARModel:
+    intercept: float
+    slope: float
+    sigma: float
+
+
+def _window_means(
+    trace: Trace, device_id: str, window_seconds: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-window mean readings; returns (window_index, mean)."""
+    times, values = trace.events_for(device_id)
+    if len(times) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    win = np.floor((times - trace.start) / window_seconds).astype(np.int64)
+    order = np.argsort(win, kind="stable")
+    win, values = win[order], values[order]
+    boundary = np.empty(len(win), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = win[1:] != win[:-1]
+    starts = np.nonzero(boundary)[0]
+    counts = np.append(starts[1:], len(win)) - starts
+    sums = np.add.reduceat(values, starts)
+    return win[starts], sums / counts
+
+
+def _fit_ar1(series: np.ndarray) -> Optional[_ARModel]:
+    if len(series) < 8:
+        return None
+    x, y = series[:-1], series[1:]
+    var = np.var(x)
+    if var < 1e-12:
+        slope = 0.0
+        intercept = float(np.mean(y))
+    else:
+        slope = float(np.cov(x, y, bias=True)[0, 1] / var)
+        intercept = float(np.mean(y) - slope * np.mean(x))
+    residuals = y - (intercept + slope * x)
+    sigma = float(np.std(residuals))
+    return _ARModel(intercept, slope, max(sigma, 1e-6))
+
+
+class TimeSeriesARDetector(BaselineDetector):
+    """Per-sensor AR(1) residual monitor for numeric sensors."""
+
+    name = "timeseries-ar"
+
+    def __init__(
+        self, config: DiceConfig = DEFAULT_CONFIG, threshold_sigmas: float = 6.0
+    ) -> None:
+        self.config = config
+        self.threshold_sigmas = threshold_sigmas
+        self._models: Dict[str, _ARModel] = {}
+
+    def fit(self, trace: Trace) -> "TimeSeriesARDetector":
+        self._models = {}
+        for device in trace.registry.numeric_sensors():
+            _, means = _window_means(
+                trace, device.device_id, self.config.window_seconds
+            )
+            model = _fit_ar1(means)
+            if model is not None:
+                self._models[device.device_id] = model
+        return self
+
+    def process(self, segment: Trace) -> BaselineReport:
+        report = BaselineReport()
+        for device_id, model in self._models.items():
+            windows, means = _window_means(
+                segment, device_id, self.config.window_seconds
+            )
+            if len(means) < 2:
+                continue
+            predictions = model.intercept + model.slope * means[:-1]
+            residuals = np.abs(means[1:] - predictions)
+            bad = np.nonzero(residuals > self.threshold_sigmas * model.sigma)[0]
+            if len(bad):
+                first = int(bad[0]) + 1
+                time = (
+                    segment.start
+                    + (windows[first] + 1) * self.config.window_seconds
+                )
+                report.detections.append(BaselineDetection(time, device_id))
+        report.detections.sort(key=lambda d: d.time)
+        return report

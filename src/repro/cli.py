@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the everyday workflows:
+
+* ``list`` — the Table 4.1 dataset registry;
+* ``generate`` — render a dataset to CSV (plus its device registry);
+* ``evaluate`` — run the Ch. V protocol on one dataset and print the
+  headline metrics;
+* ``experiment`` — regenerate one of the paper's artifacts (accuracy,
+  timing, check-timing, computation, degree, ratio) as a table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DICE reproduction: faulty-IoT-device detection in smart homes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the ten Table 4.1 datasets")
+
+    generate = sub.add_parser("generate", help="render a dataset to CSV")
+    generate.add_argument("dataset")
+    generate.add_argument("--hours", type=float, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True, help="events CSV path")
+
+    evaluate = sub.add_parser("evaluate", help="run the Ch. V protocol")
+    evaluate.add_argument("dataset")
+    evaluate.add_argument("--scale", type=float, default=0.5, help="duration scale")
+    evaluate.add_argument("--pairs", type=int, default=30)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--actuators", action="store_true", help="inject actuator faults only"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["accuracy", "timing", "check-timing", "computation", "degree", "ratio"],
+    )
+    experiment.add_argument("--datasets", nargs="*", default=None)
+    experiment.add_argument("--scale", type=float, default=0.5)
+    experiment.add_argument("--pairs", type=int, default=30)
+    experiment.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    from .datasets import DATASETS
+    from .eval.report import format_table
+
+    rows = [
+        [
+            info.name,
+            int(info.hours),
+            info.binary_sensors,
+            info.numeric_sensors,
+            info.actuators,
+            info.activities,
+            info.residents,
+            info.family,
+        ]
+        for info in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["dataset", "hours", "binary", "numeric", "actuators", "activities",
+             "residents", "family"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .datasets import load_dataset, write_trace
+
+    data = load_dataset(args.dataset, seed=args.seed, hours=args.hours)
+    write_trace(data.trace, args.output)
+    print(
+        f"wrote {len(data.trace)} events "
+        f"({data.trace.duration_hours:.1f} h of {data.name}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .datasets import load_dataset
+    from .eval import EvaluationRunner
+
+    hours = None if args.scale == 1.0 else data_hours(args.dataset, args.scale)
+    data = load_dataset(args.dataset, seed=args.seed, hours=hours)
+    runner = EvaluationRunner(
+        precompute_hours=300.0 * args.scale, pairs=args.pairs, seed=args.seed
+    )
+    devices = data.trace.registry.actuators() if args.actuators else None
+    result = runner.evaluate(args.dataset, data.trace, devices=devices)
+    detection = result.detection_counts()
+    identification = result.identification_counts()
+    print(f"dataset:             {args.dataset} (scale {args.scale}, {args.pairs} pairs)")
+    print(f"correlation degree:  {result.correlation_degree:.2f}")
+    print(f"groups:              {result.num_groups}")
+    print(
+        f"detection:           precision {100 * detection.precision:.1f}%  "
+        f"recall {100 * detection.recall:.1f}%"
+    )
+    print(
+        f"identification:      precision {100 * identification.precision:.1f}%  "
+        f"recall {100 * identification.recall:.1f}%"
+    )
+    print(
+        f"detection time:      {result.detection_time().mean:.1f} min mean "
+        f"({result.detection_time().median:.1f} median)"
+    )
+    print(
+        f"identification time: {result.identification_time().mean:.1f} min mean"
+    )
+    return 0
+
+
+def data_hours(name: str, scale: float) -> float:
+    from .datasets import dataset_info
+
+    return dataset_info(name).hours * scale
+
+
+def _cmd_experiment(args) -> int:
+    from .eval import report
+    from .eval.experiments import (
+        ProtocolSettings,
+        accuracy,
+        computation,
+        correlation_degree,
+        detection_ratio,
+        timing,
+    )
+
+    settings = ProtocolSettings(
+        hours_scale=args.scale, pairs=args.pairs, seed=args.seed
+    )
+    datasets = args.datasets or None
+    if args.name == "accuracy":
+        print(report.format_accuracy(accuracy.run(datasets, settings)))
+    elif args.name == "timing":
+        print(report.format_timing(timing.run(datasets, settings)))
+    elif args.name == "check-timing":
+        print(report.format_check_timing(timing.run_by_check(datasets, settings)))
+    elif args.name == "computation":
+        print(report.format_computation(computation.run(datasets, settings)))
+    elif args.name == "degree":
+        print(report.format_degree(correlation_degree.run(datasets, settings)))
+    elif args.name == "ratio":
+        print(report.format_detection_ratio(detection_ratio.run(datasets, settings)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

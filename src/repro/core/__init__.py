@@ -1,0 +1,82 @@
+"""DICE core: context extraction, real-time checks, identification."""
+
+from .bitset import PackedBitsets, hamming, mask_from_bits, popcount, set_bits
+from .checks import (
+    CorrelationChecker,
+    CorrelationResult,
+    TransitionCase,
+    TransitionChecker,
+    TransitionViolation,
+)
+from .config import (
+    BITS_PER_BINARY_DEVICE,
+    BITS_PER_NUMERIC_SENSOR,
+    DEFAULT_CONFIG,
+    DiceConfig,
+)
+from .detector import (
+    CORRELATION_CHECK,
+    TRANSITION_CHECK,
+    DetectionRecord,
+    DiceDetector,
+    DiceModel,
+    IdentificationRecord,
+    SegmentReport,
+    StageTimings,
+)
+from .encoding import (
+    BINARY_ROLE,
+    NUMERIC_ROLES,
+    BitLayout,
+    BitSpec,
+    StateSetEncoder,
+    WindowedTrace,
+)
+from .groups import GroupRegistry
+from .identification import (
+    Identifier,
+    IdentificationOutcome,
+    IdentificationSession,
+    ProbableFaultSet,
+)
+from .transitions import TransitionMatrix, TransitionModel
+from .weights import DeviceWeights
+
+__all__ = [
+    "PackedBitsets",
+    "hamming",
+    "mask_from_bits",
+    "popcount",
+    "set_bits",
+    "CorrelationChecker",
+    "CorrelationResult",
+    "TransitionCase",
+    "TransitionChecker",
+    "TransitionViolation",
+    "BITS_PER_BINARY_DEVICE",
+    "BITS_PER_NUMERIC_SENSOR",
+    "DEFAULT_CONFIG",
+    "DiceConfig",
+    "CORRELATION_CHECK",
+    "TRANSITION_CHECK",
+    "DetectionRecord",
+    "DiceDetector",
+    "DiceModel",
+    "IdentificationRecord",
+    "SegmentReport",
+    "StageTimings",
+    "BINARY_ROLE",
+    "NUMERIC_ROLES",
+    "BitLayout",
+    "BitSpec",
+    "StateSetEncoder",
+    "WindowedTrace",
+    "GroupRegistry",
+    "Identifier",
+    "IdentificationOutcome",
+    "IdentificationSession",
+    "ProbableFaultSet",
+    "TransitionMatrix",
+    "TransitionModel",
+    "DeviceWeights",
+]

@@ -1,0 +1,140 @@
+"""Packed bitset arithmetic for sensor state sets.
+
+A sensor state set is a vector of activation bits (one per binary device,
+three per numeric sensor).  Deployments can exceed 64 bits (hh102 encodes
+270), so state sets are stored as Python ints for hashing/interning and as
+rows of ``uint64`` words for the vectorised Hamming-distance scan that
+dominates the correlation check (the "obtaining probable groups" cost the
+paper measures in Fig. 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def words_needed(num_bits: int) -> int:
+    """uint64 words required to hold *num_bits*."""
+    if num_bits < 0:
+        raise ValueError("num_bits must be non-negative")
+    return max(1, (num_bits + 63) // 64)
+
+
+def pack_int(mask: int, num_words: int) -> np.ndarray:
+    """Split a non-negative int bitmask into little-endian uint64 words."""
+    if mask < 0:
+        raise ValueError("mask must be non-negative")
+    words = np.empty(num_words, dtype=np.uint64)
+    for w in range(num_words):
+        words[w] = (mask >> (64 * w)) & 0xFFFFFFFFFFFFFFFF
+    if mask >> (64 * num_words):
+        raise ValueError("mask does not fit in the given number of words")
+    return words
+
+
+def unpack_int(words: np.ndarray) -> int:
+    """Inverse of :func:`pack_int`."""
+    mask = 0
+    for w, word in enumerate(np.asarray(words, dtype=np.uint64)):
+        mask |= int(word) << (64 * w)
+    return mask
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in a Python int."""
+    return bin(mask).count("1") if mask >= 0 else _raise_negative()
+
+
+def _raise_negative() -> int:
+    raise ValueError("mask must be non-negative")
+
+
+def hamming(a: int, b: int) -> int:
+    """Hamming distance between two int bitmasks (§3.3.1 group distance)."""
+    return popcount(a ^ b)
+
+
+def set_bits(mask: int) -> List[int]:
+    """Indices of set bits, ascending."""
+    bits = []
+    i = 0
+    while mask:
+        if mask & 1:
+            bits.append(i)
+        mask >>= 1
+        i += 1
+    return bits
+
+
+def mask_from_bits(bits: Iterable[int]) -> int:
+    """Bitmask with the given bit indices set."""
+    mask = 0
+    for bit in bits:
+        if bit < 0:
+            raise ValueError("bit indices must be non-negative")
+        mask |= 1 << bit
+    return mask
+
+
+class PackedBitsets:
+    """A fixed collection of equal-width bitsets supporting bulk queries.
+
+    Rows are packed into a ``(n, num_words)`` uint64 matrix so that
+    distances from one probe mask to *all* rows is a single vectorised
+    XOR + popcount pass.
+    """
+
+    def __init__(self, num_bits: int, masks: Sequence[int] = ()) -> None:
+        self.num_bits = int(num_bits)
+        self.num_words = words_needed(self.num_bits)
+        self._masks: List[int] = []
+        self._rows = np.empty((0, self.num_words), dtype=np.uint64)
+        if masks:
+            self.extend(masks)
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    @property
+    def masks(self) -> List[int]:
+        """The stored masks, in insertion order."""
+        return list(self._masks)
+
+    def append(self, mask: int) -> int:
+        """Add one mask; returns its row index."""
+        row = pack_int(mask, self.num_words)
+        self._rows = np.vstack([self._rows, row[None, :]])
+        self._masks.append(mask)
+        return len(self._masks) - 1
+
+    def extend(self, masks: Iterable[int]) -> None:
+        masks = list(masks)
+        if not masks:
+            return
+        block = np.empty((len(masks), self.num_words), dtype=np.uint64)
+        for i, mask in enumerate(masks):
+            block[i] = pack_int(mask, self.num_words)
+        self._rows = np.vstack([self._rows, block])
+        self._masks.extend(masks)
+
+    def distances(self, mask: int) -> np.ndarray:
+        """Hamming distance from *mask* to every stored row."""
+        if not self._masks:
+            return np.empty(0, dtype=np.int64)
+        probe = pack_int(mask, self.num_words)
+        xored = self._rows ^ probe[None, :]
+        return np.bitwise_count(xored).sum(axis=1).astype(np.int64)
+
+    def within(self, mask: int, max_distance: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row indices (and distances) of rows within *max_distance* of *mask*.
+
+        Results are sorted by ascending distance, ties by row index, so the
+        closest candidate group always comes first.
+        """
+        dists = self.distances(mask)
+        hit = np.nonzero(dists <= max_distance)[0]
+        order = np.lexsort((hit, dists[hit]))
+        hit = hit[order]
+        return hit, dists[hit]

@@ -1,0 +1,186 @@
+"""Real-time detection checks (§3.3).
+
+The **correlation check** matches each incoming sensor state set against the
+training groups: an exact match is the *main group*; near matches (within a
+Hamming bound derived from the assumed fault count) are *probable groups*.
+No main group ⇒ a correlation violation — a sensor combination never seen in
+training.
+
+The **transition check** runs only when a main group exists, because
+non-fail-stop faults (notably stuck-at) often preserve the correlation
+structure; it flags transitions with zero learned probability:
+
+* case 1 — previous group → current group unseen in G2G;
+* case 2 — previous group → currently activated actuator unseen in G2A;
+* case 3 — previously activated actuator → current group unseen in A2G.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from .config import DiceConfig
+from .groups import GroupRegistry
+from .transitions import TransitionModel
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Outcome of the correlation check for one window."""
+
+    mask: int
+    main_group: Optional[int]
+    #: Candidate groups other than the main group: (group_id, distance),
+    #: nearest first.
+    probable_groups: Tuple[Tuple[int, int], ...]
+
+    @property
+    def is_violation(self) -> bool:
+        return self.main_group is None
+
+
+class TransitionCase(enum.Enum):
+    """Which matrix a transition violation came from (§3.3.2 cases 1-3)."""
+
+    G2G = "g2g"
+    G2A = "g2a"
+    A2G = "a2g"
+
+
+@dataclass(frozen=True)
+class TransitionViolation:
+    """A zero-probability transition observed at run time."""
+
+    case: TransitionCase
+    prev_group: Optional[int]
+    cur_group: Optional[int]
+    actuator: Optional[str] = None
+
+
+class CorrelationChecker:
+    """§3.3.1 — main/probable group search over the group registry."""
+
+    def __init__(self, groups: GroupRegistry, config: DiceConfig) -> None:
+        self.groups = groups
+        self.config = config
+        self.max_distance = config.candidate_distance(groups.layout.has_numeric)
+
+    def check(self, mask: int) -> CorrelationResult:
+        candidates = self.groups.candidates(mask, self.max_distance)
+        main: Optional[int] = None
+        probable: List[Tuple[int, int]] = []
+        for group_id, distance in candidates:
+            if distance == 0 and main is None:
+                main = group_id
+            else:
+                probable.append((group_id, distance))
+        return CorrelationResult(mask, main, tuple(probable))
+
+    def nearest(self, mask: int, limit_distance: int) -> Tuple[Tuple[int, int], ...]:
+        """Groups at the smallest non-zero distance ≤ *limit_distance*.
+
+        Fallback for identification when no candidate lies within the
+        standard bound: widen the search until some group is comparable.
+        """
+        for distance in range(self.max_distance + 1, limit_distance + 1):
+            candidates = self.groups.candidates(mask, distance)
+            hits = tuple((g, d) for g, d in candidates if d > 0)
+            if hits:
+                return hits
+        return ()
+
+
+class TransitionChecker:
+    """§3.3.2 — zero-probability transition detection.
+
+    When constructed with a group registry, G2G violations additionally
+    require both endpoint groups to be frequent (``min_group_observations``)
+    — see :class:`~repro.core.config.DiceConfig` for the rationale.
+    """
+
+    def __init__(
+        self,
+        transitions: TransitionModel,
+        config: DiceConfig,
+        groups: Optional[GroupRegistry] = None,
+    ) -> None:
+        self.transitions = transitions
+        self.config = config
+        self.groups = groups
+
+    def _group_is_confident(self, group_id: Optional[int]) -> bool:
+        if self.groups is None or group_id is None:
+            return True
+        return self.groups.count_of(group_id) >= self.config.min_group_observations
+
+    def _two_step_reachable(self, prev_group: int, cur_group: int) -> bool:
+        """Whether cur is reachable from prev through one intermediate group
+        (window-boundary aliasing absorption; see ``DiceConfig``)."""
+        if not self.config.g2g_two_step_closure:
+            return False
+        g2g = self.transitions.g2g
+        max_self = self.config.closure_max_self_loop
+        for middle in g2g.successors(prev_group):
+            if middle == prev_group or middle == cur_group:
+                continue
+            # Only genuine hand-over groups qualify as skipped middles: they
+            # dwell for about one window, so their self-loop probability is
+            # low.  Long-dwell hubs (most of all the all-quiet group) would
+            # otherwise make every pair reachable and blind the check.
+            if g2g.probability(middle, middle) > max_self:
+                continue
+            if g2g.probability(middle, cur_group) > 0.0:
+                return True
+        return False
+
+    def check(
+        self,
+        prev_group: Optional[int],
+        cur_group: int,
+        prev_actuators: FrozenSet[str],
+        cur_actuators: FrozenSet[str],
+    ) -> List[TransitionViolation]:
+        """All violations for the window transition *prev* → *cur*.
+
+        ``prev_group`` is ``None`` when the previous window had no main
+        group (detection is re-anchoring after a violation); G2G and G2A
+        are then skipped, A2G still applies.
+        """
+        violations: List[TransitionViolation] = []
+        model = self.transitions
+        min_obs = self.config.min_row_observations
+        if prev_group is not None:
+            if (
+                model.g2g.row_total(prev_group) >= min_obs
+                and model.g2g.probability(prev_group, cur_group) == 0.0
+                and self._group_is_confident(prev_group)
+                and self._group_is_confident(cur_group)
+                and not self._two_step_reachable(prev_group, cur_group)
+            ):
+                violations.append(
+                    TransitionViolation(TransitionCase.G2G, prev_group, cur_group)
+                )
+            for act in sorted(cur_actuators):
+                if (
+                    model.g2a.probability(prev_group, act) == 0.0
+                    and self._group_is_confident(prev_group)
+                ):
+                    violations.append(
+                        TransitionViolation(
+                            TransitionCase.G2A, prev_group, cur_group, actuator=act
+                        )
+                    )
+        for act in sorted(prev_actuators):
+            if (
+                model.a2g.row_total(act) >= min_obs
+                and model.a2g.probability(act, cur_group) == 0.0
+                and self._group_is_confident(cur_group)
+            ):
+                violations.append(
+                    TransitionViolation(
+                        TransitionCase.A2G, prev_group, cur_group, actuator=act
+                    )
+                )
+        return violations

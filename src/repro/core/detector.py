@@ -1,0 +1,333 @@
+"""The DICE detector: precomputation + real-time phases (Fig. 3.2).
+
+:class:`DiceDetector` is the library's main entry point:
+
+>>> detector = DiceDetector(registry).fit(training_trace)
+>>> report = detector.process(live_trace)
+>>> report.first_identification.devices
+frozenset({'kitchen_motion'})
+
+``fit`` runs the precomputation phase — state-set encoding, group
+extraction and transition extraction — on fault-free data.  ``process``
+runs the real-time phase over a segment: correlation check, transition
+check, and (on a violation) an identification session that narrows the
+probable faulty devices window by window.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..model import DeviceRegistry, Trace
+from .checks import (
+    CorrelationChecker,
+    TransitionCase,
+    TransitionChecker,
+)
+from .config import DEFAULT_CONFIG, DiceConfig
+from .encoding import StateSetEncoder, WindowedTrace
+from .groups import GroupRegistry
+from .identification import (
+    Identifier,
+    IdentificationSession,
+    ProbableFaultSet,
+)
+from .transitions import TransitionModel
+from .weights import DeviceWeights
+
+#: Detection-check labels used throughout evaluation (Fig. 5.4).
+CORRELATION_CHECK = "correlation"
+TRANSITION_CHECK = "transition"
+
+
+@dataclass
+class StageTimings:
+    """Accumulated wall-clock cost per real-time stage (Fig. 5.3)."""
+
+    encoding_s: float = 0.0
+    correlation_s: float = 0.0
+    transition_s: float = 0.0
+    identification_s: float = 0.0
+    windows: int = 0
+
+    def per_window(self) -> dict:
+        """Average seconds per processed window for each stage."""
+        n = max(1, self.windows)
+        return {
+            "encoding": self.encoding_s / n,
+            "correlation_check": self.correlation_s / n,
+            "transition_check": self.transition_s / n,
+            "identification": self.identification_s / n,
+        }
+
+    def merge(self, other: "StageTimings") -> None:
+        self.encoding_s += other.encoding_s
+        self.correlation_s += other.correlation_s
+        self.transition_s += other.transition_s
+        self.identification_s += other.identification_s
+        self.windows += other.windows
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One detected violation."""
+
+    window: int
+    time: float  # absolute seconds; the end of the violating window
+    check: str  # CORRELATION_CHECK or TRANSITION_CHECK
+    cases: Tuple[TransitionCase, ...] = ()
+
+
+@dataclass(frozen=True)
+class IdentificationRecord:
+    """One concluded identification session."""
+
+    window: int
+    time: float
+    devices: FrozenSet[str]
+    windows_used: int
+    converged: bool
+    weighted_early: bool = False
+    triggered_by: str = CORRELATION_CHECK
+
+
+@dataclass
+class SegmentReport:
+    """Everything DICE observed while processing one real-time segment."""
+
+    n_windows: int
+    window_seconds: float
+    start: float
+    detections: List[DetectionRecord] = field(default_factory=list)
+    identifications: List[IdentificationRecord] = field(default_factory=list)
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def first_detection(self) -> Optional[DetectionRecord]:
+        return self.detections[0] if self.detections else None
+
+    @property
+    def first_identification(self) -> Optional[IdentificationRecord]:
+        return self.identifications[0] if self.identifications else None
+
+    def identified_devices(self) -> FrozenSet[str]:
+        """Union of every session's verdict."""
+        devices: set = set()
+        for record in self.identifications:
+            devices |= record.devices
+        return frozenset(devices)
+
+
+@dataclass
+class DiceModel:
+    """The artefacts of the precomputation phase."""
+
+    encoder: StateSetEncoder
+    groups: GroupRegistry
+    transitions: TransitionModel
+    training_windows: int
+
+    @property
+    def correlation_degree(self) -> float:
+        return self.groups.correlation_degree()
+
+
+class DiceDetector:
+    """Detection & Identification with Context Extraction."""
+
+    def __init__(
+        self,
+        registry: DeviceRegistry,
+        config: DiceConfig = DEFAULT_CONFIG,
+        weights: Optional[DeviceWeights] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config
+        self.weights = weights
+        self.model: Optional[DiceModel] = None
+        self._correlation_checker: Optional[CorrelationChecker] = None
+        self._transition_checker: Optional[TransitionChecker] = None
+        self._identifier: Optional[Identifier] = None
+
+    # ------------------------------------------------------------------ #
+    # Precomputation phase
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model is not None
+
+    def fit(self, trace: Trace) -> "DiceDetector":
+        """Run the precomputation phase on fault-free training data."""
+        encoder = StateSetEncoder(self.registry, self.config.window_seconds)
+        encoder.fit(trace)
+        windowed = encoder.encode(trace)
+        return self.fit_windows(encoder, windowed)
+
+    def fit_windows(
+        self, encoder: StateSetEncoder, windowed: WindowedTrace
+    ) -> "DiceDetector":
+        """Precomputation from an already-encoded training trace."""
+        groups, sequence = GroupRegistry.from_windows(windowed)
+        transitions = TransitionModel.extract(
+            sequence, windowed.actuator_activations
+        )
+        self.model = DiceModel(encoder, groups, transitions, len(windowed))
+        self._correlation_checker = CorrelationChecker(groups, self.config)
+        self._transition_checker = TransitionChecker(transitions, self.config, groups)
+        self._identifier = Identifier(
+            groups, transitions, self._correlation_checker, self.config
+        )
+        return self
+
+    def _require_fitted(self) -> DiceModel:
+        if self.model is None:
+            raise RuntimeError("detector not fitted; call fit() first")
+        return self.model
+
+    # ------------------------------------------------------------------ #
+    # Real-time phase
+    # ------------------------------------------------------------------ #
+
+    def process(self, trace: Trace) -> SegmentReport:
+        """Run the real-time phase over a segment trace."""
+        model = self._require_fitted()
+        t0 = time.perf_counter()
+        windowed = model.encoder.encode(trace)
+        encoding_s = time.perf_counter() - t0
+        report = self.process_windows(windowed)
+        report.timings.encoding_s += encoding_s
+        return report
+
+    def process_windows(self, windowed: WindowedTrace) -> SegmentReport:
+        """Real-time phase over pre-encoded windows."""
+        self._require_fitted()
+        report = SegmentReport(
+            n_windows=len(windowed),
+            window_seconds=windowed.window_seconds,
+            start=windowed.start,
+        )
+        timings = report.timings
+        corr_checker = self._correlation_checker
+        trans_checker = self._transition_checker
+        identifier = self._identifier
+
+        prev_group: Optional[int] = None
+        # The last window that matched a main group — identification prunes
+        # probable groups by their transition probability from this anchor,
+        # which stays valid across a run of violating windows.
+        anchor_group: Optional[int] = None
+        prev_acts: FrozenSet[str] = frozenset()
+        session: Optional[IdentificationSession] = None
+        session_trigger = CORRELATION_CHECK
+        session_start_window = 0
+
+        for i, (mask, acts) in enumerate(windowed):
+            timings.windows += 1
+            window_end = windowed.window_start(i) + windowed.window_seconds
+
+            t0 = time.perf_counter()
+            corr = corr_checker.check(mask)
+            timings.correlation_s += time.perf_counter() - t0
+
+            violations = ()
+            if not corr.is_violation:
+                t0 = time.perf_counter()
+                violations = trans_checker.check(
+                    prev_group, corr.main_group, prev_acts, acts
+                )
+                timings.transition_s += time.perf_counter() - t0
+
+            if session is None:
+                if corr.is_violation:
+                    report.detections.append(
+                        DetectionRecord(i, window_end, CORRELATION_CHECK)
+                    )
+                    t0 = time.perf_counter()
+                    probable = identifier.from_correlation_violation(
+                        corr, anchor_group
+                    )
+                    session = IdentificationSession(
+                        self.config, probable, self.weights
+                    )
+                    timings.identification_s += time.perf_counter() - t0
+                    session_trigger = CORRELATION_CHECK
+                    session_start_window = i
+                elif violations:
+                    report.detections.append(
+                        DetectionRecord(
+                            i,
+                            window_end,
+                            TRANSITION_CHECK,
+                            tuple(v.case for v in violations),
+                        )
+                    )
+                    t0 = time.perf_counter()
+                    probable = identifier.from_transition_violations(
+                        violations, mask, prev_group
+                    )
+                    session = IdentificationSession(
+                        self.config, probable, self.weights
+                    )
+                    timings.identification_s += time.perf_counter() - t0
+                    session_trigger = TRANSITION_CHECK
+                    session_start_window = i
+            else:
+                # §3.4: while identifying, skip fresh detections and feed
+                # the session this window's probable-faulty evidence.
+                t0 = time.perf_counter()
+                if corr.is_violation:
+                    probable = identifier.from_correlation_violation(
+                        corr, anchor_group
+                    )
+                elif violations:
+                    probable = identifier.from_transition_violations(
+                        violations, mask, prev_group
+                    )
+                else:
+                    probable = ProbableFaultSet(frozenset())
+                session.update(probable)
+                timings.identification_s += time.perf_counter() - t0
+
+            if session is not None and session.is_done:
+                outcome = session.outcome
+                report.identifications.append(
+                    IdentificationRecord(
+                        i,
+                        window_end,
+                        outcome.devices,
+                        outcome.windows_used,
+                        outcome.converged,
+                        outcome.weighted_early,
+                        triggered_by=session_trigger,
+                    )
+                )
+                session = None
+
+            prev_group = corr.main_group
+            if corr.main_group is not None:
+                anchor_group = corr.main_group
+            prev_acts = acts
+
+        if session is not None:
+            # Segment ended mid-session: report the best current guess.
+            last_end = windowed.window_start(len(windowed) - 1) + (
+                windowed.window_seconds if len(windowed) else 0.0
+            )
+            report.identifications.append(
+                IdentificationRecord(
+                    max(0, len(windowed) - 1),
+                    last_end,
+                    session.intersection,
+                    session.windows_used,
+                    converged=False,
+                    triggered_by=session_trigger,
+                )
+            )
+        return report

@@ -1,0 +1,229 @@
+"""Faulty-device identification (§3.4, Fig. 3.7).
+
+When a violation is detected, the problematic state set is compared against
+the *probable groups* — the plausible fault-free states.  Every differing
+bit names a probable faulty sensor (for a numeric sensor, any of its three
+bits differing blames the sensor).  Probable groups with zero transition
+probability from the previous group are pruned first.
+
+For actuator-side violations (G2A/A2G), the currently / previously
+activated actuators are the probable faulty devices.
+
+A single window rarely pins the fault down, so an
+:class:`IdentificationSession` keeps intersecting the probable-faulty sets
+of successive windows — a genuinely faulty device keeps reappearing — until
+the intersection shrinks to at most ``numThre`` devices (1 in the
+single-fault configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .checks import (
+    CorrelationChecker,
+    CorrelationResult,
+    TransitionCase,
+    TransitionViolation,
+)
+from .config import DiceConfig
+from .groups import GroupRegistry
+from .transitions import TransitionModel
+from .weights import DeviceWeights
+
+
+@dataclass(frozen=True)
+class ProbableFaultSet:
+    """Probable faulty devices inferred from one violating window."""
+
+    devices: FrozenSet[str]
+    #: Which groups the state set was compared against.
+    reference_groups: Tuple[int, ...] = ()
+
+
+class Identifier:
+    """Stateless per-window identification logic."""
+
+    def __init__(
+        self,
+        groups: GroupRegistry,
+        transitions: TransitionModel,
+        correlation_checker: CorrelationChecker,
+        config: DiceConfig,
+    ) -> None:
+        self.groups = groups
+        self.transitions = transitions
+        self.correlation_checker = correlation_checker
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Correlation-violation identification
+    # ------------------------------------------------------------------ #
+
+    def from_correlation_violation(
+        self, result: CorrelationResult, prev_group: Optional[int]
+    ) -> ProbableFaultSet:
+        """Differing-bit analysis against the probable groups (§3.4).
+
+        Groups unreachable from the previous group (zero G2G probability)
+        are pruned, unless pruning would leave nothing to compare against.
+        """
+        probable = list(result.probable_groups)
+        if not probable:
+            # No group within the standard bound: widen the search so the
+            # state set is compared against its nearest known contexts.
+            probable = list(
+                self.correlation_checker.nearest(
+                    result.mask, self.groups.layout.num_bits
+                )
+            )
+        if not probable:
+            return ProbableFaultSet(frozenset())
+        pruned = self._prune_unreachable(probable, prev_group)
+        # "Comparing the problematic context with the *most probable*
+        # context": among the surviving candidates, only the nearest groups
+        # (minimum Hamming distance) are used as references.
+        best = min(d for _, d in pruned)
+        references = tuple(g for g, d in pruned if d == best)
+        devices: Set[str] = set()
+        for group_id in references:
+            diff = result.mask ^ self.groups.mask_of(group_id)
+            devices.update(self.groups.layout.devices_of_mask(diff))
+        return ProbableFaultSet(frozenset(devices), references)
+
+    def _prune_unreachable(
+        self,
+        probable: List[Tuple[int, int]],
+        prev_group: Optional[int],
+    ) -> List[Tuple[int, int]]:
+        if prev_group is None:
+            return probable
+        reachable = [
+            (g, d)
+            for g, d in probable
+            if self.transitions.g2g.probability(prev_group, g) > 0.0
+        ]
+        return reachable or probable
+
+    # ------------------------------------------------------------------ #
+    # Transition-violation identification
+    # ------------------------------------------------------------------ #
+
+    def from_transition_violations(
+        self,
+        violations: Sequence[TransitionViolation],
+        mask: int,
+        prev_group: Optional[int],
+    ) -> ProbableFaultSet:
+        """§3.4: case 1 reuses the correlation identification against the
+        legal successors of the previous group; cases 2/3 blame the
+        activated actuators."""
+        devices: Set[str] = set()
+        references: List[int] = []
+        for violation in violations:
+            if violation.case is TransitionCase.G2G:
+                successors = (
+                    self.transitions.g2g.successors(prev_group)
+                    if prev_group is not None
+                    else {}
+                )
+                if not successors:
+                    continue
+                # Compare against the most probable legal successors — the
+                # ones closest to what was actually observed.
+                diffs = {
+                    group_id: mask ^ self.groups.mask_of(group_id)
+                    for group_id in successors
+                }
+                best = min(bin(d).count("1") for d in diffs.values())
+                for group_id, diff in diffs.items():
+                    if bin(diff).count("1") == best:
+                        references.append(group_id)
+                        devices.update(self.groups.layout.devices_of_mask(diff))
+            elif violation.actuator is not None:
+                devices.add(violation.actuator)
+        return ProbableFaultSet(frozenset(devices), tuple(references))
+
+
+@dataclass
+class IdentificationOutcome:
+    """Final verdict of an identification session."""
+
+    devices: FrozenSet[str]
+    windows_used: int
+    converged: bool
+    #: True when a criticality/failure weight fired the alarm early (Ch. VI).
+    weighted_early: bool = False
+
+
+class IdentificationSession:
+    """Intersects probable-faulty sets across windows until ≤ ``numThre``.
+
+    The session starts from the violation that triggered detection.  Each
+    later window contributes its own probable-faulty set; windows where the
+    fault did not manifest (empty set) are skipped rather than intersected,
+    so a transient fault (e.g. a single outlier) cannot erase the evidence.
+    After ``max_identification_windows`` the best current intersection is
+    reported un-converged.
+    """
+
+    def __init__(
+        self,
+        config: DiceConfig,
+        initial: ProbableFaultSet,
+        weights: Optional[DeviceWeights] = None,
+    ) -> None:
+        self.config = config
+        self.weights = weights
+        self.intersection: FrozenSet[str] = initial.devices
+        self.windows_used = 1
+        self.history: List[FrozenSet[str]] = [initial.devices]
+        self._outcome: Optional[IdentificationOutcome] = None
+        self._check_done()
+
+    @property
+    def outcome(self) -> Optional[IdentificationOutcome]:
+        return self._outcome
+
+    @property
+    def is_done(self) -> bool:
+        return self._outcome is not None
+
+    def update(self, probable: ProbableFaultSet) -> Optional[IdentificationOutcome]:
+        """Feed the next window's probable-faulty set; returns the outcome
+        once the session concludes."""
+        if self.is_done:
+            return self._outcome
+        self.windows_used += 1
+        if probable.devices:
+            self.history.append(probable.devices)
+            narrowed = self.intersection & probable.devices
+            # An empty intersection means the new evidence contradicts the
+            # old (e.g. two unrelated transients); restart from the newer.
+            self.intersection = narrowed or probable.devices
+        self._check_done()
+        return self._outcome
+
+    def _check_done(self) -> None:
+        if self._outcome is not None:
+            return
+        devices = self.intersection
+        if self.weights is not None:
+            critical = self.weights.critical_subset(devices)
+            if critical:
+                self._outcome = IdentificationOutcome(
+                    frozenset(critical),
+                    self.windows_used,
+                    converged=True,
+                    weighted_early=len(devices) > self.config.num_thre,
+                )
+                return
+        if devices and len(devices) <= self.config.num_thre:
+            self._outcome = IdentificationOutcome(
+                devices, self.windows_used, converged=True
+            )
+        elif self.windows_used >= self.config.max_identification_windows:
+            self._outcome = IdentificationOutcome(
+                devices, self.windows_used, converged=False
+            )

@@ -1,0 +1,126 @@
+"""Transition extraction (§3.2.2, Fig. 3.4).
+
+DICE learns three Markov-chain transition matrices over the training
+windows:
+
+* **G2G** — group at window *i-1* → group at window *i*;
+* **G2A** — group at window *i-1* → actuator activated in window *i*;
+* **A2G** — actuator activated in window *i-1* → group at window *i*.
+
+Actuator-to-actuator transitions are deliberately not modelled: actuators
+influence sensor readings, so the three matrices above subsume A2A (the
+paper skips it to save computation).  Matrices are sparse dict-of-dicts;
+a *zero* probability for an observed row is a transition violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Generic, Hashable, List, Sequence, Tuple, TypeVar
+
+Row = TypeVar("Row", bound=Hashable)
+Col = TypeVar("Col", bound=Hashable)
+
+
+class TransitionMatrix(Generic[Row, Col]):
+    """Sparse transition-count matrix with row-normalised probabilities."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Row, Dict[Col, int]] = {}
+        self._row_totals: Dict[Row, int] = {}
+
+    def observe(self, row: Row, col: Col, weight: int = 1) -> None:
+        if weight < 1:
+            raise ValueError("weight must be positive")
+        cols = self._counts.setdefault(row, {})
+        cols[col] = cols.get(col, 0) + weight
+        self._row_totals[row] = self._row_totals.get(row, 0) + weight
+
+    def count(self, row: Row, col: Col) -> int:
+        return self._counts.get(row, {}).get(col, 0)
+
+    def row_total(self, row: Row) -> int:
+        return self._row_totals.get(row, 0)
+
+    def probability(self, row: Row, col: Col) -> float:
+        """P(col | row); 0.0 when the pair was never observed.
+
+        A row that was itself never observed also yields 0.0 — callers that
+        must distinguish "unknown row" from "known row, unseen column"
+        should check :meth:`row_total` first (the transition check does).
+        """
+        total = self._row_totals.get(row, 0)
+        if total == 0:
+            return 0.0
+        return self._counts[row].get(col, 0) / total
+
+    def successors(self, row: Row) -> Dict[Col, float]:
+        """All observed next-states of *row* with their probabilities."""
+        total = self._row_totals.get(row, 0)
+        if total == 0:
+            return {}
+        return {col: c / total for col, c in self._counts[row].items()}
+
+    @property
+    def rows(self) -> List[Row]:
+        return list(self._counts)
+
+    @property
+    def num_observations(self) -> int:
+        return sum(self._row_totals.values())
+
+    def __len__(self) -> int:
+        """Number of distinct (row, col) pairs with support."""
+        return sum(len(cols) for cols in self._counts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransitionMatrix({len(self._counts)} rows, {len(self)} entries, "
+            f"{self.num_observations} observations)"
+        )
+
+
+@dataclass
+class TransitionModel:
+    """The three matrices of §3.2.2 plus bookkeeping for violation checks."""
+
+    g2g: TransitionMatrix = field(default_factory=TransitionMatrix)
+    g2a: TransitionMatrix = field(default_factory=TransitionMatrix)
+    a2g: TransitionMatrix = field(default_factory=TransitionMatrix)
+
+    @classmethod
+    def extract(
+        cls,
+        group_sequence: Sequence[int],
+        actuator_activations: Sequence[FrozenSet[str]],
+    ) -> "TransitionModel":
+        """Learn the matrices from one training pass.
+
+        ``group_sequence[i]`` is the group id of window *i*;
+        ``actuator_activations[i]`` names the actuators activated in
+        window *i*.
+        """
+        if len(group_sequence) != len(actuator_activations):
+            raise ValueError("group sequence and activations must align")
+        model = cls()
+        for i in range(1, len(group_sequence)):
+            prev_g = group_sequence[i - 1]
+            cur_g = group_sequence[i]
+            model.g2g.observe(prev_g, cur_g)
+            for act in actuator_activations[i]:
+                model.g2a.observe(prev_g, act)
+            for act in actuator_activations[i - 1]:
+                model.a2g.observe(act, cur_g)
+        return model
+
+    def merge(self, other: "TransitionModel") -> None:
+        """Fold another model's observations into this one (used when
+        precomputation data arrives in several chunks)."""
+        for src, dst in (
+            (other.g2g, self.g2g),
+            (other.g2a, self.g2a),
+            (other.a2g, self.a2g),
+        ):
+            for row in src.rows:
+                for col, count in src._counts[row].items():
+                    dst.observe(row, col, count)

@@ -1,0 +1,59 @@
+"""Device weighting extension (Ch. VI, "Weight of devices").
+
+The thesis discusses — without fully evaluating — assigning devices a
+*criticality weight* (how urgent an early alarm is, e.g. gas and flame
+sensors) and a *failure weight* (how likely the device is to fail, e.g.
+lightweight battery devices).  During identification, a sufficiently
+weighted device in the probable-faulty set fires the alarm early, even
+before the set shrinks to ``numThre`` — trading false positives for early
+warning on safety-critical devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Set
+
+#: Weight at which a device bypasses the numThre convergence rule.
+DEFAULT_ALARM_THRESHOLD = 1.0
+
+
+@dataclass
+class DeviceWeights:
+    """Per-device criticality and failure-likelihood weights.
+
+    The effective weight of a device is ``criticality + failure``; devices
+    reaching ``alarm_threshold`` are alarmed as soon as they enter an
+    identification session's probable set.
+    """
+
+    criticality: Dict[str, float] = field(default_factory=dict)
+    failure: Dict[str, float] = field(default_factory=dict)
+    alarm_threshold: float = DEFAULT_ALARM_THRESHOLD
+
+    def set_criticality(self, device_id: str, weight: float) -> None:
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        self.criticality[device_id] = weight
+
+    def set_failure(self, device_id: str, weight: float) -> None:
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        self.failure[device_id] = weight
+
+    def weight_of(self, device_id: str) -> float:
+        return self.criticality.get(device_id, 0.0) + self.failure.get(device_id, 0.0)
+
+    def critical_subset(self, devices: Iterable[str]) -> Set[str]:
+        """Devices whose weight reaches the alarm threshold."""
+        return {d for d in devices if self.weight_of(d) >= self.alarm_threshold}
+
+    @classmethod
+    def for_safety_sensors(
+        cls, device_ids: Iterable[str], weight: float = 1.0
+    ) -> "DeviceWeights":
+        """Convenience: mark the given devices (typically gas/flame) critical."""
+        weights = cls()
+        for device_id in device_ids:
+            weights.set_criticality(device_id, weight)
+        return weights

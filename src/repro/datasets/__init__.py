@@ -1,0 +1,36 @@
+"""The ten evaluation datasets of Table 4.1, generated on demand."""
+
+from .builder import FILL, FILL_MINUTES, HomeBuilder, plan_routine, trig
+from .io import read_registry, read_trace, write_registry, write_trace
+from .registry import (
+    ALL_NAMES,
+    DATASETS,
+    TESTBED_NAMES,
+    THIRD_PARTY_NAMES,
+    DatasetInfo,
+    LoadedDataset,
+    build_spec,
+    dataset_info,
+    load_dataset,
+)
+
+__all__ = [
+    "FILL",
+    "FILL_MINUTES",
+    "HomeBuilder",
+    "plan_routine",
+    "trig",
+    "read_registry",
+    "read_trace",
+    "write_registry",
+    "write_trace",
+    "ALL_NAMES",
+    "DATASETS",
+    "TESTBED_NAMES",
+    "THIRD_PARTY_NAMES",
+    "DatasetInfo",
+    "LoadedDataset",
+    "build_spec",
+    "dataset_info",
+    "load_dataset",
+]

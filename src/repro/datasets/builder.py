@@ -1,0 +1,224 @@
+"""Fluent builder for :class:`~repro.smarthome.simulator.HomeSpec`.
+
+The ten dataset specs (ISLA houses, WSU CASAS homes, the POSTECH testbed)
+share the same construction vocabulary: declare devices, declare activities
+with their device footprints, declare per-resident routines and automation
+rules.  ``HomeBuilder`` keeps those declarations terse and validates them
+eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..model import (
+    Device,
+    DeviceRegistry,
+    SensorType,
+    actuator,
+    binary_sensor,
+    numeric_sensor,
+)
+from ..smarthome import (
+    ActivityCatalog,
+    ActivitySpec,
+    AutomationRule,
+    BinaryTrigger,
+    DailyRoutine,
+    DaylightModel,
+    FloorPlan,
+    HomeSpec,
+    NumericEffect,
+    RoutineEntry,
+)
+
+
+class HomeBuilder:
+    """Accumulates a home description and builds the final ``HomeSpec``."""
+
+    def __init__(self, name: str, floorplan: FloorPlan) -> None:
+        self.name = name
+        self.floorplan = floorplan
+        self.registry = DeviceRegistry()
+        self.catalog = ActivityCatalog()
+        self.routines: List[DailyRoutine] = []
+        self.automations: List[AutomationRule] = []
+        self.daylight: Optional[DaylightModel] = DaylightModel()
+        self.ambient_light_sensor_ids: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Devices
+    # ------------------------------------------------------------------ #
+
+    def binary(self, device_id: str, sensor_type: SensorType, room: str) -> str:
+        self.registry.add(binary_sensor(device_id, sensor_type, room))
+        return device_id
+
+    def numeric(
+        self,
+        device_id: str,
+        sensor_type: SensorType,
+        room: str,
+        ambient: bool = False,
+    ) -> str:
+        self.registry.add(numeric_sensor(device_id, sensor_type, room))
+        if ambient:
+            if sensor_type is not SensorType.LIGHT:
+                raise ValueError("only light sensors can be daylight-facing")
+            self.ambient_light_sensor_ids.append(device_id)
+        return device_id
+
+    def actuator(self, device_id: str, sensor_type: SensorType, room: str) -> str:
+        self.registry.add(actuator(device_id, sensor_type, room))
+        return device_id
+
+    def motion_grid(self, prefix: str, room: str, count: int) -> List[str]:
+        """Several motion sensors covering one room (CASAS-style grids)."""
+        return [
+            self.binary(f"{prefix}_{i + 1:02d}", SensorType.MOTION, room)
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Activities
+    # ------------------------------------------------------------------ #
+
+    def activity(
+        self,
+        name: str,
+        room: str,
+        duration_minutes: Tuple[float, float],
+        triggers: Sequence[BinaryTrigger] = (),
+        effects: Sequence[Tuple[str, float]] = (),
+        away: bool = False,
+        still: bool = False,
+        canonical: str = "",
+    ) -> str:
+        """Declare an activity; ``effects`` are ``(device_id, delta)`` pairs."""
+        for trigger in triggers:
+            if trigger.device_id not in self.registry:
+                raise ValueError(
+                    f"activity {name!r} triggers unknown device "
+                    f"{trigger.device_id!r}"
+                )
+        numeric_effects = []
+        for device_id, delta in effects:
+            if device_id not in self.registry:
+                raise ValueError(
+                    f"activity {name!r} affects unknown device {device_id!r}"
+                )
+            numeric_effects.append(NumericEffect(device_id, delta))
+        self.catalog.add(
+            ActivitySpec(
+                name=name,
+                room=room,
+                duration_minutes=duration_minutes,
+                binary_triggers=tuple(triggers),
+                numeric_effects=tuple(numeric_effects),
+                away=away,
+                still=still,
+                canonical=canonical,
+            )
+        )
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Routines & rules
+    # ------------------------------------------------------------------ #
+
+    def routine(self, entries: Iterable[RoutineEntry]) -> None:
+        self.routines.append(DailyRoutine(list(entries)))
+
+    def rule(self, rule: AutomationRule) -> None:
+        self.automations.append(rule)
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, **spec_kwargs) -> HomeSpec:
+        return HomeSpec(
+            name=self.name,
+            registry=self.registry,
+            floorplan=self.floorplan,
+            catalog=self.catalog,
+            routines=self.routines,
+            automations=self.automations,
+            daylight=self.daylight,
+            ambient_light_sensor_ids=tuple(self.ambient_light_sensor_ids),
+            **spec_kwargs,
+        )
+
+
+def trig(
+    device_id: str,
+    pattern: str = "continuous",
+    period: float = 25.0,
+    probability: float = 1.0,
+) -> BinaryTrigger:
+    """Shorthand BinaryTrigger constructor used by the dataset specs."""
+    return BinaryTrigger(device_id, pattern, period, probability)
+
+
+#: Activities with a duration upper bound at or above this are *fill*
+#: activities: they always run into the next routine entry and get clipped
+#: there, so their boundary patterns recur daily and are learnable.
+FILL_MINUTES = 240.0
+
+#: A convenient fill duration: long enough to always reach the next entry.
+FILL = (600.0, 720.0)
+
+
+def plan_routine(
+    catalog,
+    plan: Sequence[Tuple],
+    margin_minutes: float = 3.0,
+) -> List[RoutineEntry]:
+    """Turn ``(activity, nominal_minute, jitter[, skip])`` tuples into a
+    collision-free routine.
+
+    Two timing regimes keep the context space learnable:
+
+    * a *point* activity (short, bounded duration) must not be able to
+      collide with its successor even at jitter extremes — its successor's
+      nominal start is pushed later if needed;
+    * a *fill* activity (duration ≥ :data:`FILL_MINUTES`) always reaches its
+      successor and is clipped there, so the hand-over happens — and is
+      observed — every single day.
+
+    Rare once-a-month collisions are the enemy: they produce sensor
+    combinations that training data cannot cover, which read as false
+    positives to any context-based detector.
+    """
+    entries: List[RoutineEntry] = []
+    # Entries a new activity might directly follow (everything since the
+    # last unskippable entry — a skipped activity hands over to the one
+    # before it).
+    open_preds: List[Tuple[float, float, float, bool]] = []
+    for item in plan:
+        activity, nominal, jitter = item[0], float(item[1]), float(item[2])
+        skip = float(item[3]) if len(item) > 3 else 0.0
+        spec = catalog[activity]
+        for p_nominal, p_hi, p_jitter, p_fill in open_preds:
+            if p_fill:
+                earliest = p_nominal + margin_minutes
+            else:
+                earliest = (
+                    p_nominal + p_hi + 2.0 * (p_jitter + jitter) + margin_minutes
+                )
+            nominal = max(nominal, earliest)
+        if nominal >= 24 * 60:
+            raise ValueError(
+                f"routine overflows the day at {activity!r} "
+                f"(pushed to minute {nominal:.0f})"
+            )
+        entries.append(RoutineEntry(activity, nominal, jitter, skip))
+        record = (
+            nominal,
+            spec.duration_minutes[1],
+            jitter,
+            spec.duration_minutes[1] >= FILL_MINUTES,
+        )
+        if skip == 0.0:
+            open_preds = [record]
+        else:
+            open_preds.append(record)
+    return entries

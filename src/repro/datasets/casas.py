@@ -1,0 +1,418 @@
+"""WSU CASAS homes — synthetic recreations of **twor** and **hh102**.
+
+*twor* is the two-resident apartment (Table 4.1: 68 binary + 3 numeric
+sensors, 9 annotated activities, 1104 h): dense motion-sensor grids per
+room give it the highest correlation degree of the third-party datasets.
+
+*hh102* is the single-resident "smart home in a box" (33 binary + 79
+numeric sensors, 30 activities, 1488 h): its numeric sensors are all
+light/temperature/battery gauges; battery gauges are near-constant, which
+is why a large sensor census does not automatically mean a large
+correlation degree (§5.4 discusses exactly this).
+"""
+
+from __future__ import annotations
+
+from ..model import SensorType
+from ..smarthome import FloorPlan, HomeSpec
+from .builder import FILL, HomeBuilder, plan_routine, trig
+
+DOOR = SensorType.DOOR
+ITEM = SensorType.ITEM
+MOTION = SensorType.MOTION
+
+
+def _twor_floorplan() -> FloorPlan:
+    rooms = [
+        "hall",
+        "kitchen",
+        "dining",
+        "living_room",
+        "bedroom1",
+        "bedroom2",
+        "bathroom1",
+        "bathroom2",
+        "office",
+    ]
+    doorways = [("hall", r) for r in rooms if r != "hall"]
+    return FloorPlan(rooms, doorways)
+
+
+def build_twor() -> HomeSpec:
+    """twor: two residents, 68 binary + 3 numeric sensors, 9 activities."""
+    b = HomeBuilder("twor", _twor_floorplan())
+
+    # Motion grids (53 sensors).
+    b.motion_grid("m_kitchen", "kitchen", 8)
+    b.motion_grid("m_living", "living_room", 10)
+    b.motion_grid("m_dining", "dining", 4)
+    b.motion_grid("m_bedroom1", "bedroom1", 7)
+    b.motion_grid("m_bedroom2", "bedroom2", 7)
+    b.motion_grid("m_bathroom1", "bathroom1", 3)
+    b.motion_grid("m_bathroom2", "bathroom2", 3)
+    b.motion_grid("m_office", "office", 6)
+    b.motion_grid("m_hall", "hall", 5)
+
+    # Doors (12).
+    front = b.binary("d_front", DOOR, "hall")
+    back = b.binary("d_back", DOOR, "kitchen")
+    bed1_door = b.binary("d_bedroom1", DOOR, "bedroom1")
+    bed2_door = b.binary("d_bedroom2", DOOR, "bedroom2")
+    bath1_door = b.binary("d_bathroom1", DOOR, "bathroom1")
+    bath2_door = b.binary("d_bathroom2", DOOR, "bathroom2")
+    office_door = b.binary("d_office", DOOR, "office")
+    closet1 = b.binary("d_closet1", DOOR, "bedroom1")
+    closet2 = b.binary("d_closet2", DOOR, "bedroom2")
+    fridge = b.binary("d_fridge", DOOR, "kitchen")
+    freezer = b.binary("d_freezer", DOOR, "kitchen")
+    cabinet = b.binary("d_cabinet", DOOR, "kitchen")
+
+    # Items (3).
+    item_medicine = b.binary("i_medicine", ITEM, "bathroom1")
+    item_laundry = b.binary("i_laundry", ITEM, "bathroom1")
+    item_supplies = b.binary("i_supplies", ITEM, "kitchen")
+
+    # Numeric (3): burner-adjacent temperature plus two work-area lights.
+    temp_kitchen = b.numeric("t_kitchen", SensorType.TEMPERATURE, "kitchen")
+    light_living = b.numeric("l_living", SensorType.LIGHT, "living_room")
+    light_office = b.numeric("l_office", SensorType.LIGHT, "office")
+
+    # The 9 annotated twor activities.
+    b.activity(
+        "sleeping_r1", "bedroom1", FILL,
+        triggers=[trig(bed1_door, "start")],
+        still=True,
+        canonical="sleeping",
+    )
+    b.activity(
+        "sleeping_r2", "bedroom2", FILL,
+        triggers=[trig(bed2_door, "start")],
+        still=True,
+        canonical="sleeping",
+    )
+    b.activity(
+        "bed_to_toilet_r1", "bathroom1", (3, 6),
+        triggers=[trig(bath1_door, "start"), trig(bath1_door, "end")],
+        canonical="bed_to_toilet",
+    )
+    b.activity(
+        "bed_to_toilet_r2", "bathroom2", (3, 6),
+        triggers=[trig(bath2_door, "start"), trig(bath2_door, "end")],
+        canonical="bed_to_toilet",
+    )
+    b.activity(
+        "meal_preparation", "kitchen", (20, 26),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(freezer, "continuous", period=20.0),
+            trig(cabinet, "continuous", period=20.0),
+        ],
+        effects=[(temp_kitchen, 5.0)],
+    )
+    b.activity("eating", "dining", (15, 22))
+    b.activity(
+        "personal_hygiene_r1", "bathroom1", (8, 12),
+        triggers=[
+            trig(bath1_door, "start"),
+            trig(item_medicine, "continuous", period=20.0),
+        ],
+        canonical="personal_hygiene",
+    )
+    b.activity(
+        "personal_hygiene_r2", "bathroom2", (8, 12),
+        triggers=[trig(bath2_door, "start")],
+        canonical="personal_hygiene",
+    )
+    b.activity(
+        "working", "office", FILL,
+        triggers=[trig(office_door, "start")],
+    )
+    b.activity(
+        "watching_tv", "living_room", FILL,
+    )
+    b.activity(
+        "housekeeping", "kitchen", (20, 26),
+        triggers=[
+            trig(item_laundry, "continuous", period=20.0),
+            trig(item_supplies, "continuous", period=20.0),
+        ],
+    )
+    b.activity(
+        "leaving_home", "hall", FILL,
+        triggers=[trig(front, "start"), trig(front, "end")],
+        away=True,
+    )
+
+    # Resident 1: works from the home office.
+    b.routine(
+        plan_routine(
+            b.catalog,
+            [
+                ("bed_to_toilet_r1", 3 * 60 + 25, 6, 0.5),
+                ("sleeping_r1", 3 * 60 + 50, 5),
+                ("personal_hygiene_r1", 7 * 60 + 30, 3),
+                ("meal_preparation", 8 * 60, 3),
+                ("eating", 8 * 60 + 35, 3),
+                ("working", 9 * 60 + 15, 4),
+                ("meal_preparation", 12 * 60 + 30, 4),
+                ("eating", 13 * 60 + 5, 4),
+                ("working", 13 * 60 + 45, 4),
+                ("meal_preparation", 18 * 60, 4),
+                ("eating", 18 * 60 + 40, 3),
+                ("watching_tv", 19 * 60 + 25, 4),
+                ("housekeeping", 22 * 60, 3, 0.45),
+                ("personal_hygiene_r1", 22 * 60 + 45, 3),
+                ("sleeping_r1", 23 * 60 + 10, 3),
+            ],
+        )
+    )
+    # Resident 2: leaves for campus during the day.
+    b.routine(
+        plan_routine(
+            b.catalog,
+            [
+                ("bed_to_toilet_r2", 4 * 60, 6, 0.5),
+                ("sleeping_r2", 4 * 60 + 25, 5),
+                ("personal_hygiene_r2", 8 * 60 + 40, 3),
+                ("leaving_home", 9 * 60 + 25, 4),
+                ("watching_tv", 19 * 60, 4),
+                ("housekeeping", 21 * 60 + 15, 3, 0.45),
+                ("personal_hygiene_r2", 23 * 60 + 20, 3),
+                ("sleeping_r2", 23 * 60 + 45, 3),
+            ],
+        )
+    )
+
+    spec = b.build(
+        manual_lamp_light_sensor_ids=(light_living, light_office),
+    )
+    return spec
+
+
+def _hh_floorplan() -> FloorPlan:
+    rooms = [
+        "hall",
+        "kitchen",
+        "dining",
+        "living_room",
+        "bedroom",
+        "bathroom",
+        "office",
+    ]
+    doorways = [("hall", r) for r in rooms if r != "hall"]
+    return FloorPlan(rooms, doorways)
+
+
+def build_hh102() -> HomeSpec:
+    """hh102: one resident, 33 binary + 79 numeric sensors, 30 activities."""
+    b = HomeBuilder("hh102", _hh_floorplan())
+
+    # Motion (18).
+    b.motion_grid("m_kitchen", "kitchen", 4)
+    b.motion_grid("m_living", "living_room", 4)
+    b.motion_grid("m_bedroom", "bedroom", 3)
+    b.motion_grid("m_bathroom", "bathroom", 2)
+    b.motion_grid("m_office", "office", 3)
+    b.motion_grid("m_hall", "hall", 2)
+
+    # Doors (8).
+    front = b.binary("d_front", DOOR, "hall")
+    fridge = b.binary("d_fridge", DOOR, "kitchen")
+    freezer = b.binary("d_freezer", DOOR, "kitchen")
+    cabinet = b.binary("d_cabinet", DOOR, "kitchen")
+    bed_door = b.binary("d_bedroom", DOOR, "bedroom")
+    bath_door = b.binary("d_bathroom", DOOR, "bathroom")
+    closet = b.binary("d_closet", DOOR, "bedroom")
+    office_door = b.binary("d_office", DOOR, "office")
+
+    # Items (7).
+    medicine = b.binary("i_medicine", ITEM, "kitchen")
+    laundry = b.binary("i_laundry", ITEM, "bathroom")
+    watering_can = b.binary("i_watering_can", ITEM, "living_room")
+    coffee_jar = b.binary("i_coffee_jar", ITEM, "kitchen")
+    snack_jar = b.binary("i_snack_jar", ITEM, "kitchen")
+    phone_dock = b.binary("i_phone_dock", ITEM, "living_room")
+    book_shelf = b.binary("i_book_shelf", ITEM, "living_room")
+
+    # Numeric census: 26 light + 27 temperature + 26 battery = 79.
+    light_rooms = (
+        ["kitchen"] * 4
+        + ["living_room"] * 5
+        + ["bedroom"] * 4
+        + ["bathroom"] * 3
+        + ["office"] * 4
+        + ["hall"] * 3
+        + ["dining"] * 3
+    )
+    lights = [
+        b.numeric(f"ls_{i + 1:03d}", SensorType.LIGHT, room)
+        for i, room in enumerate(light_rooms)
+    ]
+    temp_rooms = (
+        ["kitchen"] * 5
+        + ["bathroom"] * 4
+        + ["bedroom"] * 4
+        + ["living_room"] * 5
+        + ["office"] * 4
+        + ["hall"] * 5
+    )
+    temps = [
+        b.numeric(f"t_{i + 1:03d}", SensorType.TEMPERATURE, room)
+        for i, room in enumerate(temp_rooms)
+    ]
+    battery_rooms = (light_rooms[:13] + temp_rooms[:13])[:26]
+    for i, room in enumerate(battery_rooms):
+        b.numeric(f"bat_{i + 1:03d}", SensorType.BATTERY, room)
+
+    kitchen_temps = [t for t, room in zip(temps, temp_rooms) if room == "kitchen"]
+    bathroom_temps = [t for t, room in zip(temps, temp_rooms) if room == "bathroom"]
+
+    cook_effects = [(t, 4.0) for t in kitchen_temps]
+    shower_effects = [(t, 3.0) for t in bathroom_temps]
+
+    # 30 activities.
+    b.activity(
+        "sleep", "bedroom", FILL, triggers=[trig(bed_door, "start")], still=True
+    )
+    b.activity(
+        "bed_to_toilet", "bathroom", (3, 6),
+        triggers=[trig(bath_door, "start"), trig(bath_door, "end")],
+    )
+    b.activity(
+        "morning_hygiene", "bathroom", (8, 12), triggers=[trig(bath_door, "start")]
+    )
+    b.activity(
+        "shower", "bathroom", (12, 18),
+        triggers=[trig(bath_door, "start"), trig(bath_door, "end")],
+        effects=shower_effects,
+    )
+    b.activity("dress", "bedroom", (5, 9), triggers=[trig(closet, "start")])
+    b.activity(
+        "breakfast_prep", "kitchen", (10, 14),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cabinet, "continuous", period=20.0),
+        ],
+        effects=cook_effects,
+    )
+    b.activity("eat_breakfast", "dining", (10, 15))
+    b.activity(
+        "wash_breakfast_dishes", "kitchen", (5, 9),
+        triggers=[trig(cabinet, "continuous", period=20.0)],
+    )
+    b.activity(
+        "morning_medicine", "kitchen", (1, 3),
+        triggers=[trig(medicine, "start")],
+    )
+    b.activity(
+        "make_coffee", "kitchen", (4, 7),
+        triggers=[trig(coffee_jar, "continuous", period=20.0)],
+    )
+    b.activity(
+        "work_at_computer", "office", FILL, triggers=[trig(office_door, "start")]
+    )
+    b.activity(
+        "coffee_break", "kitchen", (4, 7),
+        triggers=[trig(coffee_jar, "start")],
+    )
+    b.activity(
+        "lunch_prep", "kitchen", (12, 16),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(freezer, "continuous", period=20.0),
+        ],
+        effects=cook_effects,
+    )
+    b.activity("eat_lunch", "dining", (12, 18))
+    b.activity(
+        "wash_lunch_dishes", "kitchen", (5, 9),
+        triggers=[trig(cabinet, "continuous", period=20.0)],
+    )
+    b.activity(
+        "leave_home", "hall", FILL,
+        triggers=[trig(front, "start"), trig(front, "end")],
+        away=True,
+    )
+    b.activity("afternoon_nap", "bedroom", FILL, still=True)
+    b.activity("snack", "kitchen", (3, 6), triggers=[trig(snack_jar, "start")])
+    b.activity(
+        "read", "living_room", FILL, triggers=[trig(book_shelf, "start")]
+    )
+    b.activity(
+        "phone_call", "living_room", (6, 12),
+        triggers=[trig(phone_dock, "start"), trig(phone_dock, "end")],
+    )
+    b.activity(
+        "dinner_prep", "kitchen", (25, 31),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(freezer, "continuous", period=20.0),
+            trig(cabinet, "continuous", period=20.0),
+        ],
+        effects=cook_effects,
+    )
+    b.activity("eat_dinner", "dining", (15, 22))
+    b.activity(
+        "wash_dinner_dishes", "kitchen", (8, 12),
+        triggers=[trig(cabinet, "continuous", period=20.0)],
+    )
+    b.activity(
+        "evening_medicine", "kitchen", (1, 3), triggers=[trig(medicine, "start")]
+    )
+    b.activity("watch_tv", "living_room", FILL)
+    b.activity(
+        "laundry", "bathroom", (8, 12),
+        triggers=[trig(laundry, "continuous", period=20.0)],
+    )
+    b.activity("enter_home", "hall", (2, 4))
+    b.activity(
+        "water_plants", "living_room", (4, 7),
+        triggers=[trig(watering_can, "start"), trig(watering_can, "end")],
+    )
+    b.activity(
+        "evening_hygiene", "bathroom", (6, 10), triggers=[trig(bath_door, "start")]
+    )
+    b.activity("exercise", "living_room", (18, 24))
+
+    b.routine(
+        plan_routine(
+            b.catalog,
+            [
+                ("bed_to_toilet", 3 * 60 + 20, 6, 0.5),
+                ("sleep", 3 * 60 + 45, 5),
+                ("morning_hygiene", 7 * 60, 3),
+                ("shower", 7 * 60 + 20, 3, 0.25),
+                ("dress", 7 * 60 + 55, 3),
+                ("make_coffee", 8 * 60 + 12, 3),
+                ("breakfast_prep", 8 * 60 + 25, 3),
+                ("eat_breakfast", 8 * 60 + 48, 3),
+                ("morning_medicine", 9 * 60 + 10, 2),
+                ("wash_breakfast_dishes", 9 * 60 + 20, 3, 0.4),
+                ("work_at_computer", 9 * 60 + 40, 4),
+                ("coffee_break", 10 * 60 + 45, 4, 0.45),
+                ("work_at_computer", 11 * 60 + 5, 4),
+                ("lunch_prep", 12 * 60 + 25, 3),
+                ("eat_lunch", 12 * 60 + 50, 3),
+                ("wash_lunch_dishes", 13 * 60 + 15, 3, 0.45),
+                ("leave_home", 13 * 60 + 40, 4, 0.35),
+                ("enter_home", 15 * 60 + 20, 4),
+                ("afternoon_nap", 15 * 60 + 30, 5, 0.45),
+                ("snack", 16 * 60 + 30, 3, 0.45),
+                ("read", 16 * 60 + 50, 4),
+                ("exercise", 17 * 60 + 20, 3, 0.45),
+                ("phone_call", 17 * 60 + 50, 3, 0.45),
+                ("dinner_prep", 18 * 60 + 40, 3),
+                ("eat_dinner", 19 * 60 + 25, 3),
+                ("wash_dinner_dishes", 19 * 60 + 55, 3, 0.35),
+                ("evening_medicine", 20 * 60 + 18, 2),
+                ("water_plants", 20 * 60 + 32, 3, 0.45),
+                ("watch_tv", 20 * 60 + 50, 4),
+                ("laundry", 22 * 60 + 10, 3, 0.45),
+                ("evening_hygiene", 23 * 60 + 10, 3),
+                ("sleep", 23 * 60 + 35, 3),
+            ],
+        )
+    )
+
+    manual_lamps = tuple(lights)
+    return b.build(manual_lamp_light_sensor_ids=manual_lamps)

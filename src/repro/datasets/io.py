@@ -1,0 +1,99 @@
+"""Trace serialization: CSV interchange.
+
+The format matches what real deployments log — one event per line:
+
+    timestamp,device_id,value
+    60.0,kitchen_motion,1.0
+
+A companion ``*.devices.csv`` carries the registry (id, kind, type, room)
+so a trace file round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Optional, TextIO, Tuple
+
+import numpy as np
+
+from ..model import Device, DeviceKind, DeviceRegistry, SensorType, Trace
+
+EVENT_HEADER = ("timestamp", "device_id", "value")
+DEVICE_HEADER = ("device_id", "kind", "sensor_type", "room")
+
+
+def _devices_path(path: str) -> str:
+    root, ext = os.path.splitext(path)
+    return f"{root}.devices{ext or '.csv'}"
+
+
+def write_registry(registry: DeviceRegistry, path: str) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(DEVICE_HEADER)
+        for device in registry:
+            writer.writerow(
+                [device.device_id, device.kind.value, device.sensor_type.value, device.room]
+            )
+
+
+def read_registry(path: str) -> DeviceRegistry:
+    registry = DeviceRegistry()
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if tuple(header or ()) != DEVICE_HEADER:
+            raise ValueError(f"unexpected device header in {path}: {header}")
+        for row in reader:
+            device_id, kind, sensor_type, room = row
+            registry.add(
+                Device(device_id, DeviceKind(kind), SensorType(sensor_type), room)
+            )
+    return registry
+
+
+def write_trace(trace: Trace, path: str) -> None:
+    """Write events to *path* and the registry to ``*.devices.csv``."""
+    write_registry(trace.registry, _devices_path(path))
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(EVENT_HEADER)
+        writer.writerow(["# start", trace.start, ""])
+        writer.writerow(["# end", trace.end, ""])
+        ids = trace.registry.device_ids
+        for t, d, v in zip(trace.timestamps, trace.device_indices, trace.values):
+            writer.writerow([repr(float(t)), ids[d], repr(float(v))])
+
+
+def read_trace(path: str, registry: Optional[DeviceRegistry] = None) -> Trace:
+    """Read a trace written by :func:`write_trace`."""
+    if registry is None:
+        registry = read_registry(_devices_path(path))
+    timestamps, indices, values = [], [], []
+    start = 0.0
+    end: Optional[float] = None
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if tuple(header or ()) != EVENT_HEADER:
+            raise ValueError(f"unexpected event header in {path}: {header}")
+        for row in reader:
+            if row and row[0].startswith("#"):
+                if row[0] == "# start":
+                    start = float(row[1])
+                elif row[0] == "# end":
+                    end = float(row[1])
+                continue
+            t, device_id, v = row
+            timestamps.append(float(t))
+            indices.append(registry.index_of(device_id))
+            values.append(float(v))
+    return Trace(
+        registry,
+        np.array(timestamps, dtype=np.float64),
+        np.array(indices, dtype=np.int32),
+        np.array(values, dtype=np.float64),
+        start=start,
+        end=end,
+    )

@@ -1,0 +1,501 @@
+"""ISLA (van Kasteren) houses A, B, C — synthetic recreations.
+
+The real datasets are reed-switch/PIR/pressure-mat homes recorded by the
+Intelligent Systems Lab Amsterdam.  The recreations preserve the Table 4.1
+census — houseA: 14 binary sensors / 16 activities / 576 h; houseB: 27 /
+25 / 648 h; houseC: 23 / 27 / 480 h — and the structural property the
+paper leans on: houseA's sensors mostly fire alone (the lowest correlation
+degree of all datasets), while houseB and houseC co-fire more.
+
+Routines follow the point/fill timing discipline of
+:func:`~repro.datasets.builder.plan_routine`: short activities are spaced
+so they cannot collide, long ones always run into their successor.
+"""
+
+from __future__ import annotations
+
+from ..model import SensorType
+from ..smarthome import HomeSpec, single_floor_apartment
+from .builder import FILL, HomeBuilder, plan_routine, trig
+
+DOOR = SensorType.DOOR
+APPLIANCE = SensorType.APPLIANCE
+FLUSH = SensorType.FLUSH
+PRESSURE = SensorType.PRESSURE
+MOTION = SensorType.MOTION
+
+
+def build_house_a() -> HomeSpec:
+    """houseA: 14 reed/appliance/flush sensors, one resident, 16 activities."""
+    b = HomeBuilder("houseA", single_floor_apartment(extra_rooms=["toilet"]))
+
+    microwave = b.binary("microwave", APPLIANCE, "kitchen")
+    toilet_door = b.binary("hall_toilet_door", DOOR, "toilet")
+    bath_door = b.binary("hall_bathroom_door", DOOR, "bathroom")
+    cups = b.binary("cups_cupboard", DOOR, "kitchen")
+    fridge = b.binary("fridge", DOOR, "kitchen")
+    plates = b.binary("plates_cupboard", DOOR, "kitchen")
+    frontdoor = b.binary("frontdoor", DOOR, "hall")
+    dishwasher = b.binary("dishwasher", APPLIANCE, "kitchen")
+    flush = b.binary("toilet_flush", FLUSH, "toilet")
+    freezer = b.binary("freezer", DOOR, "kitchen")
+    pans = b.binary("pans_cupboard", DOOR, "kitchen")
+    washer = b.binary("washingmachine", APPLIANCE, "bathroom")
+    groceries = b.binary("groceries_cupboard", DOOR, "kitchen")
+    bed_door = b.binary("hall_bedroom_door", DOOR, "bedroom")
+
+    b.activity(
+        "leave_house", "hall", FILL,
+        triggers=[trig(frontdoor, "start"), trig(frontdoor, "end")],
+        away=True,
+    )
+    b.activity(
+        "use_toilet", "toilet", (3, 6),
+        triggers=[
+            trig(toilet_door, "start"),
+            trig(toilet_door, "end"),
+            trig(flush, "end"),
+        ],
+    )
+    b.activity(
+        "take_shower", "bathroom", (12, 20),
+        triggers=[trig(bath_door, "start"), trig(bath_door, "end")],
+    )
+    b.activity("brush_teeth", "bathroom", (3, 5), triggers=[trig(bath_door, "start")])
+    b.activity(
+        "go_to_bed", "bedroom", FILL,
+        triggers=[trig(bed_door, "start")],
+        still=True,
+    )
+    b.activity(
+        "prepare_breakfast", "kitchen", (10, 14),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cups, "continuous", period=20.0),
+            trig(groceries, "continuous", period=20.0),
+        ],
+    )
+    b.activity(
+        "prepare_dinner", "kitchen", (25, 31),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(pans, "continuous", period=20.0),
+            trig(freezer, "continuous", period=20.0),
+            trig(plates, "end"),
+        ],
+    )
+    b.activity(
+        "get_drink", "kitchen", (2, 4),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cups, "continuous", period=20.0),
+        ],
+    )
+    b.activity("get_snack", "kitchen", (2, 5), triggers=[trig(groceries, "start")])
+    b.activity(
+        "use_microwave", "kitchen", (3, 7),
+        triggers=[trig(microwave, "continuous", period=20.0)],
+    )
+    b.activity(
+        "wash_dishes", "kitchen", (8, 13),
+        triggers=[trig(dishwasher, "continuous", period=20.0)],
+    )
+    b.activity(
+        "do_laundry", "bathroom", (5, 9),
+        triggers=[trig(washer, "continuous", period=20.0)],
+    )
+    b.activity(
+        "unload_dishwasher", "kitchen", (3, 6),
+        triggers=[trig(dishwasher, "start"), trig(plates, "end")],
+    )
+    b.activity("eat_breakfast", "living_room", FILL)
+    b.activity("eat_dinner", "living_room", FILL)
+    b.activity("relax_livingroom", "living_room", FILL)
+
+    b.routine(
+        plan_routine(
+            b.catalog,
+            [
+                ("use_toilet", 3 * 60 + 10, 6, 0.45),
+                ("go_to_bed", 3 * 60 + 35, 5),
+                ("use_toilet", 7 * 60, 3),
+                ("take_shower", 7 * 60 + 20, 3, 0.25),
+                ("brush_teeth", 7 * 60 + 55, 2),
+                ("prepare_breakfast", 8 * 60 + 10, 3),
+                ("eat_breakfast", 8 * 60 + 35, 3),
+                ("unload_dishwasher", 8 * 60 + 50, 3, 0.45),
+                ("leave_house", 9 * 60 + 10, 4),
+                ("get_drink", 17 * 60 + 20, 5, 0.3),
+                ("relax_livingroom", 17 * 60 + 45, 6),
+                ("use_microwave", 18 * 60 + 30, 4, 0.45),
+                ("prepare_dinner", 18 * 60 + 55, 4),
+                ("eat_dinner", 19 * 60 + 40, 4),
+                ("wash_dishes", 20 * 60 + 15, 4, 0.45),
+                ("do_laundry", 20 * 60 + 45, 4, 0.45),
+                ("relax_livingroom", 21 * 60 + 10, 5),
+                ("get_snack", 22 * 60, 4, 0.4),
+                ("use_toilet", 22 * 60 + 30, 3),
+                ("brush_teeth", 22 * 60 + 50, 2),
+                ("go_to_bed", 23 * 60 + 10, 4),
+            ],
+        )
+    )
+    return b.build()
+
+
+def build_house_b() -> HomeSpec:
+    """houseB: 27 sensors including PIRs and pressure mats, 25 activities."""
+    b = HomeBuilder(
+        "houseB", single_floor_apartment(extra_rooms=["toilet", "balcony"])
+    )
+
+    frontdoor = b.binary("frontdoor", DOOR, "hall")
+    balcony = b.binary("balcony_door", DOOR, "balcony")
+    toilet_door = b.binary("toilet_door", DOOR, "toilet")
+    bath_door = b.binary("bathroom_door", DOOR, "bathroom")
+    bed_door = b.binary("bedroom_door", DOOR, "bedroom")
+    fridge = b.binary("fridge", DOOR, "kitchen")
+    freezer = b.binary("freezer", DOOR, "kitchen")
+    microwave = b.binary("microwave", APPLIANCE, "kitchen")
+    oven = b.binary("oven", APPLIANCE, "kitchen")
+    stove = b.binary("stove_lid", DOOR, "kitchen")
+    pans = b.binary("pans_cupboard", DOOR, "kitchen")
+    cups = b.binary("cups_cupboard", DOOR, "kitchen")
+    plates = b.binary("plates_cupboard", DOOR, "kitchen")
+    groceries = b.binary("groceries_cupboard", DOOR, "kitchen")
+    cutlery = b.binary("cutlery_drawer", DOOR, "kitchen")
+    dishwasher = b.binary("dishwasher", APPLIANCE, "kitchen")
+    washer = b.binary("washingmachine", APPLIANCE, "bathroom")
+    flush = b.binary("toilet_flush", FLUSH, "toilet")
+    bed_mat = b.binary("pressure_bed", PRESSURE, "bedroom")
+    couch_mat = b.binary("pressure_couch", PRESSURE, "living_room")
+    b.binary("pir_kitchen", MOTION, "kitchen")
+    b.binary("pir_living", MOTION, "living_room")
+    b.binary("pir_bedroom", MOTION, "bedroom")
+    b.binary("pir_bathroom", MOTION, "bathroom")
+    b.binary("pir_hall", MOTION, "hall")
+    wardrobe = b.binary("wardrobe", DOOR, "bedroom")
+    medicine = b.binary("medicine_cabinet", DOOR, "kitchen")
+
+    b.activity(
+        "leave_house", "hall", FILL,
+        triggers=[trig(frontdoor, "start"), trig(frontdoor, "end")],
+        away=True,
+    )
+    b.activity(
+        "use_toilet", "toilet", (3, 6),
+        triggers=[
+            trig(toilet_door, "start"),
+            trig(toilet_door, "end"),
+            trig(flush, "end"),
+        ],
+    )
+    b.activity(
+        "take_shower", "bathroom", (12, 20),
+        triggers=[trig(bath_door, "start"), trig(bath_door, "end")],
+    )
+    b.activity("brush_teeth", "bathroom", (3, 5), triggers=[trig(bath_door, "start")])
+    b.activity(
+        "sleep", "bedroom", FILL,
+        triggers=[
+            trig(bed_door, "start"),
+            trig(bed_mat, "continuous", period=20.0),
+        ],
+        still=True,
+    )
+    b.activity("get_dressed", "bedroom", (5, 9), triggers=[trig(wardrobe, "start")])
+    b.activity(
+        "take_medicine", "kitchen", (1, 3), triggers=[trig(medicine, "start")]
+    )
+    b.activity(
+        "prepare_breakfast", "kitchen", (10, 14),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cups, "continuous", period=20.0),
+            trig(cutlery, "continuous", period=20.0),
+            trig(groceries, "continuous", period=20.0),
+        ],
+    )
+    b.activity("eat_breakfast", "living_room", FILL)
+    b.activity(
+        "prepare_lunch", "kitchen", (10, 15),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(plates, "continuous", period=20.0),
+            trig(cutlery, "continuous", period=20.0),
+        ],
+    )
+    b.activity("eat_lunch", "living_room", FILL)
+    b.activity(
+        "prepare_dinner", "kitchen", (25, 31),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(stove, "continuous", period=20.0),
+            trig(pans, "continuous", period=20.0),
+            trig(freezer, "continuous", period=20.0),
+            trig(plates, "end"),
+        ],
+    )
+    b.activity("eat_dinner", "living_room", FILL)
+    b.activity(
+        "use_oven", "kitchen", (20, 26),
+        triggers=[trig(oven, "continuous", period=20.0)],
+    )
+    b.activity(
+        "get_drink", "kitchen", (2, 4),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cups, "continuous", period=20.0),
+        ],
+    )
+    b.activity("get_snack", "kitchen", (2, 5), triggers=[trig(groceries, "start")])
+    b.activity(
+        "use_microwave", "kitchen", (3, 7),
+        triggers=[trig(microwave, "continuous", period=20.0)],
+    )
+    b.activity(
+        "wash_dishes", "kitchen", (8, 13),
+        triggers=[trig(dishwasher, "continuous", period=20.0)],
+    )
+    b.activity(
+        "unload_dishwasher", "kitchen", (3, 6),
+        triggers=[trig(dishwasher, "start"), trig(plates, "end")],
+    )
+    b.activity(
+        "do_laundry", "bathroom", (5, 9),
+        triggers=[trig(washer, "continuous", period=20.0)],
+    )
+    b.activity(
+        "watch_tv", "living_room", FILL,
+        triggers=[trig(couch_mat, "continuous", period=20.0)],
+    )
+    b.activity(
+        "read_couch", "living_room", FILL,
+        triggers=[trig(couch_mat, "continuous", period=20.0)],
+    )
+    b.activity(
+        "balcony_break", "balcony", (5, 12),
+        triggers=[trig(balcony, "start"), trig(balcony, "end")],
+    )
+    b.activity(
+        "clean_kitchen", "kitchen", (15, 22),
+        triggers=[trig(cutlery, "continuous", period=20.0)],
+    )
+    b.activity("relax_livingroom", "living_room", FILL)
+
+    b.routine(
+        plan_routine(
+            b.catalog,
+            [
+                ("use_toilet", 3 * 60 + 15, 6, 0.45),
+                ("sleep", 3 * 60 + 40, 5),
+                ("use_toilet", 7 * 60 + 5, 3),
+                ("take_shower", 7 * 60 + 25, 3, 0.2),
+                ("get_dressed", 8 * 60, 3),
+                ("prepare_breakfast", 8 * 60 + 20, 3),
+                ("eat_breakfast", 8 * 60 + 45, 3),
+                ("take_medicine", 9 * 60, 3),
+                ("brush_teeth", 9 * 60 + 12, 2),
+                ("leave_house", 9 * 60 + 28, 4),
+                ("prepare_lunch", 12 * 60 + 30, 5, 0.7),
+                ("eat_lunch", 13 * 60, 5, 0.7),
+                ("get_drink", 16 * 60 + 45, 5, 0.3),
+                ("balcony_break", 17 * 60 + 10, 5, 0.45),
+                ("watch_tv", 17 * 60 + 40, 6),
+                ("use_microwave", 18 * 60 + 35, 4, 0.45),
+                ("prepare_dinner", 19 * 60, 4),
+                ("use_oven", 19 * 60 + 40, 4, 0.45),
+                ("eat_dinner", 20 * 60 + 35, 4),
+                ("wash_dishes", 21 * 60 + 5, 4, 0.4),
+                ("unload_dishwasher", 21 * 60 + 30, 3),
+                ("do_laundry", 21 * 60 + 50, 3, 0.45),
+                ("clean_kitchen", 22 * 60 + 10, 3, 0.45),
+                ("relax_livingroom", 22 * 60 + 28, 3),
+                ("read_couch", 22 * 60 + 40, 3, 0.35),
+                ("get_snack", 22 * 60 + 55, 3, 0.4),
+                ("use_toilet", 23 * 60 + 10, 2),
+                ("brush_teeth", 23 * 60 + 22, 2),
+                ("sleep", 23 * 60 + 34, 2),
+            ],
+        )
+    )
+    return b.build()
+
+
+def build_house_c() -> HomeSpec:
+    """houseC: 23 sensors, denser per-room co-firing, 27 activities."""
+    b = HomeBuilder(
+        "houseC", single_floor_apartment(extra_rooms=["toilet", "study"])
+    )
+
+    frontdoor = b.binary("frontdoor", DOOR, "hall")
+    toilet_door = b.binary("toilet_door", DOOR, "toilet")
+    bath_door = b.binary("bathroom_door", DOOR, "bathroom")
+    bed_door = b.binary("bedroom_door", DOOR, "bedroom")
+    study_door = b.binary("study_door", DOOR, "study")
+    fridge = b.binary("fridge", DOOR, "kitchen")
+    freezer = b.binary("freezer", DOOR, "kitchen")
+    microwave = b.binary("microwave", APPLIANCE, "kitchen")
+    stove = b.binary("stove_lid", DOOR, "kitchen")
+    pans = b.binary("pans_cupboard", DOOR, "kitchen")
+    cups = b.binary("cups_cupboard", DOOR, "kitchen")
+    cutlery = b.binary("cutlery_drawer", DOOR, "kitchen")
+    dishwasher = b.binary("dishwasher", APPLIANCE, "kitchen")
+    washer = b.binary("washingmachine", APPLIANCE, "bathroom")
+    flush = b.binary("toilet_flush", FLUSH, "toilet")
+    bed_mat = b.binary("pressure_bed", PRESSURE, "bedroom")
+    desk_mat = b.binary("pressure_desk_chair", PRESSURE, "study")
+    couch_mat = b.binary("pressure_couch", PRESSURE, "living_room")
+    # Two motion sensors per busy room: houseC's sensors co-fire more,
+    # giving it a higher correlation degree than houseA/houseB.
+    b.motion_grid("pir_kitchen", "kitchen", 2)
+    b.motion_grid("pir_living", "living_room", 2)
+    b.binary("pir_bathroom_01", MOTION, "bathroom")
+
+    b.activity(
+        "leave_house", "hall", FILL,
+        triggers=[trig(frontdoor, "start"), trig(frontdoor, "end")],
+        away=True,
+    )
+    b.activity(
+        "use_toilet", "toilet", (3, 6),
+        triggers=[
+            trig(toilet_door, "start"),
+            trig(toilet_door, "end"),
+            trig(flush, "end"),
+        ],
+    )
+    b.activity(
+        "take_shower", "bathroom", (12, 20),
+        triggers=[trig(bath_door, "start"), trig(bath_door, "end")],
+    )
+    b.activity("brush_teeth", "bathroom", (3, 5), triggers=[trig(bath_door, "start")])
+    b.activity("shave", "bathroom", (4, 8))
+    b.activity(
+        "sleep", "bedroom", FILL,
+        triggers=[
+            trig(bed_door, "start"),
+            trig(bed_mat, "continuous", period=20.0),
+        ],
+        still=True,
+    )
+    b.activity(
+        "nap", "bedroom", (30, 50),
+        triggers=[trig(bed_mat, "continuous", period=20.0)],
+        still=True,
+    )
+    b.activity(
+        "prepare_breakfast", "kitchen", (10, 14),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cups, "continuous", period=20.0),
+            trig(cutlery, "continuous", period=20.0),
+        ],
+    )
+    b.activity("eat_breakfast", "kitchen", (10, 15))
+    b.activity(
+        "prepare_lunch", "kitchen", (10, 15),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cutlery, "continuous", period=20.0),
+        ],
+    )
+    b.activity("eat_lunch", "kitchen", (12, 18))
+    b.activity(
+        "prepare_dinner", "kitchen", (25, 31),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(stove, "continuous", period=20.0),
+            trig(pans, "continuous", period=20.0),
+            trig(freezer, "continuous", period=20.0),
+        ],
+    )
+    b.activity("eat_dinner", "living_room", FILL)
+    b.activity(
+        "get_drink", "kitchen", (2, 4),
+        triggers=[
+            trig(fridge, "continuous", period=20.0),
+            trig(cups, "continuous", period=20.0),
+        ],
+    )
+    b.activity(
+        "use_microwave", "kitchen", (3, 7),
+        triggers=[trig(microwave, "continuous", period=20.0)],
+    )
+    b.activity(
+        "wash_dishes", "kitchen", (8, 13),
+        triggers=[trig(dishwasher, "continuous", period=20.0)],
+    )
+    b.activity(
+        "unload_dishwasher", "kitchen", (3, 6),
+        triggers=[trig(dishwasher, "start")],
+    )
+    b.activity(
+        "do_laundry", "bathroom", (5, 9),
+        triggers=[trig(washer, "continuous", period=20.0)],
+    )
+    b.activity(
+        "work_study", "study", FILL,
+        triggers=[
+            trig(study_door, "start"),
+            trig(desk_mat, "continuous", period=20.0),
+        ],
+    )
+    b.activity("study_break", "study", (5, 9), triggers=[trig(study_door, "end")])
+    b.activity(
+        "watch_tv", "living_room", FILL,
+        triggers=[trig(couch_mat, "continuous", period=20.0)],
+    )
+    b.activity(
+        "read_couch", "living_room", FILL,
+        triggers=[trig(couch_mat, "continuous", period=20.0)],
+    )
+    b.activity("listen_radio", "living_room", FILL)
+    b.activity(
+        "clean_kitchen", "kitchen", (15, 22),
+        triggers=[trig(cutlery, "continuous", period=20.0)],
+    )
+    b.activity("exercise", "living_room", (20, 28))
+    b.activity("phone_call", "living_room", (5, 12))
+    b.activity("water_plants", "living_room", (4, 8))
+
+    b.routine(
+        plan_routine(
+            b.catalog,
+            [
+                ("use_toilet", 3 * 60 + 20, 6, 0.45),
+                ("sleep", 3 * 60 + 45, 5),
+                ("use_toilet", 7 * 60 + 30, 3),
+                ("take_shower", 7 * 60 + 50, 3, 0.2),
+                ("shave", 8 * 60 + 25, 3, 0.45),
+                ("prepare_breakfast", 8 * 60 + 45, 3),
+                ("eat_breakfast", 9 * 60 + 5, 3),
+                ("brush_teeth", 9 * 60 + 30, 2),
+                ("work_study", 9 * 60 + 45, 4),
+                ("study_break", 10 * 60 + 45, 4, 0.4),
+                ("exercise", 11 * 60 + 10, 4, 0.45),
+                ("prepare_lunch", 12 * 60 + 20, 4),
+                ("eat_lunch", 12 * 60 + 45, 4),
+                ("leave_house", 13 * 60 + 30, 5, 0.3),
+                ("nap", 15 * 60, 5, 0.45),
+                ("work_study", 16 * 60 + 10, 5),
+                ("phone_call", 17 * 60 + 15, 4, 0.45),
+                ("get_drink", 17 * 60 + 40, 3, 0.3),
+                ("water_plants", 18 * 60 + 5, 3),
+                ("use_microwave", 18 * 60 + 22, 3, 0.45),
+                ("prepare_dinner", 18 * 60 + 45, 3),
+                ("eat_dinner", 19 * 60 + 30, 3),
+                ("wash_dishes", 20 * 60 + 5, 3, 0.4),
+                ("unload_dishwasher", 20 * 60 + 30, 3),
+                ("do_laundry", 20 * 60 + 50, 3, 0.45),
+                ("clean_kitchen", 21 * 60 + 10, 3, 0.45),
+                ("watch_tv", 21 * 60 + 45, 4),
+                ("listen_radio", 22 * 60 + 30, 4, 0.45),
+                ("read_couch", 22 * 60 + 50, 4, 0.45),
+                ("use_toilet", 23 * 60 + 10, 3),
+                ("brush_teeth", 23 * 60 + 28, 2),
+                ("sleep", 23 * 60 + 42, 3),
+            ],
+        )
+    )
+    return b.build()

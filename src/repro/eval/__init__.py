@@ -1,0 +1,16 @@
+"""Evaluation harness: metrics, the Ch. V protocol runner, experiments E1-E12."""
+
+from . import experiments, report
+from .metrics import DetectionCounts, IdentificationCounts, TimingStats
+from .runner import DatasetResult, EvaluationRunner, SegmentOutcome
+
+__all__ = [
+    "experiments",
+    "report",
+    "DetectionCounts",
+    "IdentificationCounts",
+    "TimingStats",
+    "DatasetResult",
+    "EvaluationRunner",
+    "SegmentOutcome",
+]

@@ -1,0 +1,41 @@
+"""The experiment behind every table and figure (see DESIGN.md, E1-E12)."""
+
+from . import (
+    ablations,
+    accuracy,
+    actuator_faults,
+    baselines_compare,
+    computation,
+    correlation_degree,
+    detection_ratio,
+    multi_fault,
+    security,
+    timing,
+)
+from .common import (
+    PAIRS,
+    PRECOMPUTE_HOURS,
+    SEGMENT_HOURS,
+    ProtocolSettings,
+    clear_cache,
+    run_protocol,
+)
+
+__all__ = [
+    "ablations",
+    "accuracy",
+    "actuator_faults",
+    "baselines_compare",
+    "computation",
+    "correlation_degree",
+    "detection_ratio",
+    "multi_fault",
+    "security",
+    "timing",
+    "PAIRS",
+    "PRECOMPUTE_HOURS",
+    "SEGMENT_HOURS",
+    "ProtocolSettings",
+    "clear_cache",
+    "run_protocol",
+]

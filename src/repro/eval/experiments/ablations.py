@@ -1,0 +1,112 @@
+"""E10 — Ch. VI "Impact of different parameters" ablations.
+
+Three effects the thesis reports qualitatively:
+
+* halving the precomputation period (300 h → 150 h) costs identification
+  *precision* (the context model has holes, so normal behaviour reads as
+  violations — ~10 % in the thesis);
+* halving the segment length (6 h → 3 h) costs identification *recall*
+  (correlation-preserving faults may not hit an illegal transition within
+  the shorter observation — ~6 % in the thesis);
+* the one-minute window duration is a sweet spot: shorter windows split
+  genuinely correlated sensors, longer ones merge uncorrelated ones.
+
+Plus one ablation of our own design choices: the two-step G2G closure
+(DESIGN.md) on versus off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ...core import DiceConfig
+from .common import ProtocolSettings, run_protocol
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One protocol variant's headline numbers."""
+
+    label: str
+    detection_precision: float
+    detection_recall: float
+    identification_precision: float
+    identification_recall: float
+    false_positive_rate: float = 0.0
+
+
+def _point(label: str, name: str, settings: ProtocolSettings) -> AblationPoint:
+    _, result = run_protocol(name, settings)
+    detection = result.detection_counts()
+    identification = result.identification_counts()
+    return AblationPoint(
+        label,
+        detection.precision,
+        detection.recall,
+        identification.precision,
+        identification.recall,
+        detection.false_positive_rate,
+    )
+
+
+def precompute_period(
+    dataset: str = "houseB",
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[AblationPoint]:
+    """300 h vs 150 h of precomputation (scaled by ``hours_scale``)."""
+    full = _point(f"precompute={settings.precompute_hours:.0f}h", dataset, settings)
+    half = _point(
+        f"precompute={settings.precompute_hours / 2:.0f}h",
+        dataset,
+        replace(settings, precompute_hours=settings.precompute_hours / 2),
+    )
+    return [full, half]
+
+
+def segment_length(
+    dataset: str = "houseB",
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[AblationPoint]:
+    """6 h vs 3 h segments."""
+    return [
+        _point(f"segment={settings.segment_hours:.0f}h", dataset, settings),
+        _point(
+            f"segment={settings.segment_hours / 2:.0f}h",
+            dataset,
+            replace(settings, segment_hours=settings.segment_hours / 2),
+        ),
+    ]
+
+
+def window_duration(
+    dataset: str = "houseB",
+    durations_seconds: Sequence[float] = (30.0, 60.0, 120.0),
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[AblationPoint]:
+    """Sweep the sensor-state-set duration around the 1-minute optimum."""
+    points = []
+    for duration in durations_seconds:
+        config = settings.config.with_(window_seconds=duration)
+        points.append(
+            _point(
+                f"window={duration:.0f}s",
+                dataset,
+                replace(settings, config=config),
+            )
+        )
+    return points
+
+
+def two_step_closure(
+    dataset: str = "houseC",
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[AblationPoint]:
+    """Our boundary-aliasing closure on vs off (DESIGN.md design choice)."""
+    on = _point("closure=on", dataset, settings)
+    off = _point(
+        "closure=off",
+        dataset,
+        replace(settings, config=settings.config.with_(g2g_two_step_closure=False)),
+    )
+    return [on, off]

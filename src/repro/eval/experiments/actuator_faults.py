@@ -1,0 +1,53 @@
+"""E3 — §5.1.3: actuator-fault accuracy on the testbed datasets.
+
+Only the D_* datasets carry actuator data, so — exactly as in the thesis —
+the experiment injects faults into actuators there and measures how well
+the G2A/A2G machinery identifies them (the paper reports 92.5 % precision
+and 94.9 % recall on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...datasets import TESTBED_NAMES
+from .common import ProtocolSettings, run_protocol
+
+
+@dataclass(frozen=True)
+class ActuatorRow:
+    dataset: str
+    detection_precision: float
+    detection_recall: float
+    identification_precision: float
+    identification_recall: float
+
+
+def run(
+    datasets: Optional[Sequence[str]] = None,
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[ActuatorRow]:
+    rows: List[ActuatorRow] = []
+    for name in datasets or TESTBED_NAMES:
+        _, result = run_protocol(name, settings, actuators_only=True)
+        detection = result.detection_counts()
+        identification = result.identification_counts()
+        rows.append(
+            ActuatorRow(
+                dataset=name,
+                detection_precision=detection.precision,
+                detection_recall=detection.recall,
+                identification_precision=identification.precision,
+                identification_recall=identification.recall,
+            )
+        )
+    return rows
+
+
+def averages(rows: Sequence[ActuatorRow]) -> Dict[str, float]:
+    n = max(1, len(rows))
+    return {
+        "identification_precision": sum(r.identification_precision for r in rows) / n,
+        "identification_recall": sum(r.identification_recall for r in rows) / n,
+    }

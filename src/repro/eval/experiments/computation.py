@@ -1,0 +1,59 @@
+"""E6 — Fig. 5.3: per-window computation time per real-time stage.
+
+Shape to reproduce: the correlation check dominates (the probable-group
+scan is linear in groups × bits, so datasets with many sensors — hh102 and
+the numeric-heavy testbed — pay more), the transition check and
+identification are near-free, and the total stays well under the paper's
+50 ms-per-window real-time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .common import ProtocolSettings, default_datasets, run_protocol
+
+
+@dataclass(frozen=True)
+class ComputationRow:
+    """One dataset's Fig. 5.3 stack (milliseconds per window)."""
+
+    dataset: str
+    num_sensors: int
+    num_groups: int
+    encoding_ms: float
+    correlation_check_ms: float
+    transition_check_ms: float
+    identification_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.encoding_ms
+            + self.correlation_check_ms
+            + self.transition_check_ms
+            + self.identification_ms
+        )
+
+
+def run(
+    datasets: Optional[Sequence[str]] = None,
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[ComputationRow]:
+    rows: List[ComputationRow] = []
+    for name in default_datasets(datasets):
+        _, result = run_protocol(name, settings)
+        ms = result.computation_ms_per_window()
+        rows.append(
+            ComputationRow(
+                dataset=name,
+                num_sensors=result.num_sensors,
+                num_groups=result.num_groups,
+                encoding_ms=ms["encoding"],
+                correlation_check_ms=ms["correlation_check"],
+                transition_check_ms=ms["transition_check"],
+                identification_ms=ms["identification"],
+            )
+        )
+    return rows

@@ -1,0 +1,57 @@
+"""E8 — Fig. 5.4: which check catches which fault class.
+
+Shape to reproduce: fail-stop faults are (nearly) all caught by the
+correlation check — a dead sensor tears a hole in the learned groups —
+while stuck-at faults, which keep reporting a perfectly plausible value,
+mostly slip past correlation and are caught by the transition check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...core import CORRELATION_CHECK, TRANSITION_CHECK
+from ...faults import ALL_FAULT_TYPES, FaultType
+from .common import ProtocolSettings, default_datasets, run_protocol
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    """Fig. 5.4, one bar: per fault type, the share per detecting check."""
+
+    fault_type: FaultType
+    correlation_share: float
+    transition_share: float
+    detections: int
+
+
+def run(
+    datasets: Optional[Sequence[str]] = None,
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[RatioRow]:
+    """Aggregate the check attribution over the given datasets."""
+    tally: Dict[FaultType, Dict[str, int]] = {
+        ft: {CORRELATION_CHECK: 0, TRANSITION_CHECK: 0} for ft in ALL_FAULT_TYPES
+    }
+    for name in default_datasets(datasets):
+        _, result = run_protocol(name, settings)
+        for outcome in result.outcomes:
+            if outcome.detected and outcome.detecting_check in (
+                CORRELATION_CHECK,
+                TRANSITION_CHECK,
+            ):
+                tally[outcome.fault.fault_type][outcome.detecting_check] += 1
+    rows: List[RatioRow] = []
+    for fault_type in ALL_FAULT_TYPES:
+        checks = tally[fault_type]
+        total = sum(checks.values())
+        rows.append(
+            RatioRow(
+                fault_type=fault_type,
+                correlation_share=checks[CORRELATION_CHECK] / total if total else 0.0,
+                transition_share=checks[TRANSITION_CHECK] / total if total else 0.0,
+                detections=total,
+            )
+        )
+    return rows

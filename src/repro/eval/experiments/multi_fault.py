@@ -1,0 +1,82 @@
+"""E9 — Ch. VI multi-fault experiment.
+
+One to three sensors fault simultaneously within a segment and ``numThre``
+is raised to 3.  The thesis reports identification precision/recall of
+79.5 % / 63.3 % — markedly below the single-fault numbers, which is the
+shape to reproduce: simultaneous faults confuse the differing-bit analysis
+because the probable groups are compared against a state set with several
+holes at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...core import DiceConfig, DiceDetector
+from ...datasets import load_dataset
+from ...faults import FaultInjector, split_precompute
+from ..metrics import IdentificationCounts
+from .common import ProtocolSettings
+
+
+@dataclass(frozen=True)
+class MultiFaultResult:
+    dataset: str
+    segments: int
+    detection_recall: float
+    identification_precision: float
+    identification_recall: float
+
+
+def run(
+    dataset: str = "D_houseA",
+    max_faults: int = 3,
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> MultiFaultResult:
+    config = settings.config.with_(num_faults=max_faults)
+    data = load_dataset(
+        dataset, seed=settings.seed, hours=settings.scaled_hours(dataset)
+    )
+    training, evaluation = split_precompute(
+        data.trace, settings.scaled_precompute()
+    )
+    detector = DiceDetector(data.trace.registry, config).fit(training)
+    rng = np.random.default_rng(settings.seed)
+    injector = FaultInjector(rng)
+    seg_len = settings.segment_hours * 3600.0
+    span = evaluation.end - evaluation.start
+
+    detected = 0
+    segments = 0
+    counts = IdentificationCounts()
+    attempts = 0
+    while segments < settings.pairs and attempts < 20 * settings.pairs:
+        attempts += 1
+        start = float(evaluation.start + rng.uniform(0.0, span - seg_len))
+        segment = data.trace.slice(start, start + seg_len)
+        n_faults = int(rng.integers(1, max_faults + 1))
+        try:
+            faulty, faults = injector.inject_many(segment, n_faults)
+        except ValueError:
+            continue
+        if not faults:
+            continue
+        segments += 1
+        report = detector.process(faulty)
+        if report.detected:
+            detected += 1
+        identified = report.identified_devices()
+        truth = {fault.device_id for fault in faults}
+        counts.actual += len(truth)
+        counts.named += len(identified)
+        counts.correct += len(identified & truth)
+    return MultiFaultResult(
+        dataset=dataset,
+        segments=segments,
+        detection_recall=detected / segments if segments else 0.0,
+        identification_precision=counts.precision,
+        identification_recall=counts.recall,
+    )

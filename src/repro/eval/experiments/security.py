@@ -1,0 +1,78 @@
+"""E11 — Ch. VI security attacks.
+
+The thesis spoofs (1) a kitchen temperature sensor high, turning the fan
+automation on ("economic damage"), and (2) a light sensor bright while the
+user sleeps, driving the blinds at night ("privacy damage"), and reports
+DICE detected both.  This experiment replays those attacks on the
+D_houseA testbed recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...core import DiceDetector
+from ...datasets import load_dataset
+from ...faults import light_attack, split_precompute, temperature_attack
+from .common import ProtocolSettings
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    kind: str
+    victim: str
+    detected: bool
+    detection_minutes: Optional[float]
+    identified: bool
+
+
+def run(
+    dataset: str = "D_houseA",
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[AttackOutcome]:
+    data = load_dataset(
+        dataset, seed=settings.seed, hours=settings.scaled_hours(dataset)
+    )
+    training, evaluation = split_precompute(data.trace, settings.scaled_precompute())
+    detector = DiceDetector(data.trace.registry, settings.config).fit(training)
+
+    outcomes: List[AttackOutcome] = []
+    seg_len = settings.segment_hours * 3600.0
+    # Anchor the scenarios to wall-clock time (the evaluation span starts at
+    # an arbitrary hour depending on the precomputation length).
+    day = 24 * 3600.0
+    midnight = float(int(evaluation.start // day + 1) * day)
+
+    # Attack 1: evening temperature spoof — the kitchen is in use, the
+    # spoof forces the fan automation on (economic damage).
+    segment = data.trace.slice(midnight + 17 * 3600.0, midnight + 17 * 3600.0 + seg_len)
+    onset = segment.start + 1.5 * 3600.0
+    attacked, attack = temperature_attack(segment, "t_kitchen", onset)
+    outcomes.append(_judge(detector, attacked, attack))
+
+    # Attack 2: light spoof while the user sleeps — the blind automation
+    # reacts at night (privacy damage).
+    segment = data.trace.slice(midnight + 23 * 3600.0, midnight + 23 * 3600.0 + seg_len)
+    onset = segment.start + 2 * 3600.0
+    attacked, attack = light_attack(segment, "l_bedroom", onset)
+    outcomes.append(_judge(detector, attacked, attack))
+    return outcomes
+
+
+def _judge(detector: DiceDetector, attacked, attack) -> AttackOutcome:
+    report = detector.process(attacked)
+    detection = None
+    for record in report.detections:
+        if record.time >= attack.onset:
+            detection = record
+            break
+    return AttackOutcome(
+        kind=attack.kind,
+        victim=attack.victim_device_id,
+        detected=detection is not None,
+        detection_minutes=(
+            (detection.time - attack.onset) / 60.0 if detection else None
+        ),
+        identified=attack.victim_device_id in report.identified_devices(),
+    )

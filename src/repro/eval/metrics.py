@@ -1,0 +1,114 @@
+"""Evaluation metrics (Ch. V).
+
+Detection metrics are segment-level, exactly as the thesis protocol
+defines them: each faultless segment may produce a false positive, each
+faulty segment a true positive or false negative.
+
+Identification metrics follow §5.1.2: *precision* is the share of actual
+faulty devices among everything the system named; *recall* is the share of
+actual faulty devices the system managed to name.  Both are
+micro-aggregated over segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class DetectionCounts:
+    """Segment-level confusion counts."""
+
+    true_positives: int = 0
+    false_negatives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.false_positives + self.true_negatives
+        return self.false_positives / denom if denom else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.false_negatives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def merge(self, other: "DetectionCounts") -> None:
+        self.true_positives += other.true_positives
+        self.false_negatives += other.false_negatives
+        self.false_positives += other.false_positives
+        self.true_negatives += other.true_negatives
+
+
+@dataclass
+class IdentificationCounts:
+    """Micro-aggregated identification tallies."""
+
+    correct: int = 0  # actual faulty devices that were named
+    named: int = 0  # devices named in total (faulty and faultless segments)
+    actual: int = 0  # actual faulty devices in total
+
+    @property
+    def precision(self) -> float:
+        return self.correct / self.named if self.named else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.correct / self.actual if self.actual else 0.0
+
+    def merge(self, other: "IdentificationCounts") -> None:
+        self.correct += other.correct
+        self.named += other.named
+        self.actual += other.actual
+
+
+@dataclass
+class TimingStats:
+    """Aggregate of per-fault delays (minutes)."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, minutes: float) -> None:
+        self.samples.append(float(minutes))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.samples)) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return float(np.max(self.samples)) if self.samples else 0.0
+
+    def merge(self, other: "TimingStats") -> None:
+        self.samples.extend(other.samples)
+
+
+def mean_or_none(values: Iterable[float]) -> Optional[float]:
+    values = list(values)
+    return float(np.mean(values)) if values else None

@@ -1,0 +1,134 @@
+"""Plain-text rendering of experiment results.
+
+Each formatter prints the same rows/series the paper's corresponding
+artifact reports, so a benchmark run reads side-by-side with the thesis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A minimal fixed-width table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def format_accuracy(rows) -> str:
+    """Fig. 5.1 as a table."""
+    return format_table(
+        ["dataset", "det. precision", "det. recall", "id. precision", "id. recall"],
+        [
+            [
+                r.dataset,
+                pct(r.detection_precision),
+                pct(r.detection_recall),
+                pct(r.identification_precision),
+                pct(r.identification_recall),
+            ]
+            for r in rows
+        ],
+    )
+
+
+def format_timing(rows) -> str:
+    """Fig. 5.2 as a table (minutes)."""
+    return format_table(
+        ["dataset", "detection (min)", "identification (min)", "corr. degree"],
+        [
+            [r.dataset, r.detection_minutes, r.identification_minutes, r.correlation_degree]
+            for r in rows
+        ],
+    )
+
+
+def format_check_timing(rows) -> str:
+    """Table 5.1."""
+    return format_table(
+        ["dataset", "correlation check (min)", "transition check (min)"],
+        [
+            [r.dataset, r.correlation_check_minutes, r.transition_check_minutes]
+            for r in rows
+        ],
+    )
+
+
+def format_computation(rows) -> str:
+    """Fig. 5.3 (ms per window)."""
+    return format_table(
+        [
+            "dataset",
+            "sensors",
+            "groups",
+            "encode",
+            "corr check",
+            "trans check",
+            "identify",
+            "total (ms)",
+        ],
+        [
+            [
+                r.dataset,
+                r.num_sensors,
+                r.num_groups,
+                r.encoding_ms,
+                r.correlation_check_ms,
+                r.transition_check_ms,
+                r.identification_ms,
+                r.total_ms,
+            ]
+            for r in rows
+        ],
+    )
+
+
+def format_degree(rows) -> str:
+    """Table 5.2."""
+    return format_table(
+        ["dataset", "correlation degree", "sensors", "groups"],
+        [
+            [r.dataset, r.correlation_degree, r.num_sensors, r.num_groups]
+            for r in rows
+        ],
+    )
+
+
+def format_detection_ratio(rows) -> str:
+    """Fig. 5.4."""
+    return format_table(
+        ["fault type", "by correlation", "by transition", "detections"],
+        [
+            [
+                r.fault_type.value,
+                pct(r.correlation_share),
+                pct(r.transition_share),
+                r.detections,
+            ]
+            for r in rows
+        ],
+    )

@@ -1,0 +1,40 @@
+"""Fault injection (Ch. IV.2) and security attacks (Ch. VI)."""
+
+from .attacks import Attack, light_attack, spoof_sensor_high, temperature_attack
+from .injector import FaultInjector, InjectionPolicy
+from .models import (
+    ALL_FAULT_TYPES,
+    NON_FAIL_STOP_TYPES,
+    FaultType,
+    InjectedFault,
+    apply_fault,
+    inject_fail_stop,
+    inject_high_noise,
+    inject_outlier,
+    inject_spike,
+    inject_stuck_at,
+)
+from .segments import SegmentPair, make_segment_pairs, segment_starts, split_precompute
+
+__all__ = [
+    "Attack",
+    "light_attack",
+    "spoof_sensor_high",
+    "temperature_attack",
+    "FaultInjector",
+    "InjectionPolicy",
+    "ALL_FAULT_TYPES",
+    "NON_FAIL_STOP_TYPES",
+    "FaultType",
+    "InjectedFault",
+    "apply_fault",
+    "inject_fail_stop",
+    "inject_high_noise",
+    "inject_outlier",
+    "inject_spike",
+    "inject_stuck_at",
+    "SegmentPair",
+    "make_segment_pairs",
+    "segment_starts",
+    "split_precompute",
+]

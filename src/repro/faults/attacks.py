@@ -1,0 +1,81 @@
+"""Security attacks (Ch. VI, "Expand to security").
+
+The thesis demonstrates DICE against two sensor-spoofing attacks on the
+testbed:
+
+* **temperature attack** — the kitchen temperature sensor is spoofed high
+  so the automation turns the fan on permanently (economic damage);
+* **light attack** — a (bedroom/living-room) light sensor is spoofed high
+  while the user sleeps, so the smart blind pulls down/up at night
+  (privacy damage).
+
+Both are rendered as value-injection on the victim sensor: spoofed
+readings at a steady reporting cadence, starting at the attack onset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..model import Trace
+from .models import InjectedFault, FaultType, _add_events, _scale_of
+
+
+@dataclass(frozen=True)
+class Attack:
+    """Ground truth for one sensor-spoofing attack."""
+
+    victim_device_id: str
+    onset: float
+    spoof_value: float
+    kind: str  # "temperature" or "light"
+
+    def as_fault(self) -> InjectedFault:
+        """Attacks look like stuck-at-a-wrong-value faults to a detector."""
+        return InjectedFault(self.victim_device_id, FaultType.STUCK_AT, self.onset)
+
+
+def spoof_sensor_high(
+    trace: Trace,
+    device_id: str,
+    onset: float,
+    spoof_value: Optional[float] = None,
+    report_period: float = 30.0,
+    kind: str = "generic",
+) -> "tuple[Trace, Attack]":
+    """Inject steady spoofed readings well above the sensor's normal range."""
+    if device_id not in trace.registry:
+        raise KeyError(f"unknown device {device_id!r}")
+    if not trace.start <= onset < trace.end:
+        raise ValueError("attack onset must fall inside the trace interval")
+    if spoof_value is None:
+        scale = _scale_of(trace, device_id)
+        spoof_value = scale.high + 1.5 * scale.span
+    times = np.arange(onset, trace.end, report_period)
+    attacked = _add_events(
+        trace, device_id, times, np.full(len(times), spoof_value)
+    )
+    return attacked, Attack(device_id, onset, float(spoof_value), kind)
+
+
+def temperature_attack(
+    trace: Trace, device_id: str, onset: float, degrees: float = 15.0
+) -> "tuple[Trace, Attack]":
+    """Spoof a temperature sensor *degrees* above its observed maximum,
+    driving the connected fan automation on."""
+    scale = _scale_of(trace, device_id)
+    return spoof_sensor_high(
+        trace, device_id, onset, spoof_value=scale.high + degrees, kind="temperature"
+    )
+
+
+def light_attack(
+    trace: Trace, device_id: str, onset: float, lux: float = 400.0
+) -> "tuple[Trace, Attack]":
+    """Spoof a light sensor bright at night, driving the blind automation."""
+    return spoof_sensor_high(
+        trace, device_id, onset, spoof_value=lux, kind="light"
+    )

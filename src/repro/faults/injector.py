@@ -1,0 +1,136 @@
+"""Fault selection and injection into evaluation segments.
+
+The thesis chose "the sensor type, fault type, and the insertion time ...
+randomly".  One refinement keeps the choice meaningful: the target device
+must actually carry data in the segment after the onset, otherwise the
+fault (most obviously a fail-stop of a cupboard switch in a segment where
+the cupboard is never opened) has no observable footprint at all and no
+detector — including an oracle — could see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..model import Device, Trace
+from .models import ALL_FAULT_TYPES, FaultType, InjectedFault, apply_fault
+
+
+@dataclass(frozen=True)
+class InjectionPolicy:
+    """Knobs for random fault placement."""
+
+    #: Fault onset is drawn uniformly from this fraction range of the segment.
+    onset_fraction: Tuple[float, float] = (0.15, 0.6)
+    #: The device must have at least this many events after the onset
+    #: (before injection) for the fault to be observable.
+    min_events_after_onset: int = 1
+    #: How many (device, onset) draws to attempt before giving up.
+    max_attempts: int = 200
+
+    def __post_init__(self) -> None:
+        lo, hi = self.onset_fraction
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError("onset_fraction must satisfy 0 <= lo < hi <= 1")
+        if self.min_events_after_onset < 0:
+            raise ValueError("min_events_after_onset must be non-negative")
+
+
+class FaultInjector:
+    """Randomised fault placement over one device pool."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        fault_types: Sequence[FaultType] = ALL_FAULT_TYPES,
+        policy: InjectionPolicy = InjectionPolicy(),
+    ) -> None:
+        if not fault_types:
+            raise ValueError("need at least one fault type")
+        self.rng = rng
+        self.fault_types = tuple(fault_types)
+        self.policy = policy
+
+    # ------------------------------------------------------------------ #
+
+    def _candidate_devices(
+        self, segment: Trace, devices: Optional[Sequence[Device]]
+    ) -> List[Device]:
+        pool = list(devices) if devices is not None else segment.registry.sensors()
+        counts = segment.event_counts()
+        return [
+            d
+            for d in pool
+            if counts[segment.registry.index_of(d.device_id)]
+            >= max(1, self.policy.min_events_after_onset)
+        ]
+
+    def choose(
+        self,
+        segment: Trace,
+        devices: Optional[Sequence[Device]] = None,
+        fault_type: Optional[FaultType] = None,
+    ) -> InjectedFault:
+        """Draw a (device, fault type, onset) triple for *segment*."""
+        candidates = self._candidate_devices(segment, devices)
+        if not candidates:
+            raise ValueError("no device has events in this segment")
+        chosen_type = fault_type or self.fault_types[
+            int(self.rng.integers(len(self.fault_types)))
+        ]
+        lo, hi = self.policy.onset_fraction
+        span = segment.end - segment.start
+        for _ in range(self.policy.max_attempts):
+            device = candidates[int(self.rng.integers(len(candidates)))]
+            onset = segment.start + span * self.rng.uniform(lo, hi)
+            times, _ = segment.events_for(device.device_id)
+            after = int((times >= onset).sum())
+            if after >= self.policy.min_events_after_onset:
+                return InjectedFault(device.device_id, chosen_type, onset)
+        # Fall back to the device's first event time as the onset anchor.
+        device = candidates[int(self.rng.integers(len(candidates)))]
+        times, _ = segment.events_for(device.device_id)
+        onset = max(segment.start, float(times[0]) - 1.0)
+        return InjectedFault(device.device_id, chosen_type, onset)
+
+    def inject(
+        self,
+        segment: Trace,
+        fault: Optional[InjectedFault] = None,
+        devices: Optional[Sequence[Device]] = None,
+        fault_type: Optional[FaultType] = None,
+    ) -> Tuple[Trace, InjectedFault]:
+        """Inject a (chosen or given) fault; returns the faulty trace."""
+        if fault is None:
+            fault = self.choose(segment, devices, fault_type)
+        return apply_fault(segment, fault, self.rng), fault
+
+    def inject_many(
+        self,
+        segment: Trace,
+        count: int,
+        devices: Optional[Sequence[Device]] = None,
+    ) -> Tuple[Trace, List[InjectedFault]]:
+        """Simultaneous multi-fault injection (Ch. VI): *count* distinct
+        devices fault at independent onsets within one segment."""
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        faults: List[InjectedFault] = []
+        faulty = segment
+        used: set = set()
+        for _ in range(count):
+            pool = [
+                d
+                for d in self._candidate_devices(segment, devices)
+                if d.device_id not in used
+            ]
+            if not pool:
+                break
+            fault = self.choose(segment, pool)
+            used.add(fault.device_id)
+            faulty = apply_fault(faulty, fault, self.rng)
+            faults.append(fault)
+        return faulty, faults

@@ -1,0 +1,35 @@
+"""Shared data model: devices, events, and array-backed traces."""
+
+from .devices import (
+    ACTUATOR_TYPES,
+    BINARY_TYPES,
+    NUMERIC_TYPES,
+    Device,
+    DeviceKind,
+    DeviceRegistry,
+    SensorType,
+    actuator,
+    binary_sensor,
+    numeric_sensor,
+)
+from .events import OFF, ON, Event, hours, seconds
+from .trace import Trace
+
+__all__ = [
+    "ACTUATOR_TYPES",
+    "BINARY_TYPES",
+    "NUMERIC_TYPES",
+    "Device",
+    "DeviceKind",
+    "DeviceRegistry",
+    "SensorType",
+    "actuator",
+    "binary_sensor",
+    "numeric_sensor",
+    "OFF",
+    "ON",
+    "Event",
+    "hours",
+    "seconds",
+    "Trace",
+]

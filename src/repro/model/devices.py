@@ -1,0 +1,254 @@
+"""Device taxonomy for the smart-home model.
+
+The paper (Ch. III) distinguishes two sensor classes — *binary* sensors,
+which contribute a single activation bit per window, and *numeric* sensors,
+which contribute three derived bits — plus *actuators*, whose on/off
+activations feed the G2A/A2G transition matrices.  Everything downstream
+(state-set encoding, fault injection, the simulator) shares this taxonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class DeviceKind(enum.Enum):
+    """Top-level device class used by the DICE encoder."""
+
+    BINARY_SENSOR = "binary_sensor"
+    NUMERIC_SENSOR = "numeric_sensor"
+    ACTUATOR = "actuator"
+
+    @property
+    def is_sensor(self) -> bool:
+        return self is not DeviceKind.ACTUATOR
+
+
+class SensorType(enum.Enum):
+    """Physical sensor/actuator modality.
+
+    Covers the nine sensor types of the POSTECH testbed (Fig. 4.1) plus the
+    modalities present in the ISLA/WSU datasets (reed switches, pressure
+    mats, item sensors, battery gauges) and the actuator families of the
+    testbed (bulbs, switches, blinds, speaker).
+    """
+
+    # Testbed sensor modalities (Fig. 4.1).
+    LIGHT = "light"
+    TEMPERATURE = "temperature"
+    HUMIDITY = "humidity"
+    SOUND = "sound"
+    MOTION = "motion"
+    ULTRASONIC = "ultrasonic"
+    FLAME = "flame"
+    GAS = "gas"
+    WEIGHT = "weight"
+    LOCATION = "location"  # beacon RSSI observed by the resident's phone
+
+    # Third-party dataset modalities.
+    DOOR = "door"  # reed switch on doors/cupboards/appliances
+    PRESSURE = "pressure"  # pressure mat (bed / couch)
+    ITEM = "item"  # item-presence sensor
+    FLUSH = "flush"  # toilet flush sensor
+    APPLIANCE = "appliance"  # appliance-usage contact sensor
+    BATTERY = "battery"  # battery-level gauge (hh102)
+
+    # Actuator families.
+    BULB = "bulb"
+    SWITCH = "switch"
+    BLIND = "blind"
+    SPEAKER = "speaker"
+
+
+#: Sensor modalities that report continuous values by default.
+NUMERIC_TYPES = frozenset(
+    {
+        SensorType.LIGHT,
+        SensorType.TEMPERATURE,
+        SensorType.HUMIDITY,
+        SensorType.SOUND,
+        SensorType.ULTRASONIC,
+        SensorType.WEIGHT,
+        SensorType.LOCATION,
+        SensorType.BATTERY,
+    }
+)
+
+#: Sensor modalities that report on/off activations by default.
+BINARY_TYPES = frozenset(
+    {
+        SensorType.MOTION,
+        SensorType.FLAME,
+        SensorType.GAS,
+        SensorType.DOOR,
+        SensorType.PRESSURE,
+        SensorType.ITEM,
+        SensorType.FLUSH,
+        SensorType.APPLIANCE,
+    }
+)
+
+#: Actuator modalities.
+ACTUATOR_TYPES = frozenset(
+    {SensorType.BULB, SensorType.SWITCH, SensorType.BLIND, SensorType.SPEAKER}
+)
+
+
+@dataclass(frozen=True)
+class Device:
+    """A single IoT device.
+
+    Parameters
+    ----------
+    device_id:
+        Unique identifier, e.g. ``"kitchen_temp_1"``.
+    kind:
+        Binary sensor, numeric sensor, or actuator.
+    sensor_type:
+        Physical modality (temperature, motion, bulb, ...).
+    room:
+        Room the device is placed in (``""`` for mobile devices such as the
+        resident's phone reporting beacon RSSI).
+    """
+
+    device_id: str
+    kind: DeviceKind
+    sensor_type: SensorType
+    room: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.device_id:
+            raise ValueError("device_id must be non-empty")
+        if self.kind is DeviceKind.ACTUATOR and self.sensor_type not in ACTUATOR_TYPES:
+            raise ValueError(
+                f"{self.sensor_type} is not an actuator modality "
+                f"(device {self.device_id!r})"
+            )
+        if self.kind is not DeviceKind.ACTUATOR and self.sensor_type in ACTUATOR_TYPES:
+            raise ValueError(
+                f"{self.sensor_type} is an actuator modality but kind is "
+                f"{self.kind} (device {self.device_id!r})"
+            )
+
+    @property
+    def is_sensor(self) -> bool:
+        return self.kind.is_sensor
+
+    @property
+    def is_actuator(self) -> bool:
+        return self.kind is DeviceKind.ACTUATOR
+
+    @property
+    def is_binary(self) -> bool:
+        """True for devices whose values are on/off (binary sensors and actuators)."""
+        return self.kind is not DeviceKind.NUMERIC_SENSOR
+
+
+def binary_sensor(device_id: str, sensor_type: SensorType, room: str = "") -> Device:
+    """Convenience constructor for a binary sensor."""
+    return Device(device_id, DeviceKind.BINARY_SENSOR, sensor_type, room)
+
+
+def numeric_sensor(device_id: str, sensor_type: SensorType, room: str = "") -> Device:
+    """Convenience constructor for a numeric sensor."""
+    return Device(device_id, DeviceKind.NUMERIC_SENSOR, sensor_type, room)
+
+
+def actuator(device_id: str, sensor_type: SensorType, room: str = "") -> Device:
+    """Convenience constructor for an actuator."""
+    return Device(device_id, DeviceKind.ACTUATOR, sensor_type, room)
+
+
+class DeviceRegistry:
+    """Ordered, indexed collection of the devices in one deployment.
+
+    The registry assigns each device a stable integer index used by the
+    array-backed :class:`~repro.model.trace.Trace` and by the state-set
+    encoder's bit layout.  Iteration order is insertion order.
+    """
+
+    def __init__(self, devices: Iterable[Device] = ()) -> None:
+        self._devices: List[Device] = []
+        self._index: Dict[str, int] = {}
+        for device in devices:
+            self.add(device)
+
+    def add(self, device: Device) -> int:
+        """Register *device* and return its index.
+
+        Raises ``ValueError`` on a duplicate id.
+        """
+        if device.device_id in self._index:
+            raise ValueError(f"duplicate device id: {device.device_id!r}")
+        index = len(self._devices)
+        self._devices.append(device)
+        self._index[device.device_id] = index
+        return index
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self._devices)
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._index
+
+    def __getitem__(self, key) -> Device:
+        if isinstance(key, str):
+            return self._devices[self._index[key]]
+        return self._devices[key]
+
+    def index_of(self, device_id: str) -> int:
+        return self._index[device_id]
+
+    def get(self, device_id: str) -> Optional[Device]:
+        idx = self._index.get(device_id)
+        return None if idx is None else self._devices[idx]
+
+    @property
+    def device_ids(self) -> List[str]:
+        return [d.device_id for d in self._devices]
+
+    def sensors(self) -> List[Device]:
+        return [d for d in self._devices if d.is_sensor]
+
+    def binary_sensors(self) -> List[Device]:
+        return [d for d in self._devices if d.kind is DeviceKind.BINARY_SENSOR]
+
+    def numeric_sensors(self) -> List[Device]:
+        return [d for d in self._devices if d.kind is DeviceKind.NUMERIC_SENSOR]
+
+    def actuators(self) -> List[Device]:
+        return [d for d in self._devices if d.is_actuator]
+
+    def by_room(self, room: str) -> List[Device]:
+        return [d for d in self._devices if d.room == room]
+
+    def by_type(self, sensor_type: SensorType) -> List[Device]:
+        return [d for d in self._devices if d.sensor_type == sensor_type]
+
+    def census(self) -> Tuple[int, int, int]:
+        """Return ``(binary_sensors, numeric_sensors, actuators)`` counts.
+
+        Matches the columns of Table 4.1.
+        """
+        return (
+            len(self.binary_sensors()),
+            len(self.numeric_sensors()),
+            len(self.actuators()),
+        )
+
+    def subset(self, device_ids: Iterable[str]) -> "DeviceRegistry":
+        """New registry with only *device_ids*, preserving this order."""
+        wanted = set(device_ids)
+        missing = wanted - set(self._index)
+        if missing:
+            raise KeyError(f"unknown device ids: {sorted(missing)}")
+        return DeviceRegistry(d for d in self._devices if d.device_id in wanted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        b, n, a = self.census()
+        return f"DeviceRegistry(binary={b}, numeric={n}, actuators={a})"

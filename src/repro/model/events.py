@@ -1,0 +1,46 @@
+"""Event primitives.
+
+An event is one reading or activation from one device at one instant:
+``(timestamp_seconds, device_id, value)``.  Binary sensors and actuators use
+``value > 0`` for "active"/"on"; numeric sensors carry the raw measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Conventional values for binary devices.
+ON = 1.0
+OFF = 0.0
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A single device reading.
+
+    Events order by ``(timestamp, device_id, value)`` so that a sorted event
+    list is stable and deterministic.
+    """
+
+    timestamp: float
+    device_id: str
+    value: float
+
+    @property
+    def is_active(self) -> bool:
+        """Whether a binary reading represents activation ("on")."""
+        return self.value > 0.0
+
+    def shifted(self, delta: float) -> "Event":
+        """A copy of this event moved by *delta* seconds."""
+        return Event(self.timestamp + delta, self.device_id, self.value)
+
+
+def seconds(hours: float = 0.0, minutes: float = 0.0, secs: float = 0.0) -> float:
+    """Convert a mixed duration to seconds."""
+    return hours * 3600.0 + minutes * 60.0 + secs
+
+
+def hours(secs: float) -> float:
+    """Convert seconds to hours."""
+    return secs / 3600.0

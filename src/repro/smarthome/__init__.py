@@ -1,0 +1,57 @@
+"""Smart-home simulator: floor plans, device physics, residents, automations."""
+
+from .activities import ActivityCatalog, ActivityInstance, ActivitySpec, NumericEffect
+from .automation import (
+    ActivityActuatorRule,
+    AutomationOutput,
+    AutomationRule,
+    DaylightBlindRule,
+    EffectSwitchRule,
+    OccupancyLightRule,
+    SimulationContext,
+)
+from .daylight import DaylightModel
+from .effects import BinaryTrigger, EffectInterval, NumericSignalBuilder, binary_events
+from .floorplan import FloorPlan, Room, postech_floorplan, single_floor_apartment
+from .profiles import DEFAULT_NUMERIC_PROFILES, NumericProfile, profile_for
+from .schedule import (
+    DAY_SECONDS,
+    DailyRoutine,
+    RoutineEntry,
+    build_schedule,
+    occupancy_intervals,
+)
+from .simulator import HomeSimulator, HomeSpec
+
+__all__ = [
+    "ActivityCatalog",
+    "ActivityInstance",
+    "ActivitySpec",
+    "NumericEffect",
+    "ActivityActuatorRule",
+    "AutomationOutput",
+    "AutomationRule",
+    "DaylightBlindRule",
+    "EffectSwitchRule",
+    "OccupancyLightRule",
+    "SimulationContext",
+    "DaylightModel",
+    "BinaryTrigger",
+    "EffectInterval",
+    "NumericSignalBuilder",
+    "binary_events",
+    "FloorPlan",
+    "Room",
+    "postech_floorplan",
+    "single_floor_apartment",
+    "DEFAULT_NUMERIC_PROFILES",
+    "NumericProfile",
+    "profile_for",
+    "DAY_SECONDS",
+    "DailyRoutine",
+    "RoutineEntry",
+    "build_schedule",
+    "occupancy_intervals",
+    "HomeSimulator",
+    "HomeSpec",
+]

@@ -1,0 +1,50 @@
+"""Daylight model.
+
+Outdoor light drives two things in the testbed: the ambient level of
+outward-facing light sensors and the smart-blind automation ("pull up when
+the light sensor value is low, pull down otherwise").  Sunrise and sunset
+are jittered day by day so the daylight transition does not always land in
+the same window of the day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .spans import Span
+
+DAY_SECONDS = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class DaylightModel:
+    """Daily daylight spans with per-day jitter."""
+
+    sunrise_minute: float = 390.0  # 06:30
+    sunset_minute: float = 1170.0  # 19:30
+    jitter_minutes: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sunrise_minute < self.sunset_minute <= 24 * 60:
+            raise ValueError("need 0 <= sunrise < sunset <= 24h")
+        if self.jitter_minutes < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def spans(self, horizon: float, rng: np.random.Generator) -> List[Span]:
+        """Daylight spans covering ``[0, horizon)``."""
+        days = int(np.ceil(horizon / DAY_SECONDS))
+        spans: List[Span] = []
+        for day in range(days):
+            rise = self.sunrise_minute + rng.normal(0.0, self.jitter_minutes)
+            sets = self.sunset_minute + rng.normal(0.0, self.jitter_minutes)
+            start = day * DAY_SECONDS + rise * 60.0
+            end = day * DAY_SECONDS + sets * 60.0
+            start, end = min(start, end), max(start, end)
+            start = max(0.0, min(start, horizon))
+            end = max(0.0, min(end, horizon))
+            if end > start:
+                spans.append((start, end))
+        return spans

@@ -1,0 +1,212 @@
+"""Signal synthesis: effect intervals → sensor readings.
+
+Activities, occupancy, daylight and actuators all influence sensors through
+the same abstraction — an :class:`EffectInterval` that shifts a numeric
+sensor's level by a delta over a time span, or a :class:`BinaryTrigger` that
+fires a binary sensor while a span is active.  The builders below turn a
+bag of intervals into the actual event stream a real deployment would emit:
+ramps while the physical quantity moves, confirmations on settling, silence
+(or a slow held-report cadence) on a plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .profiles import NumericProfile
+
+
+@dataclass(frozen=True)
+class EffectInterval:
+    """An additive shift of one numeric sensor's level during ``[start, end)``."""
+
+    device_id: str
+    start: float
+    end: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("effect must not end before it starts")
+
+
+@dataclass(frozen=True)
+class BinaryTrigger:
+    """Firing pattern of one binary sensor during an active span.
+
+    ``pattern`` is one of:
+
+    * ``"continuous"`` — events every ``period`` seconds for the whole span
+      (motion sensors, pressure mats);
+    * ``"start"`` — a single event when the span begins (a door opening);
+    * ``"end"`` — a single event when the span ends (a flush, a door
+      closing);
+    * ``"random"`` — per ``period`` slot, an event with ``probability``
+      (restless-sleep motion, occasional cupboard use).
+    """
+
+    device_id: str
+    pattern: str = "continuous"
+    period: float = 25.0
+    probability: float = 1.0
+
+    _PATTERNS = ("continuous", "start", "end", "random")
+
+    def __post_init__(self) -> None:
+        if self.pattern not in self._PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+
+def binary_events(
+    trigger: BinaryTrigger,
+    start: float,
+    end: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Timestamps at which *trigger* fires over the active span."""
+    if end <= start and trigger.pattern not in ("start", "end"):
+        return np.empty(0)
+    if trigger.pattern == "start":
+        return np.array([start])
+    if trigger.pattern == "end":
+        return np.array([end])
+    times = np.arange(start, end, trigger.period)
+    if trigger.pattern == "random":
+        times = times[rng.random(len(times)) < trigger.probability]
+    return times
+
+
+class NumericSignalBuilder:
+    """Accumulates effect intervals for one sensor and renders readings."""
+
+    def __init__(self, profile: NumericProfile) -> None:
+        self.profile = profile
+        self._effects: List[Tuple[float, float, float]] = []
+
+    def add(self, start: float, end: float, delta: float) -> None:
+        if end < start:
+            raise ValueError("effect must not end before it starts")
+        snap = self.profile.snap_seconds
+        if snap > 0:
+            start = round(start / snap) * snap
+            end = round(end / snap) * snap
+            if end == start:
+                end = start + snap
+        if end > start and delta != 0.0:
+            self._effects.append((start, end, delta))
+
+    def add_intervals(self, intervals: Iterable[EffectInterval]) -> None:
+        for interval in intervals:
+            self.add(interval.start, interval.end, interval.delta)
+
+    # ------------------------------------------------------------------ #
+
+    def levels(self, horizon: float) -> List[Tuple[float, float]]:
+        """Piecewise-constant target level as ``(time, level)`` breakpoints.
+
+        The first breakpoint is ``(0, base)``; levels are the base plus the
+        sum of all active effect deltas.
+        """
+        base = self.profile.base
+        changes: List[Tuple[float, float]] = []
+        for start, end, delta in self._effects:
+            if start >= horizon:
+                continue
+            changes.append((max(0.0, start), delta))
+            changes.append((min(end, horizon), -delta))
+        changes.sort(key=lambda c: c[0])
+        breakpoints: List[Tuple[float, float]] = [(0.0, base)]
+        level = base
+        i = 0
+        while i < len(changes):
+            t = changes[i][0]
+            while i < len(changes) and changes[i][0] == t:
+                level += changes[i][1]
+                i += 1
+            if t == 0.0:
+                breakpoints[0] = (0.0, level)
+            elif level != breakpoints[-1][1]:
+                breakpoints.append((t, level))
+        return breakpoints
+
+    def render(
+        self, horizon: float, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Emit ``(timestamps, readings)`` for the sensor over ``[0, horizon)``.
+
+        Readings follow the profile: a ramp of ``sample_interval``-spaced
+        samples whenever the target level changes, ``hold_reports``
+        confirmations after settling, periodic held reports while away from
+        base (if the profile asks for them), silence otherwise.
+        """
+        profile = self.profile
+        breakpoints = self.levels(horizon)
+        times: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        for idx in range(1, len(breakpoints)):
+            t_change, new_level = breakpoints[idx]
+            old_level = breakpoints[idx - 1][1]
+            t_next = (
+                breakpoints[idx + 1][0] if idx + 1 < len(breakpoints) else horizon
+            )
+            seg_t, seg_v = self._render_transition(
+                t_change, old_level, new_level, t_next, horizon
+            )
+            times.append(seg_t)
+            values.append(seg_v)
+        if not times:
+            return np.empty(0), np.empty(0)
+        t = np.concatenate(times)
+        v = np.concatenate(values)
+        keep = t < horizon
+        t, v = t[keep], v[keep]
+        if profile.noise_sigma > 0 and len(v):
+            v = v + rng.normal(0.0, profile.noise_sigma, size=len(v))
+        v = np.round(v / profile.quantum) * profile.quantum
+        order = np.argsort(t, kind="stable")
+        return t[order], v[order]
+
+    def _render_transition(
+        self,
+        t_change: float,
+        old_level: float,
+        new_level: float,
+        t_next: float,
+        horizon: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        profile = self.profile
+        ramp_end = t_change + profile.ramp_seconds
+        ramp_t = np.arange(t_change, min(ramp_end, t_next), profile.sample_interval)
+        if profile.ramp_seconds > 0:
+            frac = np.clip((ramp_t - t_change) / profile.ramp_seconds, 0.0, 1.0)
+        else:
+            frac = np.ones_like(ramp_t)
+        # Quadratic approach: physical quantities accelerate towards the new
+        # level, which also gives ramp windows a deterministic skewness sign
+        # (Eq. 3.2) instead of a noise-driven coin flip.
+        ramp_v = old_level + (new_level - old_level) * frac**2
+
+        hold_start = min(ramp_end, t_next)
+        hold_t = hold_start + profile.sample_interval * np.arange(
+            1, profile.hold_reports + 1
+        )
+        hold_t = hold_t[hold_t < t_next]
+        hold_v = np.full(len(hold_t), new_level)
+
+        segments_t = [ramp_t, hold_t]
+        segments_v = [ramp_v, hold_v]
+        if profile.held_interval > 0 and new_level != profile.base:
+            held_from = hold_t[-1] if len(hold_t) else hold_start
+            held_t = np.arange(
+                held_from + profile.held_interval, t_next, profile.held_interval
+            )
+            segments_t.append(held_t)
+            segments_v.append(np.full(len(held_t), new_level))
+        return np.concatenate(segments_t), np.concatenate(segments_v)

@@ -1,0 +1,125 @@
+"""Per-modality sensor reporting profiles.
+
+Two properties of real IoT sensors keep DICE's context space finite, and the
+simulator reproduces both:
+
+* **event-driven reporting** — a sensor transmits when its reading changes
+  meaningfully (CoAP observe / CASAS change-of-state semantics), not on a
+  fixed clock.  Idle windows therefore contain no readings and encode to
+  all-zero bits, instead of a coin-flip of noise bits.
+* **quantisation** — readings are rounded to the sensor's resolution, so
+  sub-quantum noise does not flip the trend/skew bits of Eqs. 3.2-3.3
+  between windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..model import SensorType
+
+
+@dataclass(frozen=True)
+class NumericProfile:
+    """How one numeric sensor reports.
+
+    Parameters
+    ----------
+    base:
+        Quiescent level.  The sensor is silent at this level (after a few
+        confirmations when returning to it).
+    quantum:
+        Resolution; every emitted reading is rounded to a multiple.
+    noise_sigma:
+        Gaussian measurement noise added before quantisation.
+    ramp_seconds:
+        How long the physical quantity takes to move between levels.
+    sample_interval:
+        Reporting period while the value is changing.
+    hold_reports:
+        Confirmation readings emitted after settling on a new level.
+    held_interval:
+        Reporting period while holding a non-base level (0 = silent while
+        held; beacons and weight mats keep reporting, ambient sensors do
+        not).
+    snap_seconds:
+        Sensor duty cycle: effect boundaries snap to this grid (polled
+        sensors integrate over fixed cycles).  Keeping the whole
+        ramp-and-settle burst inside one duty cycle makes each transition's
+        bit pattern deterministic instead of window-phase-dependent.
+    """
+
+    base: float
+    quantum: float
+    noise_sigma: float
+    ramp_seconds: float = 30.0
+    sample_interval: float = 10.0
+    hold_reports: int = 1
+    held_interval: float = 0.0
+    snap_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if self.ramp_seconds < 0:
+            raise ValueError("ramp_seconds must be non-negative")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if self.hold_reports < 0:
+            raise ValueError("hold_reports must be non-negative")
+        if self.held_interval < 0:
+            raise ValueError("held_interval must be non-negative")
+        if self.snap_seconds < 0:
+            raise ValueError("snap_seconds must be non-negative")
+
+    def with_(self, **changes) -> "NumericProfile":
+        return replace(self, **changes)
+
+
+#: Default profiles per modality.  Magnitudes are everyday values: lux,
+#: degrees Celsius, %RH, dB, proximity units, kg, dBm.
+DEFAULT_NUMERIC_PROFILES: Dict[SensorType, NumericProfile] = {
+    SensorType.LIGHT: NumericProfile(base=5.0, quantum=10.0, noise_sigma=1.0),
+    SensorType.TEMPERATURE: NumericProfile(
+        base=21.0, quantum=0.5, noise_sigma=0.05, ramp_seconds=30.0,
+        held_interval=45.0,
+    ),
+    SensorType.HUMIDITY: NumericProfile(
+        base=45.0, quantum=1.0, noise_sigma=0.1, ramp_seconds=30.0,
+        held_interval=45.0,
+    ),
+    SensorType.SOUND: NumericProfile(
+        base=32.0, quantum=2.0, noise_sigma=0.2, held_interval=45.0
+    ),
+    SensorType.ULTRASONIC: NumericProfile(
+        base=10.0, quantum=5.0, noise_sigma=0.5, ramp_seconds=20.0
+    ),
+    SensorType.WEIGHT: NumericProfile(
+        base=0.0,
+        quantum=1.0,
+        noise_sigma=0.1,
+        ramp_seconds=20.0,
+        held_interval=45.0,
+    ),
+    SensorType.LOCATION: NumericProfile(
+        base=-90.0,
+        quantum=2.0,
+        noise_sigma=0.2,
+        ramp_seconds=20.0,
+        held_interval=45.0,
+    ),
+    SensorType.BATTERY: NumericProfile(
+        base=100.0, quantum=1.0, noise_sigma=0.05, ramp_seconds=60.0
+    ),
+}
+
+
+def profile_for(sensor_type: SensorType) -> NumericProfile:
+    """The default reporting profile for a numeric modality."""
+    try:
+        return DEFAULT_NUMERIC_PROFILES[sensor_type]
+    except KeyError:
+        raise KeyError(f"no numeric profile for {sensor_type}") from None

@@ -1,0 +1,164 @@
+"""Daily routines → concrete activity schedules.
+
+A :class:`DailyRoutine` is an ordered template of activities with nominal
+clock times.  Instantiating it for a given day applies seeded jitter to the
+start times and durations and occasionally skips optional entries — days
+come out similar (so groups and transitions repeat and can be learned) but
+never identical (so the context model generalises rather than memorises).
+
+This mirrors the thesis experiment design: the five volunteers replayed the
+activity sequences of the third-party datasets "without any designated
+place or time limit", i.e. the sequence is fixed, the timing is human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .activities import ActivityCatalog, ActivityInstance
+
+DAY_SECONDS = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class RoutineEntry:
+    """One slot of a daily routine.
+
+    ``start_minute`` is the nominal minute-of-day (0-1439); jitter is the
+    standard deviation of the human variation around it.
+    """
+
+    activity: str
+    start_minute: float
+    jitter_minutes: float = 15.0
+    skip_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_minute < 24 * 60:
+            raise ValueError("start_minute must fall within the day")
+        if self.jitter_minutes < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= self.skip_probability < 1.0:
+            raise ValueError("skip probability must be in [0, 1)")
+
+
+class DailyRoutine:
+    """A resident's template day."""
+
+    def __init__(self, entries: Sequence[RoutineEntry]) -> None:
+        self.entries = list(entries)
+        if not self.entries:
+            raise ValueError("a routine needs at least one entry")
+
+    @property
+    def activity_names(self) -> List[str]:
+        """Distinct activities the routine exercises, in first-use order."""
+        seen: dict = {}
+        for entry in self.entries:
+            seen.setdefault(entry.activity, None)
+        return list(seen)
+
+    def instantiate_day(
+        self,
+        day_index: int,
+        catalog: ActivityCatalog,
+        rng: np.random.Generator,
+        resident: int = 0,
+    ) -> List[ActivityInstance]:
+        """Activity instances for one day (unclipped; may overrun midnight)."""
+        day_start = day_index * DAY_SECONDS
+        instances: List[ActivityInstance] = []
+        for entry in self.entries:
+            if entry.skip_probability and rng.random() < entry.skip_probability:
+                continue
+            spec = catalog[entry.activity]
+            # Truncated-normal jitter: humans are late or early, but the
+            # *ordering* of a routine is stable.  Unbounded tails would make
+            # arbitrary activity pairs adjacent once in a blue moon, which
+            # no amount of training data could cover.
+            offset = float(
+                np.clip(
+                    rng.normal(0.0, entry.jitter_minutes),
+                    -2.0 * entry.jitter_minutes,
+                    2.0 * entry.jitter_minutes,
+                )
+            )
+            start_min = entry.start_minute + offset
+            start = day_start + max(0.0, start_min) * 60.0
+            lo, hi = spec.duration_minutes
+            duration = rng.uniform(lo, hi) * 60.0
+            instances.append(
+                ActivityInstance(spec, start, start + duration, resident)
+            )
+        return instances
+
+
+def build_schedule(
+    routine: DailyRoutine,
+    catalog: ActivityCatalog,
+    horizon: float,
+    rng: np.random.Generator,
+    resident: int = 0,
+) -> List[ActivityInstance]:
+    """Instantiate *routine* for every day up to *horizon* seconds.
+
+    A resident does one thing at a time: overlapping instances are resolved
+    by clipping each activity at the start of the next one, and everything
+    is clipped to the horizon.
+    """
+    days = int(np.ceil(horizon / DAY_SECONDS))
+    raw: List[ActivityInstance] = []
+    for day in range(days):
+        raw.extend(routine.instantiate_day(day, catalog, rng, resident))
+    raw.sort(key=lambda inst: inst.start)
+    schedule: List[ActivityInstance] = []
+    for i, inst in enumerate(raw):
+        end = inst.end
+        if i + 1 < len(raw):
+            end = min(end, raw[i + 1].start)
+        # Minute-granular timeline (CASAS-style annotation granularity):
+        # activity boundaries land on the window grid, so a hand-over always
+        # produces the same window-level footprint instead of a phase-split
+        # variant that training data can never fully cover.
+        start = round(inst.start / 60.0) * 60.0
+        end = round(end / 60.0) * 60.0
+        end = min(end, horizon)
+        if end <= start:
+            continue
+        if start < horizon:
+            schedule.append(ActivityInstance(inst.spec, start, end, resident))
+    # Presence persists until the next activity begins (same resident).
+    for i in range(len(schedule) - 1):
+        object.__setattr__(
+            schedule[i], "presence_end", schedule[i + 1].start
+        )
+    return schedule
+
+
+def occupancy_intervals(
+    schedule: Iterable[ActivityInstance],
+) -> dict:
+    """Merge a schedule into per-room occupancy spans.
+
+    Returns ``{room: [(start, end), ...]}`` with overlapping spans (e.g.
+    two residents in one room) merged.  Away activities contribute nothing.
+    """
+    by_room: dict = {}
+    for inst in schedule:
+        if inst.spec.away:
+            continue
+        by_room.setdefault(inst.room, []).append((inst.start, inst.presence_end))
+    merged: dict = {}
+    for room, spans in by_room.items():
+        spans.sort()
+        out: List[tuple] = []
+        for start, end in spans:
+            if out and start <= out[-1][1]:
+                out[-1] = (out[-1][0], max(out[-1][1], end))
+            else:
+                out.append((start, end))
+        merged[room] = out
+    return merged

@@ -1,0 +1,85 @@
+"""Interval (span) arithmetic on ``(start, end)`` pairs in seconds.
+
+Shared by the scheduler (occupancy), the daylight model and the automation
+rules.  All functions treat spans as half-open ``[start, end)`` and expect /
+produce sorted, non-overlapping lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Span = Tuple[float, float]
+
+
+def normalise(spans: Iterable[Span]) -> List[Span]:
+    """Sort and merge overlapping or touching spans; drops empty ones."""
+    cleaned = sorted((s, e) for s, e in spans if e > s)
+    merged: List[Span] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def intersect(a: Sequence[Span], b: Sequence[Span]) -> List[Span]:
+    """Intersection of two normalised span lists."""
+    out: List[Span] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if end > start:
+            out.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def complement(spans: Sequence[Span], start: float, end: float) -> List[Span]:
+    """The gaps of *spans* within ``[start, end)``."""
+    out: List[Span] = []
+    cursor = start
+    for s, e in normalise(spans):
+        if s > cursor:
+            out.append((cursor, min(s, end)))
+        cursor = max(cursor, e)
+        if cursor >= end:
+            break
+    if cursor < end:
+        out.append((cursor, end))
+    return [(s, e) for s, e in out if e > s and s < end]
+
+
+def union(a: Sequence[Span], b: Sequence[Span]) -> List[Span]:
+    """Union of two span lists."""
+    return normalise(list(a) + list(b))
+
+
+def total_length(spans: Iterable[Span]) -> float:
+    """Summed length of (assumed non-overlapping) spans."""
+    return sum(e - s for s, e in spans)
+
+
+def contains(spans: Sequence[Span], t: float) -> bool:
+    """Whether instant *t* falls inside any span."""
+    return any(s <= t < e for s, e in spans)
+
+
+def shift(spans: Iterable[Span], delta: float) -> List[Span]:
+    """Every span moved by *delta* seconds."""
+    return [(s + delta, e + delta) for s, e in spans]
+
+
+def clip(spans: Iterable[Span], start: float, end: float) -> List[Span]:
+    """Spans restricted to ``[start, end)``."""
+    out = []
+    for s, e in spans:
+        s2, e2 = max(s, start), min(e, end)
+        if e2 > s2:
+            out.append((s2, e2))
+    return out

@@ -1,0 +1,6 @@
+"""Online, event-at-a-time DICE runtime (the gateway deployment)."""
+
+from .runtime import Alert, OnlineDice
+from .windower import OnlineWindower, WindowSnapshot
+
+__all__ = ["Alert", "OnlineDice", "OnlineWindower", "WindowSnapshot"]

@@ -1,0 +1,174 @@
+"""The online DICE runtime: what actually runs on the home gateway.
+
+:class:`OnlineDice` wraps a fitted :class:`~repro.core.DiceDetector` with
+the event-at-a-time windower and exposes a push API; alerts (detections
+and concluded identifications) come back from every ``push`` call as they
+happen, with the same semantics as the batch ``process`` path — a property
+the test suite checks by replaying traces through both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core import (
+    CORRELATION_CHECK,
+    TRANSITION_CHECK,
+    DiceDetector,
+    IdentificationSession,
+    ProbableFaultSet,
+    TransitionCase,
+)
+from ..model import Event, Trace
+from .windower import OnlineWindower, WindowSnapshot
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One real-time notification from the gateway."""
+
+    kind: str  # "detection" or "identification"
+    time: float
+    check: Optional[str] = None
+    cases: Tuple[TransitionCase, ...] = ()
+    devices: FrozenSet[str] = frozenset()
+    converged: bool = True
+
+
+class OnlineDice:
+    """Streaming facade over a fitted detector."""
+
+    def __init__(self, detector: DiceDetector, start: float = 0.0) -> None:
+        model = detector.model
+        if model is None:
+            raise ValueError("detector must be fitted")
+        self.detector = detector
+        self.windower = OnlineWindower(model.encoder, start=start)
+        self._prev_group: Optional[int] = None
+        self._anchor_group: Optional[int] = None
+        self._prev_acts: FrozenSet[str] = frozenset()
+        self._session: Optional[IdentificationSession] = None
+        self._session_trigger: str = CORRELATION_CHECK
+        self.alerts: List[Alert] = []
+
+    # ------------------------------------------------------------------ #
+
+    def push(self, event: Event) -> List[Alert]:
+        """Feed one event; returns alerts raised by completed windows."""
+        fresh: List[Alert] = []
+        for snapshot in self.windower.push(event):
+            fresh.extend(self._handle_window(snapshot))
+        return fresh
+
+    def push_many(self, events: Iterable[Event]) -> List[Alert]:
+        fresh: List[Alert] = []
+        for event in events:
+            fresh.extend(self.push(event))
+        return fresh
+
+    def advance_to(self, timestamp: float) -> List[Alert]:
+        """Account for the passage of (possibly event-free) time."""
+        fresh: List[Alert] = []
+        for snapshot in self.windower.advance_to(timestamp):
+            fresh.extend(self._handle_window(snapshot))
+        return fresh
+
+    def replay(self, trace: Trace) -> List[Alert]:
+        """Convenience: stream a whole trace, including its quiet tail."""
+        self.push_many(trace)
+        self.advance_to(trace.end)
+        self.finish()
+        return self.alerts
+
+    def finish(self) -> List[Alert]:
+        """End-of-stream: report any identification session still open
+        (mirrors the batch driver's segment-end flush)."""
+        if self._session is None:
+            return []
+        alert = Alert(
+            "identification",
+            self.windower.current_window_start,
+            check=self._session_trigger,
+            devices=self._session.intersection,
+            converged=False,
+        )
+        self._session = None
+        self.alerts.append(alert)
+        return [alert]
+
+    # ------------------------------------------------------------------ #
+
+    def _handle_window(self, snapshot: WindowSnapshot) -> List[Alert]:
+        detector = self.detector
+        corr = detector._correlation_checker.check(snapshot.mask)
+        violations = ()
+        if not corr.is_violation:
+            violations = detector._transition_checker.check(
+                self._prev_group,
+                corr.main_group,
+                self._prev_acts,
+                snapshot.actuator_activations,
+            )
+        fresh: List[Alert] = []
+        identifier = detector._identifier
+        if self._session is None:
+            if corr.is_violation:
+                fresh.append(
+                    Alert("detection", snapshot.end, check=CORRELATION_CHECK)
+                )
+                probable = identifier.from_correlation_violation(
+                    corr, self._anchor_group
+                )
+                self._session = IdentificationSession(
+                    detector.config, probable, detector.weights
+                )
+                self._session_trigger = CORRELATION_CHECK
+            elif violations:
+                fresh.append(
+                    Alert(
+                        "detection",
+                        snapshot.end,
+                        check=TRANSITION_CHECK,
+                        cases=tuple(v.case for v in violations),
+                    )
+                )
+                probable = identifier.from_transition_violations(
+                    violations, snapshot.mask, self._prev_group
+                )
+                self._session = IdentificationSession(
+                    detector.config, probable, detector.weights
+                )
+                self._session_trigger = TRANSITION_CHECK
+        else:
+            if corr.is_violation:
+                probable = identifier.from_correlation_violation(
+                    corr, self._anchor_group
+                )
+            elif violations:
+                probable = identifier.from_transition_violations(
+                    violations, snapshot.mask, self._prev_group
+                )
+            else:
+                probable = ProbableFaultSet(frozenset())
+            self._session.update(probable)
+
+        if self._session is not None and self._session.is_done:
+            outcome = self._session.outcome
+            fresh.append(
+                Alert(
+                    "identification",
+                    snapshot.end,
+                    check=self._session_trigger,
+                    devices=outcome.devices,
+                    converged=outcome.converged,
+                )
+            )
+            self._session = None
+
+        self._prev_group = corr.main_group
+        if corr.main_group is not None:
+            self._anchor_group = corr.main_group
+        self._prev_acts = snapshot.actuator_activations
+        self.alerts.extend(fresh)
+        return fresh

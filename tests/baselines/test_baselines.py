@@ -1,0 +1,148 @@
+"""Tests for the comparison detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINES,
+    CorrelationOnlyDetector,
+    LcsCleanDetector,
+    MajorityVoteDetector,
+    MarkovOnlyDetector,
+    TimeSeriesARDetector,
+)
+from repro.faults import inject_fail_stop, inject_spike, inject_stuck_at
+from tests.conftest import HOUR, make_cyclic_trace
+
+
+@pytest.fixture(scope="module")
+def house(small_house):
+    trace = small_house.trace
+    training = trace.slice(0.0, 72 * HOUR)
+    # Day 3, 18:00-24:00: covers dinner preparation, so kitchen sensors
+    # are active after the fault onsets used below.
+    segment = trace.slice(90 * HOUR, 96 * HOUR)
+    return trace, training, segment
+
+
+class TestRegistry:
+    def test_all_baselines_registered(self):
+        assert set(BASELINES) == {
+            "correlation-only",
+            "markov-only",
+            "majority-vote",
+            "timeseries-ar",
+            "clean-lcs",
+        }
+
+
+class TestCorrelationOnly:
+    def test_clean_segment_quiet(self, house):
+        trace, training, segment = house
+        detector = CorrelationOnlyDetector().fit(training)
+        assert not detector.process(segment).detected
+
+    def test_fail_stop_of_cofiring_sensor_detected(self, house):
+        trace, training, segment = house
+        detector = CorrelationOnlyDetector().fit(training)
+        faulty = inject_fail_stop(segment, "fridge", segment.start + HOUR)
+        assert detector.process(faulty).detected
+
+    def test_requires_fit(self, house):
+        trace, training, segment = house
+        with pytest.raises(RuntimeError):
+            CorrelationOnlyDetector().process(segment)
+
+
+class TestMarkovOnly:
+    def test_clean_segment_mostly_quiet(self, house):
+        trace, training, segment = house
+        detector = MarkovOnlyDetector().fit(training)
+        report = detector.process(segment)
+        assert len(report.detections) <= 2
+
+    def test_weaker_than_dice_on_stuck_at(self, house):
+        """The nearest-group fallback hides correlation damage, so the
+        Markov-only ablation must not beat full DICE on a stuck-at fault —
+        exactly the Table 2.1 story for transition-only monitors."""
+        from repro.core import DiceDetector
+
+        trace, training, segment = house
+        rng = np.random.default_rng(0)
+        faulty = inject_stuck_at(segment, "fridge", segment.start + HOUR, rng)
+        dice = DiceDetector(trace.registry).fit(training)
+        markov = MarkovOnlyDetector().fit(training)
+        dice_detected = dice.process(faulty).detected
+        markov_detected = markov.process(faulty).detected
+        assert dice_detected
+        assert markov_detected <= dice_detected
+
+
+class TestMajorityVote:
+    def test_needs_redundant_peers(self, house):
+        trace, training, segment = house
+        detector = MajorityVoteDetector().fit(training)
+        # houseA has few same-type same-room sensors; the kitchen DOOR
+        # sensors fall back to house-wide peers.
+        assert all(
+            peers for peers in detector._peers.values()
+        )
+
+    def test_stuck_active_sensor_flagged(self, house):
+        trace, training, segment = house
+        detector = MajorityVoteDetector().fit(training)
+        rng = np.random.default_rng(0)
+        faulty = inject_stuck_at(segment, "fridge", segment.start + HOUR, rng)
+        report = detector.process(faulty)
+        assert "fridge" in report.identified_devices()
+
+
+class TestTimeSeriesAR:
+    @pytest.fixture(scope="class")
+    def testbed(self, small_testbed):
+        trace = small_testbed.trace
+        return (
+            trace,
+            trace.slice(0.0, 72 * HOUR),
+            trace.slice(80 * HOUR, 86 * HOUR),
+        )
+
+    def test_spike_detected(self, testbed):
+        trace, training, segment = testbed
+        detector = TimeSeriesARDetector().fit(training)
+        rng = np.random.default_rng(0)
+        faulty = inject_spike(segment, "t_kitchen", segment.start + 2 * HOUR, rng)
+        report = detector.process(faulty)
+        assert "t_kitchen" in report.identified_devices()
+
+    def test_fail_stop_invisible_by_design(self, testbed):
+        trace, training, segment = testbed
+        detector = TimeSeriesARDetector().fit(training)
+        faulty = inject_fail_stop(segment, "t_kitchen", segment.start + HOUR)
+        report = detector.process(faulty)
+        assert "t_kitchen" not in report.identified_devices()
+
+    def test_binary_only_home_has_no_models(self, house):
+        trace, training, segment = house
+        detector = TimeSeriesARDetector().fit(training)
+        assert detector._models == {}
+
+
+class TestLcsClean:
+    def test_partners_learned(self, house):
+        trace, training, segment = house
+        detector = LcsCleanDetector().fit(training)
+        assert detector._partners  # kitchen sensors co-activate
+
+    def test_fail_stop_of_partnered_sensor(self, house):
+        trace, training, _ = house
+        detector = LcsCleanDetector().fit(training)
+        # Long faulty stretch so co-activation statistics are meaningful.
+        segment = trace.slice(78 * HOUR, 102 * HOUR)
+        victims = [d for d in detector._partners if d in ("fridge", "cups_cupboard")]
+        if not victims:
+            pytest.skip("no partnered kitchen sensor in this seed")
+        victim = victims[0]
+        faulty = segment.without_device(victim)
+        report = detector.process(faulty)
+        assert victim in report.identified_devices()

@@ -1,0 +1,102 @@
+"""Unit and property tests for packed bitsets and Hamming scans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitset import (
+    PackedBitsets,
+    hamming,
+    mask_from_bits,
+    pack_int,
+    popcount,
+    set_bits,
+    unpack_int,
+    words_needed,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 200) - 1)
+
+
+class TestPrimitives:
+    def test_words_needed(self):
+        assert words_needed(0) == 1
+        assert words_needed(64) == 1
+        assert words_needed(65) == 2
+        assert words_needed(200) == 4
+
+    def test_pack_unpack_small(self):
+        assert unpack_int(pack_int(0b1011, 1)) == 0b1011
+
+    def test_pack_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            pack_int(1 << 64, 1)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b10110) == 3
+
+    def test_hamming(self):
+        assert hamming(0b1010, 0b0110) == 2
+        assert hamming(5, 5) == 0
+
+    def test_set_bits_roundtrip(self):
+        assert mask_from_bits(set_bits(0b101001)) == 0b101001
+
+    def test_mask_from_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask_from_bits([-1])
+
+
+@settings(max_examples=80, deadline=None)
+@given(mask=masks)
+def test_pack_roundtrip_property(mask):
+    assert unpack_int(pack_int(mask, 4)) == mask
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=masks, b=masks)
+def test_hamming_symmetry_and_identity(a, b):
+    assert hamming(a, b) == hamming(b, a)
+    assert hamming(a, a) == 0
+    assert hamming(a, b) == popcount(a ^ b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=masks, b=masks, c=masks)
+def test_hamming_triangle_inequality(a, b, c):
+    assert hamming(a, c) <= hamming(a, b) + hamming(b, c)
+
+
+class TestPackedBitsets:
+    def test_append_and_distances(self):
+        bits = PackedBitsets(8)
+        bits.extend([0b0001, 0b0011, 0b1111])
+        dists = bits.distances(0b0001)
+        assert list(dists) == [0, 1, 3]
+
+    def test_within_sorted_by_distance(self):
+        bits = PackedBitsets(8, [0b1111, 0b0001, 0b0011])
+        ids, dists = bits.within(0b0001, 1)
+        assert list(ids) == [1, 2]
+        assert list(dists) == [0, 1]
+
+    def test_wide_masks(self):
+        wide = (1 << 150) | 1
+        bits = PackedBitsets(160, [wide])
+        assert bits.distances(wide)[0] == 0
+        assert bits.distances(1)[0] == 1
+        assert bits.masks == [wide]
+
+    def test_empty_distances(self):
+        bits = PackedBitsets(8)
+        assert len(bits.distances(0)) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(pool=st.lists(masks, min_size=1, max_size=20), probe=masks)
+def test_packed_distances_match_reference(pool, probe):
+    bits = PackedBitsets(200, pool)
+    expected = [hamming(probe, m) for m in pool]
+    assert list(bits.distances(probe)) == expected

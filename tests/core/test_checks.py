@@ -1,0 +1,133 @@
+"""Tests for the correlation and transition checks (§3.3)."""
+
+import pytest
+
+from repro.core import (
+    BitLayout,
+    CorrelationChecker,
+    DiceConfig,
+    GroupRegistry,
+    TransitionCase,
+    TransitionChecker,
+    TransitionModel,
+)
+
+
+def groups_with(registry, masks):
+    groups = GroupRegistry(BitLayout(registry))
+    for mask in masks:
+        groups.add(mask)
+    return groups
+
+
+class TestCorrelationChecker:
+    def test_exact_match_is_main_group(self, registry):
+        groups = groups_with(registry, [0b01, 0b11])
+        checker = CorrelationChecker(groups, DiceConfig())
+        result = checker.check(0b01)
+        assert not result.is_violation
+        assert groups.mask_of(result.main_group) == 0b01
+
+    def test_near_misses_are_probable_groups(self, registry):
+        groups = groups_with(registry, [0b01, 0b11])
+        checker = CorrelationChecker(groups, DiceConfig())
+        result = checker.check(0b01)
+        probable_masks = [groups.mask_of(g) for g, _ in result.probable_groups]
+        assert 0b11 in probable_masks
+
+    def test_no_match_is_violation(self, registry):
+        groups = groups_with(registry, [0b11000])
+        checker = CorrelationChecker(groups, DiceConfig(max_candidate_distance=1))
+        result = checker.check(0b00001)
+        assert result.is_violation
+        assert result.probable_groups == ()
+
+    def test_candidate_distance_derives_from_fault_count(self, registry):
+        # Numeric sensors present: one fault may flip three bits.
+        checker = CorrelationChecker(groups_with(registry, [0]), DiceConfig())
+        assert checker.max_distance == 3
+        two_fault = CorrelationChecker(
+            groups_with(registry, [0]), DiceConfig(num_faults=2)
+        )
+        assert two_fault.max_distance == 6
+
+    def test_nearest_widens_search(self, registry):
+        groups = groups_with(registry, [0b11111])
+        checker = CorrelationChecker(groups, DiceConfig(max_candidate_distance=1))
+        hits = checker.nearest(0, limit_distance=5)
+        assert hits and hits[0][1] == 5
+
+
+def model_from(sequence, activations=None):
+    activations = activations or [frozenset()] * len(sequence)
+    return TransitionModel.extract(sequence, activations)
+
+
+class TestTransitionChecker:
+    def config(self, **kw):
+        defaults = dict(min_group_observations=1, g2g_two_step_closure=False)
+        defaults.update(kw)
+        return DiceConfig(**defaults)
+
+    def test_known_transition_passes(self):
+        checker = TransitionChecker(model_from([0, 1]), self.config())
+        assert checker.check(0, 1, frozenset(), frozenset()) == []
+
+    def test_unknown_g2g_transition_violates(self):
+        checker = TransitionChecker(model_from([0, 1, 0, 1]), self.config())
+        violations = checker.check(1, 1, frozenset(), frozenset())
+        assert [v.case for v in violations] == [TransitionCase.G2G]
+
+    def test_none_prev_group_skips_g2g(self):
+        checker = TransitionChecker(model_from([0, 1]), self.config())
+        assert checker.check(None, 1, frozenset(), frozenset()) == []
+
+    def test_g2a_violation_for_unseen_activation(self):
+        model = model_from([0, 1], [frozenset(), frozenset({"hue"})])
+        checker = TransitionChecker(model, self.config())
+        violations = checker.check(1, 0, frozenset(), frozenset({"hue"}))
+        assert any(v.case is TransitionCase.G2A for v in violations)
+        assert violations[0].actuator == "hue"
+
+    def test_g2a_known_activation_passes(self):
+        model = model_from([0, 1], [frozenset(), frozenset({"hue"})])
+        checker = TransitionChecker(model, self.config())
+        assert checker.check(0, 1, frozenset(), frozenset({"hue"})) == []
+
+    def test_a2g_violation(self):
+        model = model_from([0, 1, 2], [frozenset({"hue"}), frozenset(), frozenset()])
+        checker = TransitionChecker(model, self.config())
+        violations = checker.check(0, 2, frozenset({"hue"}), frozenset())
+        assert any(v.case is TransitionCase.A2G for v in violations)
+
+    def test_a2g_known_passes(self):
+        model = model_from([0, 1, 2], [frozenset({"hue"}), frozenset(), frozenset()])
+        checker = TransitionChecker(model, self.config())
+        assert checker.check(0, 1, frozenset({"hue"}), frozenset()) == []
+
+    def test_min_group_observations_guard(self, registry):
+        groups = groups_with(registry, [0b01, 0b10])
+        model = model_from([0, 1, 0, 1])
+        checker = TransitionChecker(
+            model, self.config(min_group_observations=5), groups
+        )
+        # Both groups observed only twice -> below confidence -> no violation.
+        assert checker.check(1, 1, frozenset(), frozenset()) == []
+
+    def test_two_step_closure_absorbs_aliased_pair(self):
+        # Training: a -> b -> c (b is a short-dwell hand-over group).
+        model = model_from([0, 1, 2, 0, 1, 2])
+        strict = TransitionChecker(model, self.config())
+        assert strict.check(0, 2, frozenset(), frozenset())
+        closed = TransitionChecker(
+            model, self.config(g2g_two_step_closure=True)
+        )
+        assert closed.check(0, 2, frozenset(), frozenset()) == []
+
+    def test_closure_ignores_long_dwell_middles(self):
+        # b self-loops heavily: it is a hub, not a skipped boundary group.
+        sequence = [0, 1, 1, 1, 1, 1, 1, 1, 1, 2] * 2
+        model = model_from(sequence)
+        closed = TransitionChecker(model, self.config(g2g_two_step_closure=True))
+        violations = closed.check(0, 2, frozenset(), frozenset())
+        assert [v.case for v in violations] == [TransitionCase.G2G]

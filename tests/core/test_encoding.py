@@ -1,0 +1,187 @@
+"""Tests for the state-set encoder (Eqs. 3.1-3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitLayout, StateSetEncoder
+from repro.model import (
+    DeviceRegistry,
+    SensorType,
+    Trace,
+    binary_sensor,
+    numeric_sensor,
+)
+from tests.conftest import make_cyclic_trace
+
+
+def trace_of(registry, triples, end):
+    times = np.array([t for t, _, _ in triples], dtype=float)
+    devs = np.array([registry.index_of(d) for _, d, _ in triples], dtype=np.int32)
+    vals = np.array([v for _, _, v in triples], dtype=float)
+    return Trace(registry, times, devs, vals, start=0.0, end=end)
+
+
+class TestBitLayout:
+    def test_binary_first_then_numeric_triplets(self, registry):
+        layout = BitLayout(registry)
+        assert layout.num_bits == 2 + 3
+        assert layout.bits_of_device("motion_kitchen") == (0,)
+        assert layout.bits_of_device("temp_kitchen") == (2, 3, 4)
+
+    def test_actuators_have_no_bits(self, registry):
+        layout = BitLayout(registry)
+        with pytest.raises(KeyError):
+            layout.bits_of_device("hue_kitchen")
+
+    def test_device_of_bit(self, registry):
+        layout = BitLayout(registry)
+        assert layout.device_of_bit(0) == "motion_kitchen"
+        for bit in (2, 3, 4):
+            assert layout.device_of_bit(bit) == "temp_kitchen"
+
+    def test_devices_of_mask_deduplicates_numeric(self, registry):
+        layout = BitLayout(registry)
+        mask = (1 << 2) | (1 << 3)  # two temp bits
+        assert layout.devices_of_mask(mask) == ["temp_kitchen"]
+
+    def test_describe(self, registry):
+        layout = BitLayout(registry)
+        text = layout.describe((1 << 0) | (1 << 4))
+        assert "motion_kitchen" in text
+        assert "temp_kitchen.mean" in text
+
+    def test_has_numeric(self, registry):
+        assert BitLayout(registry).has_numeric
+        binary_only = DeviceRegistry([binary_sensor("m", SensorType.MOTION)])
+        assert not BitLayout(binary_only).has_numeric
+
+
+class TestBinaryEncoding:
+    def test_or_semantics(self, registry):
+        encoder = StateSetEncoder(registry, 60.0)
+        trace = trace_of(registry, [(10.0, "motion_kitchen", 1.0)], end=120.0)
+        encoder.fit(trace)
+        windowed = encoder.encode(trace)
+        assert len(windowed) == 2
+        assert windowed.masks[0] == 1 << 0
+        assert windowed.masks[1] == 0
+
+    def test_zero_valued_event_does_not_activate(self, registry):
+        encoder = StateSetEncoder(registry, 60.0)
+        trace = trace_of(registry, [(10.0, "motion_kitchen", 0.0)], end=60.0)
+        encoder.fit(trace)
+        assert encoder.encode(trace).masks[0] == 0
+
+
+class TestNumericEncoding:
+    def fit_encoder(self, registry, trace):
+        return StateSetEncoder(registry, 60.0).fit(trace)
+
+    def test_value_threshold_is_training_mean(self, registry):
+        trace = trace_of(
+            registry,
+            [(0.0, "temp_kitchen", 10.0), (30.0, "temp_kitchen", 30.0)],
+            end=60.0,
+        )
+        encoder = self.fit_encoder(registry, trace)
+        assert encoder.value_threshold("temp_kitchen") == pytest.approx(20.0)
+
+    def test_trend_bit(self, registry):
+        trace = trace_of(
+            registry,
+            [(0.0, "temp_kitchen", 10.0), (50.0, "temp_kitchen", 30.0)],
+            end=60.0,
+        )
+        encoder = self.fit_encoder(registry, trace)
+        mask = encoder.encode(trace).masks[0]
+        trend_bit = encoder.layout.bits_of_device("temp_kitchen")[1]
+        assert mask >> trend_bit & 1 == 1
+
+    def test_mean_bit_strictly_above_threshold(self, registry):
+        # Constant readings: window mean equals the training mean, and the
+        # paper's Eq. 3.4 is a strict inequality, so the bit stays 0.
+        trace = trace_of(
+            registry,
+            [(0.0, "temp_kitchen", 20.0), (30.0, "temp_kitchen", 20.0)],
+            end=60.0,
+        )
+        encoder = self.fit_encoder(registry, trace)
+        mask = encoder.encode(trace).masks[0]
+        mean_bit = encoder.layout.bits_of_device("temp_kitchen")[2]
+        assert mask >> mean_bit & 1 == 0
+
+    def test_skew_bit_positive_for_convex_ramp(self, registry):
+        values = [10.0, 10.5, 11.0, 13.0, 20.0]
+        triples = [(i * 10.0, "temp_kitchen", v) for i, v in enumerate(values)]
+        trace = trace_of(registry, triples, end=60.0)
+        encoder = self.fit_encoder(registry, trace)
+        mask = encoder.encode(trace).masks[0]
+        skew_bit = encoder.layout.bits_of_device("temp_kitchen")[0]
+        assert mask >> skew_bit & 1 == 1
+
+    def test_skew_bit_zero_for_constant(self, registry):
+        triples = [(i * 10.0, "temp_kitchen", 5.0) for i in range(5)]
+        trace = trace_of(registry, triples, end=60.0)
+        encoder = self.fit_encoder(registry, trace)
+        skew_bit = encoder.layout.bits_of_device("temp_kitchen")[0]
+        assert encoder.encode(trace).masks[0] >> skew_bit & 1 == 0
+
+    def test_empty_window_encodes_to_zero(self, registry):
+        trace = trace_of(registry, [(70.0, "temp_kitchen", 99.0)], end=180.0)
+        encoder = self.fit_encoder(registry, trace)
+        masks = encoder.encode(trace).masks
+        assert masks[0] == 0 and masks[2] == 0
+
+
+class TestActuatorActivations:
+    def test_activations_tracked_per_window(self, registry):
+        encoder = StateSetEncoder(registry, 60.0)
+        trace = trace_of(
+            registry,
+            [(10.0, "hue_kitchen", 1.0), (70.0, "hue_kitchen", 0.0)],
+            end=120.0,
+        )
+        encoder.fit(trace)
+        windowed = encoder.encode(trace)
+        assert windowed.actuator_activations[0] == frozenset({"hue_kitchen"})
+        assert windowed.actuator_activations[1] == frozenset()
+
+
+class TestEncoderGuards:
+    def test_encode_requires_fit(self, registry):
+        encoder = StateSetEncoder(registry, 60.0)
+        with pytest.raises(RuntimeError):
+            encoder.encode(Trace.empty(registry, 0.0, 60.0))
+
+    def test_foreign_registry_rejected(self, registry):
+        other = DeviceRegistry([binary_sensor("x", SensorType.MOTION)])
+        encoder = StateSetEncoder(registry, 60.0).fit(Trace.empty(registry, 0, 60))
+        with pytest.raises(ValueError):
+            encoder.encode(Trace.empty(other, 0.0, 60.0))
+
+    def test_window_count(self, registry):
+        encoder = StateSetEncoder(registry, 60.0)
+        assert encoder.num_windows(Trace.empty(registry, 0.0, 150.0)) == 3
+
+
+def test_batch_encoding_matches_manual(registry):
+    """Cross-check the vectorised encoder against a per-window recompute."""
+    trace = make_cyclic_trace(registry, hours=1.0)
+    encoder = StateSetEncoder(registry, 60.0).fit(trace)
+    windowed = encoder.encode(trace)
+    for i in (0, 3, 7, 30):
+        window = trace.slice(i * 60.0, (i + 1) * 60.0)
+        # Binary bit
+        times, values = window.events_for("motion_kitchen")
+        expected = bool((values > 0).any())
+        assert bool(windowed.masks[i] >> 0 & 1) == expected
+        # Numeric mean bit
+        times, values = window.events_for("temp_kitchen")
+        mean_bit = encoder.layout.bits_of_device("temp_kitchen")[2]
+        if len(values):
+            expected_mean = values.mean() > encoder.value_threshold("temp_kitchen")
+            assert bool(windowed.masks[i] >> mean_bit & 1) == expected_mean
+        else:
+            assert windowed.masks[i] >> mean_bit & 1 == 0

@@ -1,0 +1,162 @@
+"""Tests for faulty-device identification (§3.4)."""
+
+import pytest
+
+from repro.core import (
+    BitLayout,
+    CorrelationChecker,
+    CorrelationResult,
+    DiceConfig,
+    DeviceWeights,
+    GroupRegistry,
+    Identifier,
+    IdentificationSession,
+    ProbableFaultSet,
+    TransitionCase,
+    TransitionModel,
+    TransitionViolation,
+)
+
+
+def build_identifier(registry, masks, sequence=None, config=None):
+    config = config or DiceConfig()
+    groups = GroupRegistry(BitLayout(registry))
+    ids = [groups.add(m) for m in masks]
+    transitions = TransitionModel.extract(
+        sequence or ids, [frozenset()] * len(sequence or ids)
+    )
+    checker = CorrelationChecker(groups, config)
+    return Identifier(groups, transitions, checker, config), groups
+
+
+class TestCorrelationIdentification:
+    def test_differing_bits_name_the_device(self, registry):
+        identifier, groups = build_identifier(registry, [0b11])
+        # Observed 0b01: bit 1 (motion_bedroom) missing vs the known group.
+        result = CorrelationResult(0b01, None, ((0, 1),))
+        probable = identifier.from_correlation_violation(result, None)
+        assert probable.devices == frozenset({"motion_bedroom"})
+
+    def test_numeric_bits_map_to_the_sensor(self, registry):
+        layout = BitLayout(registry)
+        temp_bits = layout.bits_of_device("temp_kitchen")
+        known = (1 << temp_bits[0]) | (1 << temp_bits[2])
+        identifier, groups = build_identifier(registry, [known])
+        result = CorrelationResult(0, None, ((0, 2),))
+        probable = identifier.from_correlation_violation(result, None)
+        assert probable.devices == frozenset({"temp_kitchen"})
+
+    def test_only_nearest_groups_are_references(self, registry):
+        identifier, groups = build_identifier(registry, [0b01, 0b11011])
+        result = CorrelationResult(
+            0b11, None, ((0, 1), (1, 3))
+        )
+        probable = identifier.from_correlation_violation(result, None)
+        assert probable.reference_groups == (0,)
+        assert probable.devices == frozenset({"motion_bedroom"})
+
+    def test_transition_pruning(self, registry):
+        # Two candidates at equal distance; only one reachable from prev.
+        identifier, groups = build_identifier(
+            registry, [0b001, 0b011, 0b101], sequence=[0, 1, 0, 1]
+        )
+        result = CorrelationResult(0b111, None, ((1, 1), (2, 1)))
+        probable = identifier.from_correlation_violation(result, prev_group=0)
+        assert probable.reference_groups == (1,)
+
+    def test_empty_probable_set_without_any_groups(self, registry):
+        identifier, groups = build_identifier(registry, [])
+        result = CorrelationResult(0b1, None, ())
+        probable = identifier.from_correlation_violation(result, None)
+        assert probable.devices == frozenset()
+
+    def test_fallback_widens_to_nearest(self, registry):
+        identifier, groups = build_identifier(registry, [0b11011])
+        result = CorrelationResult(0b00001, None, ())
+        probable = identifier.from_correlation_violation(result, None)
+        assert probable.devices  # found something to compare against
+
+
+class TestTransitionIdentification:
+    def test_g2g_compares_against_successors(self, registry):
+        identifier, groups = build_identifier(
+            registry, [0b01, 0b11], sequence=[0, 1, 0, 1]
+        )
+        violation = TransitionViolation(TransitionCase.G2G, 1, 1)
+        probable = identifier.from_transition_violations([violation], 0b11, 1)
+        # successors(1) == {0}; diff(0b11, 0b01) names motion_bedroom.
+        assert probable.devices == frozenset({"motion_bedroom"})
+
+    def test_actuator_violations_blame_the_actuator(self, registry):
+        identifier, groups = build_identifier(registry, [0b01])
+        violation = TransitionViolation(
+            TransitionCase.G2A, 0, 0, actuator="hue_kitchen"
+        )
+        probable = identifier.from_transition_violations([violation], 0b01, 0)
+        assert probable.devices == frozenset({"hue_kitchen"})
+
+
+class TestIdentificationSession:
+    def config(self, **kw):
+        return DiceConfig(**kw)
+
+    def test_immediate_convergence_at_numthre(self):
+        session = IdentificationSession(
+            self.config(), ProbableFaultSet(frozenset({"s1"}))
+        )
+        assert session.is_done
+        assert session.outcome.devices == frozenset({"s1"})
+        assert session.outcome.converged
+
+    def test_intersection_narrows(self):
+        session = IdentificationSession(
+            self.config(), ProbableFaultSet(frozenset({"s1", "s2", "s3"}))
+        )
+        assert not session.is_done
+        session.update(ProbableFaultSet(frozenset({"s1", "s2", "s4"})))
+        assert not session.is_done
+        outcome = session.update(ProbableFaultSet(frozenset({"s1", "s5"})))
+        assert outcome.devices == frozenset({"s1"})
+        assert outcome.windows_used == 3
+
+    def test_empty_updates_are_skipped(self):
+        session = IdentificationSession(
+            self.config(), ProbableFaultSet(frozenset({"s1", "s2"}))
+        )
+        session.update(ProbableFaultSet(frozenset()))
+        assert session.intersection == frozenset({"s1", "s2"})
+
+    def test_contradiction_restarts_from_new_evidence(self):
+        session = IdentificationSession(
+            self.config(), ProbableFaultSet(frozenset({"s1", "s2"}))
+        )
+        session.update(ProbableFaultSet(frozenset({"s3", "s4"})))
+        assert session.intersection == frozenset({"s3", "s4"})
+
+    def test_max_windows_forces_conclusion(self):
+        config = self.config(max_identification_windows=2)
+        session = IdentificationSession(
+            config, ProbableFaultSet(frozenset({"s1", "s2"}))
+        )
+        outcome = session.update(ProbableFaultSet(frozenset({"s1", "s2"})))
+        assert outcome is not None
+        assert not outcome.converged
+        assert outcome.devices == frozenset({"s1", "s2"})
+
+    def test_numthre_follows_fault_count(self):
+        config = self.config(num_faults=3)
+        session = IdentificationSession(
+            config, ProbableFaultSet(frozenset({"a", "b", "c"}))
+        )
+        assert session.is_done  # |set| == numThre == 3
+
+    def test_weighted_early_alarm(self):
+        weights = DeviceWeights.for_safety_sensors(["gas"])
+        session = IdentificationSession(
+            self.config(),
+            ProbableFaultSet(frozenset({"gas", "s1", "s2"})),
+            weights=weights,
+        )
+        assert session.is_done
+        assert session.outcome.devices == frozenset({"gas"})
+        assert session.outcome.weighted_early

@@ -1,0 +1,102 @@
+"""Tests for transition extraction (§3.2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransitionMatrix, TransitionModel
+
+
+class TestTransitionMatrix:
+    def test_probability_normalised(self):
+        matrix = TransitionMatrix()
+        matrix.observe("a", "b")
+        matrix.observe("a", "b")
+        matrix.observe("a", "c")
+        assert matrix.probability("a", "b") == pytest.approx(2 / 3)
+        assert matrix.probability("a", "c") == pytest.approx(1 / 3)
+
+    def test_unseen_pairs_are_zero(self):
+        matrix = TransitionMatrix()
+        matrix.observe("a", "b")
+        assert matrix.probability("a", "z") == 0.0
+        assert matrix.probability("ghost", "b") == 0.0
+
+    def test_row_total_and_counts(self):
+        matrix = TransitionMatrix()
+        matrix.observe(1, 2, weight=3)
+        assert matrix.row_total(1) == 3
+        assert matrix.count(1, 2) == 3
+        assert matrix.num_observations == 3
+
+    def test_successors(self):
+        matrix = TransitionMatrix()
+        matrix.observe("a", "b")
+        matrix.observe("a", "c")
+        successors = matrix.successors("a")
+        assert set(successors) == {"b", "c"}
+        assert sum(successors.values()) == pytest.approx(1.0)
+        assert matrix.successors("nope") == {}
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TransitionMatrix().observe("a", "b", weight=0)
+
+    def test_len_counts_entries(self):
+        matrix = TransitionMatrix()
+        matrix.observe("a", "b")
+        matrix.observe("a", "b")
+        matrix.observe("b", "c")
+        assert len(matrix) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=100
+    )
+)
+def test_rows_always_normalise(pairs):
+    matrix = TransitionMatrix()
+    for row, col in pairs:
+        matrix.observe(row, col)
+    for row in matrix.rows:
+        assert sum(matrix.successors(row).values()) == pytest.approx(1.0)
+
+
+class TestTransitionModel:
+    def test_g2g_counts_consecutive_windows(self):
+        model = TransitionModel.extract(
+            [0, 0, 1, 0], [frozenset()] * 4
+        )
+        assert model.g2g.count(0, 0) == 1
+        assert model.g2g.count(0, 1) == 1
+        assert model.g2g.count(1, 0) == 1
+
+    def test_g2a_links_previous_group_to_activation(self):
+        activations = [frozenset(), frozenset({"hue"}), frozenset()]
+        model = TransitionModel.extract([0, 1, 2], activations)
+        assert model.g2a.count(0, "hue") == 1
+        assert model.g2a.row_total(1) == 0
+
+    def test_a2g_links_activation_to_next_group(self):
+        activations = [frozenset({"hue"}), frozenset(), frozenset()]
+        model = TransitionModel.extract([0, 1, 2], activations)
+        assert model.a2g.count("hue", 1) == 1
+        assert model.a2g.count("hue", 2) == 0
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionModel.extract([0, 1], [frozenset()])
+
+    def test_merge_accumulates(self):
+        a = TransitionModel.extract([0, 1], [frozenset()] * 2)
+        b = TransitionModel.extract([0, 1], [frozenset()] * 2)
+        a.merge(b)
+        assert a.g2g.count(0, 1) == 2
+
+    def test_single_window_has_no_transitions(self):
+        model = TransitionModel.extract([7], [frozenset({"hue"})])
+        assert model.g2g.num_observations == 0
+        assert model.g2a.num_observations == 0
+        assert model.a2g.num_observations == 0

@@ -1,0 +1,34 @@
+"""Tests for the device-weighting extension (Ch. VI)."""
+
+import pytest
+
+from repro.core import DeviceWeights
+
+
+class TestDeviceWeights:
+    def test_combined_weight(self):
+        weights = DeviceWeights()
+        weights.set_criticality("gas", 0.6)
+        weights.set_failure("gas", 0.5)
+        assert weights.weight_of("gas") == pytest.approx(1.1)
+
+    def test_unknown_device_has_zero_weight(self):
+        assert DeviceWeights().weight_of("nope") == 0.0
+
+    def test_negative_weight_rejected(self):
+        weights = DeviceWeights()
+        with pytest.raises(ValueError):
+            weights.set_criticality("x", -0.1)
+        with pytest.raises(ValueError):
+            weights.set_failure("x", -0.1)
+
+    def test_critical_subset(self):
+        weights = DeviceWeights.for_safety_sensors(["gas", "flame"])
+        weights.set_failure("battery_thing", 0.4)
+        subset = weights.critical_subset(["gas", "battery_thing", "other"])
+        assert subset == {"gas"}
+
+    def test_alarm_threshold_configurable(self):
+        weights = DeviceWeights(alarm_threshold=0.3)
+        weights.set_failure("cheap", 0.4)
+        assert weights.critical_subset(["cheap"]) == {"cheap"}

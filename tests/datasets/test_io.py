@@ -1,0 +1,46 @@
+"""Round-trip tests for CSV trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, read_registry, read_trace, write_trace
+
+
+class TestCsvRoundTrip:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return load_dataset("houseA", seed=2, hours=12.0).trace
+
+    def test_events_roundtrip(self, sample, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        write_trace(sample, path)
+        loaded = read_trace(path)
+        assert len(loaded) == len(sample)
+        assert np.allclose(loaded.timestamps, sample.timestamps)
+        assert np.allclose(loaded.values, sample.values)
+        assert loaded.start == sample.start
+        assert loaded.end == sample.end
+
+    def test_registry_roundtrip(self, sample, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        write_trace(sample, path)
+        registry = read_registry(str(tmp_path / "trace.devices.csv"))
+        assert registry.device_ids == sample.registry.device_ids
+        for loaded, original in zip(registry, sample.registry):
+            assert loaded.kind == original.kind
+            assert loaded.sensor_type == original.sensor_type
+            assert loaded.room == original.room
+
+    def test_device_ids_preserved_per_event(self, sample, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        write_trace(sample, path)
+        loaded = read_trace(path)
+        original_ids = [sample.registry.device_ids[i] for i in sample.device_indices]
+        loaded_ids = [loaded.registry.device_ids[i] for i in loaded.device_indices]
+        assert loaded_ids == original_ids
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope,nope\n")
+        with pytest.raises(ValueError):
+            read_registry(str(path))

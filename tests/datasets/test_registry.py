@@ -1,0 +1,72 @@
+"""Tests for dataset loading and the plan_routine helper."""
+
+import pytest
+
+from repro.datasets import (
+    FILL,
+    dataset_info,
+    load_dataset,
+    plan_routine,
+)
+from repro.smarthome import ActivityCatalog, ActivitySpec
+
+
+class TestLoadDataset:
+    def test_load_respects_hours_override(self):
+        data = load_dataset("houseA", seed=3, hours=24.0)
+        assert data.trace.duration_hours == pytest.approx(24.0)
+        assert data.name == "houseA"
+
+    def test_load_is_seeded(self):
+        a = load_dataset("houseA", seed=5, hours=24.0)
+        b = load_dataset("houseA", seed=5, hours=24.0)
+        assert len(a.trace) == len(b.trace)
+
+    def test_default_hours_from_table(self):
+        assert dataset_info("houseC").hours == 480
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+
+class TestPlanRoutine:
+    def catalog(self):
+        return ActivityCatalog(
+            [
+                ActivitySpec("short", "kitchen", (5, 9)),
+                ActivitySpec("long", "living_room", FILL),
+            ]
+        )
+
+    def test_point_activities_get_spaced(self):
+        entries = plan_routine(
+            self.catalog(),
+            [("short", 600, 5), ("short", 601, 5)],
+        )
+        gap = entries[1].start_minute - entries[0].start_minute
+        # >= dur_hi + 2*(j1+j2) + margin = 9 + 20 + 3
+        assert gap >= 32
+
+    def test_fill_activities_not_spaced(self):
+        entries = plan_routine(
+            self.catalog(),
+            [("long", 600, 5), ("short", 610, 5)],
+        )
+        assert entries[1].start_minute == 610
+
+    def test_skippable_chain_constrains_transitively(self):
+        entries = plan_routine(
+            self.catalog(),
+            [("short", 600, 2), ("short", 640, 2, 0.5), ("short", 650, 2)],
+        )
+        # The third entry must clear the first one too (the middle may be
+        # skipped on any given day).
+        assert entries[2].start_minute >= 600 + 9 + 2 * (2 + 2) + 3
+
+    def test_day_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            plan_routine(
+                self.catalog(),
+                [("short", 1430, 5), ("short", 1439, 5)],
+            )

@@ -1,0 +1,78 @@
+"""Every dataset spec must match its Table 4.1 row exactly."""
+
+import pytest
+
+from repro.datasets import ALL_NAMES, DATASETS, build_spec, dataset_info
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestTable41:
+    def test_census_matches(self, name):
+        info = dataset_info(name)
+        spec = build_spec(name)
+        assert spec.registry.census() == (
+            info.binary_sensors,
+            info.numeric_sensors,
+            info.actuators,
+        )
+
+    def test_activity_count_matches(self, name):
+        info = dataset_info(name)
+        spec = build_spec(name)
+        assert spec.activity_count() == info.activities
+
+    def test_resident_count_matches(self, name):
+        info = dataset_info(name)
+        spec = build_spec(name)
+        assert spec.num_residents == info.residents
+
+    def test_devices_have_known_rooms(self, name):
+        spec = build_spec(name)
+        for device in spec.registry:
+            assert not device.room or device.room in spec.floorplan
+
+
+class TestTableContents:
+    def test_ten_datasets(self):
+        assert len(DATASETS) == 10
+
+    def test_table_41_durations(self):
+        hours = {name: info.hours for name, info in DATASETS.items()}
+        assert hours["houseA"] == 576
+        assert hours["houseB"] == 648
+        assert hours["houseC"] == 480
+        assert hours["twor"] == 1104
+        assert hours["hh102"] == 1488
+        assert hours["D_houseA"] == 600
+        assert hours["D_hh102"] == 1500
+
+    def test_testbed_census_is_shared(self):
+        for name in ("D_houseA", "D_houseB", "D_houseC", "D_twor", "D_hh102"):
+            info = dataset_info(name)
+            assert (info.binary_sensors, info.numeric_sensors, info.actuators) == (
+                6,
+                31,
+                8,
+            )
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            dataset_info("houseZ")
+
+
+class TestRoutineDiscipline:
+    """The point/fill timing rules that keep contexts learnable."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_skip_probabilities_capped(self, name):
+        spec = build_spec(name)
+        for routine in spec.routines:
+            for entry in routine.entries:
+                assert entry.skip_probability <= 0.7
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_entries_fit_the_day(self, name):
+        spec = build_spec(name)
+        for routine in spec.routines:
+            for entry in routine.entries:
+                assert 0 <= entry.start_minute < 24 * 60

@@ -1,0 +1,137 @@
+"""Small-scale smoke tests for every experiment module (E1-E12)."""
+
+import pytest
+
+from repro.eval import report
+from repro.eval.experiments import (
+    ProtocolSettings,
+    ablations,
+    accuracy,
+    actuator_faults,
+    baselines_compare,
+    computation,
+    correlation_degree,
+    detection_ratio,
+    multi_fault,
+    security,
+    timing,
+)
+
+SMALL = ProtocolSettings(hours_scale=0.25, pairs=8, seed=4)
+NAMES = ["houseA", "D_houseA"]
+
+
+class TestAccuracy:
+    def test_rows_and_ranges(self):
+        rows = accuracy.run(NAMES, SMALL)
+        assert [r.dataset for r in rows] == NAMES
+        for row in rows:
+            for value in (
+                row.detection_precision,
+                row.detection_recall,
+                row.identification_precision,
+                row.identification_recall,
+            ):
+                assert 0.0 <= value <= 1.0
+
+    def test_averages(self):
+        rows = accuracy.run(NAMES, SMALL)
+        avg = accuracy.averages(rows)
+        assert set(avg) == {
+            "detection_precision",
+            "detection_recall",
+            "identification_precision",
+            "identification_recall",
+        }
+
+    def test_report_formatting(self):
+        rows = accuracy.run(NAMES, SMALL)
+        text = report.format_accuracy(rows)
+        assert "houseA" in text and "%" in text
+
+
+class TestTiming:
+    def test_rows(self):
+        rows = timing.run(NAMES, SMALL)
+        assert all(row.detection_minutes >= 0 for row in rows)
+
+    def test_by_check(self):
+        rows = timing.run_by_check(NAMES, SMALL)
+        assert [r.dataset for r in rows] == NAMES
+        text = report.format_check_timing(rows)
+        assert "correlation check" in text
+
+
+class TestComputation:
+    def test_rows_under_budget(self):
+        rows = computation.run(NAMES, SMALL)
+        for row in rows:
+            assert row.total_ms < 50.0  # the paper's real-time bound
+        assert "total" in report.format_computation(rows)
+
+
+class TestDegree:
+    def test_rows(self):
+        rows = correlation_degree.run(NAMES, SMALL)
+        degrees = {r.dataset: r.correlation_degree for r in rows}
+        assert degrees["houseA"] < degrees["D_houseA"]
+        assert "correlation degree" in report.format_degree(rows)
+
+
+class TestDetectionRatio:
+    def test_shares_sum_to_one(self):
+        rows = detection_ratio.run(NAMES, SMALL)
+        for row in rows:
+            if row.detections:
+                assert row.correlation_share + row.transition_share == pytest.approx(
+                    1.0
+                )
+        assert "fault type" in report.format_detection_ratio(rows)
+
+
+class TestActuatorFaults:
+    def test_runs_on_testbed(self):
+        rows = actuator_faults.run(["D_houseA"], SMALL)
+        assert rows[0].dataset == "D_houseA"
+        assert 0.0 <= rows[0].identification_recall <= 1.0
+
+
+class TestMultiFault:
+    def test_result_shape(self):
+        result = multi_fault.run("D_houseA", settings=SMALL)
+        assert result.segments == SMALL.pairs
+        assert 0.0 <= result.identification_precision <= 1.0
+
+
+class TestAblations:
+    def test_precompute_period(self):
+        points = ablations.precompute_period("houseA", SMALL)
+        assert len(points) == 2
+        assert points[0].label != points[1].label
+
+    def test_window_duration(self):
+        points = ablations.window_duration("houseA", (60.0, 120.0), SMALL)
+        assert [p.label for p in points] == ["window=60s", "window=120s"]
+
+    def test_two_step_closure(self):
+        on, off = ablations.two_step_closure("houseA", SMALL)
+        # Disabling the closure can only produce more (or equal) false
+        # positives on faultless segments.
+        assert off.false_positive_rate >= on.false_positive_rate - 1e-9
+
+
+class TestSecurity:
+    def test_both_attacks_run(self):
+        outcomes = security.run("D_houseA", SMALL)
+        kinds = {o.kind for o in outcomes}
+        assert kinds == {"temperature", "light"}
+
+
+class TestBaselinesCompare:
+    def test_dice_and_one_baseline(self):
+        rows = baselines_compare.run(
+            "D_houseA", detectors=["dice", "correlation-only"], settings=SMALL
+        )
+        assert [r.detector for r in rows] == ["dice", "correlation-only"]
+        for row in rows:
+            assert 0.0 <= row.detection_recall <= 1.0

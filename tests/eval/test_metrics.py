@@ -1,0 +1,58 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval import DetectionCounts, IdentificationCounts, TimingStats
+
+
+class TestDetectionCounts:
+    def test_precision_recall(self):
+        counts = DetectionCounts(
+            true_positives=9, false_negatives=1, false_positives=1, true_negatives=9
+        )
+        assert counts.precision == pytest.approx(0.9)
+        assert counts.recall == pytest.approx(0.9)
+        assert counts.false_positive_rate == pytest.approx(0.1)
+        assert counts.false_negative_rate == pytest.approx(0.1)
+
+    def test_f1(self):
+        counts = DetectionCounts(true_positives=1, false_negatives=1, false_positives=1)
+        assert counts.f1 == pytest.approx(0.5)
+
+    def test_zero_denominators(self):
+        counts = DetectionCounts()
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f1 == 0.0
+
+    def test_merge(self):
+        a = DetectionCounts(true_positives=1)
+        a.merge(DetectionCounts(true_positives=2, false_positives=1))
+        assert a.true_positives == 3 and a.false_positives == 1
+
+
+class TestIdentificationCounts:
+    def test_precision_recall(self):
+        counts = IdentificationCounts(correct=8, named=10, actual=9)
+        assert counts.precision == pytest.approx(0.8)
+        assert counts.recall == pytest.approx(8 / 9)
+
+    def test_merge(self):
+        a = IdentificationCounts(correct=1, named=2, actual=2)
+        a.merge(IdentificationCounts(correct=1, named=1, actual=1))
+        assert (a.correct, a.named, a.actual) == (2, 3, 3)
+
+
+class TestTimingStats:
+    def test_statistics(self):
+        stats = TimingStats()
+        for value in (1.0, 3.0, 8.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.median == 3.0
+        assert stats.maximum == 8.0
+        assert len(stats) == 3
+
+    def test_empty(self):
+        stats = TimingStats()
+        assert stats.mean == 0.0 and stats.median == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the Ch. V protocol runner (small-scale)."""
+
+import pytest
+
+from repro.core import CORRELATION_CHECK, TRANSITION_CHECK
+from repro.eval import EvaluationRunner
+from repro.faults import FaultType
+
+
+@pytest.fixture(scope="module")
+def result(small_house):
+    runner = EvaluationRunner(
+        precompute_hours=72.0, segment_hours=6.0, pairs=12, seed=3
+    )
+    return runner.evaluate(small_house.name, small_house.trace)
+
+
+class TestDatasetResult:
+    def test_outcome_count(self, result):
+        assert len(result.outcomes) == 12
+
+    def test_detection_counts_partition(self, result):
+        counts = result.detection_counts()
+        assert counts.true_positives + counts.false_negatives == 12
+        assert counts.false_positives + counts.true_negatives == 12
+
+    def test_reasonable_recall(self, result):
+        assert result.detection_counts().recall >= 0.5
+
+    def test_identification_counts_consistent(self, result):
+        counts = result.identification_counts()
+        assert counts.actual == 12
+        assert counts.correct <= counts.named
+
+    def test_detection_time_positive(self, result):
+        stats = result.detection_time()
+        assert all(minutes >= 0 for minutes in stats.samples)
+
+    def test_identification_no_earlier_than_detection(self, result):
+        for outcome in result.outcomes:
+            if (
+                outcome.detection_minutes is not None
+                and outcome.identification_minutes is not None
+            ):
+                assert outcome.identification_minutes >= outcome.detection_minutes - 1e-9
+
+    def test_check_attribution_labels(self, result):
+        for outcome in result.outcomes:
+            if outcome.detected:
+                assert outcome.detecting_check in (
+                    CORRELATION_CHECK,
+                    TRANSITION_CHECK,
+                )
+
+    def test_ratio_rows_sum_to_one(self, result):
+        for checks in result.detection_ratio_by_fault_type().values():
+            assert sum(checks.values()) == pytest.approx(1.0)
+
+    def test_computation_stages(self, result):
+        ms = result.computation_ms_per_window()
+        assert set(ms) == {
+            "encoding",
+            "correlation_check",
+            "transition_check",
+            "identification",
+        }
+        assert all(v >= 0 for v in ms.values())
+
+    def test_metadata(self, result, small_house):
+        assert result.num_sensors == len(small_house.trace.registry.sensors())
+        assert result.correlation_degree > 0
+        assert result.num_groups > 0
+
+
+class TestRunnerOptions:
+    def test_fault_type_restriction(self, small_house):
+        runner = EvaluationRunner(precompute_hours=72.0, pairs=6, seed=1)
+        result = runner.evaluate(
+            small_house.name,
+            small_house.trace,
+            fault_types=[FaultType.FAIL_STOP],
+        )
+        assert all(
+            outcome.fault.fault_type is FaultType.FAIL_STOP
+            for outcome in result.outcomes
+        )
+
+    def test_device_pool_restriction(self, small_testbed):
+        runner = EvaluationRunner(precompute_hours=72.0, pairs=6, seed=1)
+        actuators = small_testbed.trace.registry.actuators()
+        result = runner.evaluate(
+            small_testbed.name, small_testbed.trace, devices=actuators
+        )
+        actuator_ids = {a.device_id for a in actuators}
+        assert all(o.fault.device_id in actuator_ids for o in result.outcomes)

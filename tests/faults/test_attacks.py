@@ -1,0 +1,46 @@
+"""Tests for the Ch. VI security attacks."""
+
+import numpy as np
+import pytest
+
+from repro.faults import light_attack, spoof_sensor_high, temperature_attack
+from tests.conftest import HOUR, make_cyclic_trace
+
+
+@pytest.fixture
+def segment(registry):
+    return make_cyclic_trace(registry, hours=2.0)
+
+
+class TestSpoofing:
+    def test_spoofed_readings_present_and_high(self, segment):
+        attacked, attack = spoof_sensor_high(segment, "temp_kitchen", HOUR)
+        times, values = attacked.events_for("temp_kitchen")
+        spoofed = values[times >= HOUR]
+        _, clean = segment.events_for("temp_kitchen")
+        assert (spoofed >= clean.max()).any()
+        assert attack.victim_device_id == "temp_kitchen"
+
+    def test_temperature_attack_margin(self, segment):
+        attacked, attack = temperature_attack(segment, "temp_kitchen", HOUR, degrees=15.0)
+        _, clean = segment.events_for("temp_kitchen")
+        assert attack.spoof_value == pytest.approx(clean.max() + 15.0)
+
+    def test_light_attack_value(self, segment):
+        attacked, attack = light_attack(segment, "temp_kitchen", HOUR, lux=400.0)
+        assert attack.spoof_value == 400.0
+        assert attack.kind == "light"
+
+    def test_attack_reads_as_stuck_at_fault(self, segment):
+        _, attack = temperature_attack(segment, "temp_kitchen", HOUR)
+        fault = attack.as_fault()
+        assert fault.device_id == "temp_kitchen"
+        assert fault.onset == HOUR
+
+    def test_unknown_victim_rejected(self, segment):
+        with pytest.raises(KeyError):
+            spoof_sensor_high(segment, "ghost", HOUR)
+
+    def test_onset_outside_rejected(self, segment):
+        with pytest.raises(ValueError):
+            spoof_sensor_high(segment, "temp_kitchen", segment.end + 1.0)

@@ -1,0 +1,104 @@
+"""Tests for randomized fault placement and the segment protocol."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ALL_FAULT_TYPES,
+    FaultInjector,
+    FaultType,
+    InjectionPolicy,
+    make_segment_pairs,
+    segment_starts,
+    split_precompute,
+)
+from tests.conftest import HOUR, make_cyclic_trace
+
+
+@pytest.fixture
+def segment(registry):
+    return make_cyclic_trace(registry, hours=2.0)
+
+
+class TestFaultInjector:
+    def test_chosen_device_has_events_after_onset(self, segment):
+        injector = FaultInjector(np.random.default_rng(0))
+        for _ in range(20):
+            fault = injector.choose(segment)
+            times, _ = segment.events_for(fault.device_id)
+            assert (times >= fault.onset).sum() >= 1
+
+    def test_fault_type_can_be_forced(self, segment):
+        injector = FaultInjector(np.random.default_rng(0))
+        fault = injector.choose(segment, fault_type=FaultType.SPIKE)
+        assert fault.fault_type is FaultType.SPIKE
+
+    def test_device_pool_restriction(self, segment):
+        injector = FaultInjector(np.random.default_rng(0))
+        pool = [segment.registry["temp_kitchen"]]
+        fault = injector.choose(segment, devices=pool)
+        assert fault.device_id == "temp_kitchen"
+
+    def test_empty_segment_rejected(self, registry):
+        from repro.model import Trace
+
+        injector = FaultInjector(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            injector.choose(Trace.empty(registry, 0.0, HOUR))
+
+    def test_inject_returns_fault_and_perturbed_trace(self, segment):
+        injector = FaultInjector(np.random.default_rng(0))
+        faulty, fault = injector.inject(segment, fault_type=FaultType.FAIL_STOP)
+        times, _ = faulty.events_for(fault.device_id)
+        assert (times < fault.onset).all()
+
+    def test_inject_many_distinct_devices(self, segment):
+        injector = FaultInjector(np.random.default_rng(0))
+        _, faults = injector.inject_many(segment, 3)
+        ids = [f.device_id for f in faults]
+        assert len(ids) == len(set(ids))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            InjectionPolicy(onset_fraction=(0.9, 0.1))
+
+
+class TestSegmentProtocol:
+    def test_split_precompute(self, segment):
+        training, evaluation = split_precompute(segment, 1.0)
+        assert training.duration_hours == pytest.approx(1.0)
+        assert evaluation.start == training.end
+
+    def test_split_bounds_checked(self, segment):
+        with pytest.raises(ValueError):
+            split_precompute(segment, 99.0)
+
+    def test_segment_starts_disjoint_grid_first(self, segment):
+        _, evaluation = split_precompute(segment, 0.5)
+        starts = segment_starts(evaluation, 0.5, 3, np.random.default_rng(0))
+        assert len(starts) == 3
+        grid = {evaluation.start + k * 1800.0 for k in range(3)}
+        assert set(starts) == grid
+
+    def test_segment_starts_oversampled(self, segment):
+        _, evaluation = split_precompute(segment, 0.5)
+        starts = segment_starts(evaluation, 0.5, 10, np.random.default_rng(0))
+        assert len(starts) == 10
+
+    def test_make_segment_pairs_shapes(self, registry):
+        trace = make_cyclic_trace(registry, hours=8.0)
+        training, pairs = make_segment_pairs(
+            trace,
+            np.random.default_rng(0),
+            precompute_hours=4.0,
+            segment_hours=1.0,
+            count=6,
+        )
+        assert training.duration_hours == pytest.approx(4.0)
+        assert len(pairs) == 6
+        for pair in pairs:
+            assert pair.faultless.duration == pytest.approx(3600.0)
+            assert pair.faultless.start >= training.end
+            assert pair.fault.onset >= pair.faultless.start
+            # The faulty copy is the same segment, perturbed.
+            assert pair.faulty.start == pair.faultless.start

@@ -1,0 +1,193 @@
+"""Tests for the five fault models (Ch. IV.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultType,
+    InjectedFault,
+    apply_fault,
+    inject_fail_stop,
+    inject_high_noise,
+    inject_outlier,
+    inject_spike,
+    inject_stuck_at,
+)
+from tests.conftest import HOUR, make_cyclic_trace
+
+
+@pytest.fixture
+def segment(registry):
+    return make_cyclic_trace(registry, hours=2.0)
+
+
+ONSET = 0.5 * HOUR
+
+
+class TestFailStop:
+    def test_no_events_after_onset(self, segment):
+        faulty = inject_fail_stop(segment, "motion_kitchen", ONSET)
+        times, _ = faulty.events_for("motion_kitchen")
+        assert (times < ONSET).all()
+
+    def test_events_before_onset_kept(self, segment):
+        faulty = inject_fail_stop(segment, "motion_kitchen", ONSET)
+        times, _ = segment.events_for("motion_kitchen")
+        faulty_times, _ = faulty.events_for("motion_kitchen")
+        assert len(faulty_times) == (times < ONSET).sum()
+
+    def test_other_devices_untouched(self, segment):
+        faulty = inject_fail_stop(segment, "motion_kitchen", ONSET)
+        for device in ("motion_bedroom", "temp_kitchen"):
+            t0, v0 = segment.events_for(device)
+            t1, v1 = faulty.events_for(device)
+            assert np.array_equal(t0, t1) and np.array_equal(v0, v1)
+
+
+class TestStuckAt:
+    def test_numeric_freezes_at_constant(self, segment):
+        rng = np.random.default_rng(0)
+        _, values = segment.events_for("temp_kitchen")
+        faulty = inject_stuck_at(segment, "temp_kitchen", ONSET, rng)
+        t, v = faulty.events_for("temp_kitchen")
+        after = v[t >= ONSET]
+        assert len(after) > 0
+        assert len(set(after)) == 1  # frozen
+        assert after[0] in values  # a plausible, previously-seen value
+
+    def test_binary_sticks_active(self, segment):
+        rng = np.random.default_rng(0)
+        faulty = inject_stuck_at(segment, "motion_bedroom", ONSET, rng)
+        t, v = faulty.events_for("motion_bedroom")
+        after = v[t >= ONSET]
+        assert len(after) > 100  # continuous reporting
+        assert (after == 1.0).all()
+
+    def test_numeric_keeps_reporting_schedule(self, segment):
+        rng = np.random.default_rng(0)
+        faulty = inject_stuck_at(segment, "temp_kitchen", ONSET, rng)
+        t0, _ = segment.events_for("temp_kitchen")
+        t1, _ = faulty.events_for("temp_kitchen")
+        assert np.array_equal(t0, t1)  # pattern frozen, values replaced
+
+
+class TestOutlier:
+    def test_normal_data_continues(self, segment):
+        rng = np.random.default_rng(0)
+        faulty = inject_outlier(segment, "temp_kitchen", ONSET, rng)
+        t0, _ = segment.events_for("temp_kitchen")
+        t1, _ = faulty.events_for("temp_kitchen")
+        assert len(t1) > len(t0)
+
+    def test_outlier_values_are_anomalous(self, segment):
+        rng = np.random.default_rng(0)
+        _, values = segment.events_for("temp_kitchen")
+        faulty = inject_outlier(segment, "temp_kitchen", ONSET, rng)
+        _, faulty_values = faulty.events_for("temp_kitchen")
+        assert faulty_values.max() > values.max() + (values.max() - values.min())
+
+    def test_occurrence_count_controls_bursts(self, segment):
+        rng = np.random.default_rng(0)
+        faulty = inject_outlier(segment, "motion_bedroom", ONSET, rng, occurrences=1)
+        t0, _ = segment.events_for("motion_bedroom")
+        t1, _ = faulty.events_for("motion_bedroom")
+        assert 3 <= len(t1) - len(t0) <= 6  # one burst
+
+
+class TestHighNoise:
+    def test_numeric_variance_rises(self, segment):
+        rng = np.random.default_rng(0)
+        faulty = inject_high_noise(segment, "temp_kitchen", ONSET, rng)
+        t, v = faulty.events_for("temp_kitchen")
+        after = v[t >= ONSET]
+        _, clean = segment.events_for("temp_kitchen")
+        assert after.std() > clean.std() * 2
+
+    def test_binary_flickers(self, segment):
+        rng = np.random.default_rng(0)
+        faulty = inject_high_noise(segment, "motion_bedroom", ONSET, rng)
+        t, _ = faulty.events_for("motion_bedroom")
+        t0, _ = segment.events_for("motion_bedroom")
+        assert len(t) > len(t0)
+
+
+class TestSpike:
+    def test_burst_is_short(self, segment):
+        rng = np.random.default_rng(0)
+        faulty = inject_spike(segment, "temp_kitchen", ONSET, rng, burst_seconds=120.0)
+        t, v = faulty.events_for("temp_kitchen")
+        _, clean = segment.events_for("temp_kitchen")
+        spike_times = t[(t >= ONSET) & (v > clean.max() + 1.0)]
+        assert len(spike_times) > 0
+        assert spike_times.max() - spike_times.min() <= 120.0
+
+    def test_spike_values_exceed_range(self, segment):
+        rng = np.random.default_rng(0)
+        _, values = segment.events_for("temp_kitchen")
+        faulty = inject_spike(segment, "temp_kitchen", ONSET, rng)
+        _, faulty_values = faulty.events_for("temp_kitchen")
+        assert faulty_values.max() > values.max()
+
+
+class TestApplyFault:
+    def test_dispatch_covers_all_types(self, segment):
+        rng = np.random.default_rng(0)
+        for fault_type in FaultType:
+            fault = InjectedFault("temp_kitchen", fault_type, ONSET)
+            faulty = apply_fault(segment, fault, rng)
+            assert faulty is not segment
+
+    def test_unknown_device_rejected(self, segment):
+        with pytest.raises(KeyError):
+            apply_fault(
+                segment,
+                InjectedFault("ghost", FaultType.FAIL_STOP, ONSET),
+                np.random.default_rng(0),
+            )
+
+    def test_onset_outside_interval_rejected(self, segment):
+        with pytest.raises(ValueError):
+            apply_fault(
+                segment,
+                InjectedFault("temp_kitchen", FaultType.FAIL_STOP, segment.end + 1),
+                np.random.default_rng(0),
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fault_type=st.sampled_from(list(FaultType)),
+    onset_fraction=st.floats(0.1, 0.9),
+)
+def test_faults_never_touch_other_devices(fault_type, onset_fraction):
+    from repro.model import DeviceRegistry, SensorType, binary_sensor, numeric_sensor
+
+    registry = DeviceRegistry(
+        [
+            binary_sensor("victim", SensorType.MOTION),
+            numeric_sensor("bystander", SensorType.TEMPERATURE),
+        ]
+    )
+    times = np.arange(0.0, 3600.0, 60.0)
+    trace = None
+    from repro.model import Trace
+
+    trace = Trace(
+        registry,
+        np.concatenate([times, times + 1.0]),
+        np.concatenate(
+            [np.zeros(len(times), np.int32), np.ones(len(times), np.int32)]
+        ),
+        np.concatenate([np.ones(len(times)), np.full(len(times), 20.0)]),
+        start=0.0,
+        end=3600.0,
+    )
+    onset = onset_fraction * 3600.0
+    fault = InjectedFault("victim", fault_type, onset)
+    faulty = apply_fault(trace, fault, np.random.default_rng(1))
+    t0, v0 = trace.events_for("bystander")
+    t1, v1 = faulty.events_for("bystander")
+    assert np.array_equal(t0, t1)
+    assert np.array_equal(v0, v1)

@@ -1,0 +1,98 @@
+"""Unit tests for the device taxonomy and registry."""
+
+import pytest
+
+from repro.model import (
+    ACTUATOR_TYPES,
+    BINARY_TYPES,
+    NUMERIC_TYPES,
+    Device,
+    DeviceKind,
+    DeviceRegistry,
+    SensorType,
+    actuator,
+    binary_sensor,
+    numeric_sensor,
+)
+
+
+class TestDevice:
+    def test_binary_sensor_properties(self):
+        device = binary_sensor("m1", SensorType.MOTION, "kitchen")
+        assert device.is_sensor
+        assert not device.is_actuator
+        assert device.is_binary
+
+    def test_numeric_sensor_properties(self):
+        device = numeric_sensor("t1", SensorType.TEMPERATURE, "kitchen")
+        assert device.is_sensor
+        assert not device.is_binary
+
+    def test_actuator_properties(self):
+        device = actuator("hue", SensorType.BULB, "kitchen")
+        assert device.is_actuator
+        assert not device.is_sensor
+        assert device.is_binary
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Device("", DeviceKind.BINARY_SENSOR, SensorType.MOTION)
+
+    def test_actuator_kind_requires_actuator_type(self):
+        with pytest.raises(ValueError):
+            Device("x", DeviceKind.ACTUATOR, SensorType.MOTION)
+
+    def test_sensor_kind_rejects_actuator_type(self):
+        with pytest.raises(ValueError):
+            Device("x", DeviceKind.BINARY_SENSOR, SensorType.BULB)
+
+    def test_type_partitions_are_disjoint(self):
+        assert not (NUMERIC_TYPES & BINARY_TYPES)
+        assert not (NUMERIC_TYPES & ACTUATOR_TYPES)
+        assert not (BINARY_TYPES & ACTUATOR_TYPES)
+
+
+class TestDeviceRegistry:
+    def test_insertion_order_and_index(self):
+        registry = DeviceRegistry()
+        assert registry.add(binary_sensor("a", SensorType.MOTION)) == 0
+        assert registry.add(numeric_sensor("b", SensorType.LIGHT)) == 1
+        assert registry.index_of("a") == 0
+        assert registry.index_of("b") == 1
+        assert registry.device_ids == ["a", "b"]
+
+    def test_duplicate_id_rejected(self):
+        registry = DeviceRegistry([binary_sensor("a", SensorType.MOTION)])
+        with pytest.raises(ValueError):
+            registry.add(numeric_sensor("a", SensorType.LIGHT))
+
+    def test_lookup_by_name_and_index(self, registry):
+        assert registry["motion_kitchen"].sensor_type is SensorType.MOTION
+        assert registry[0].device_id == "motion_kitchen"
+        assert registry.get("nope") is None
+        assert "motion_kitchen" in registry
+        assert "nope" not in registry
+
+    def test_census(self, registry):
+        assert registry.census() == (2, 1, 1)
+
+    def test_kind_filters(self, registry):
+        assert [d.device_id for d in registry.binary_sensors()] == [
+            "motion_kitchen",
+            "motion_bedroom",
+        ]
+        assert [d.device_id for d in registry.numeric_sensors()] == ["temp_kitchen"]
+        assert [d.device_id for d in registry.actuators()] == ["hue_kitchen"]
+        assert len(registry.sensors()) == 3
+
+    def test_by_room_and_type(self, registry):
+        assert len(registry.by_room("kitchen")) == 3
+        assert len(registry.by_type(SensorType.MOTION)) == 2
+
+    def test_subset_preserves_order(self, registry):
+        sub = registry.subset(["temp_kitchen", "motion_kitchen"])
+        assert sub.device_ids == ["motion_kitchen", "temp_kitchen"]
+
+    def test_subset_unknown_id(self, registry):
+        with pytest.raises(KeyError):
+            registry.subset(["ghost"])

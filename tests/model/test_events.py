@@ -1,0 +1,34 @@
+"""Unit tests for event primitives."""
+
+from repro.model import OFF, ON, Event, hours, seconds
+
+
+class TestEvent:
+    def test_activation(self):
+        assert Event(0.0, "s", ON).is_active
+        assert not Event(0.0, "s", OFF).is_active
+
+    def test_ordering_is_time_major(self):
+        a = Event(1.0, "z", 0.0)
+        b = Event(2.0, "a", 0.0)
+        assert a < b
+
+    def test_ordering_breaks_ties_by_device(self):
+        a = Event(1.0, "a", 0.0)
+        b = Event(1.0, "b", 0.0)
+        assert a < b
+
+    def test_shifted(self):
+        event = Event(10.0, "s", 1.0)
+        moved = event.shifted(5.0)
+        assert moved.timestamp == 15.0
+        assert moved.device_id == "s"
+
+
+class TestTimeHelpers:
+    def test_seconds(self):
+        assert seconds(hours=1) == 3600.0
+        assert seconds(minutes=2, secs=30) == 150.0
+
+    def test_hours_inverse(self):
+        assert hours(seconds(hours=3.5)) == 3.5

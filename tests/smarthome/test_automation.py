@@ -1,0 +1,119 @@
+"""Unit tests for the automation rules."""
+
+import pytest
+
+from repro.smarthome import (
+    ActivityActuatorRule,
+    ActivityCatalog,
+    ActivityInstance,
+    ActivitySpec,
+    DaylightBlindRule,
+    EffectSwitchRule,
+    NumericEffect,
+    OccupancyLightRule,
+    SimulationContext,
+)
+from repro.smarthome.effects import EffectInterval
+
+HOUR = 3600.0
+
+
+def context(**overrides):
+    defaults = dict(
+        horizon=24 * HOUR,
+        schedule=[],
+        occupancy={},
+        daylight=[(6 * HOUR, 19 * HOUR)],
+        numeric_effects={},
+    )
+    defaults.update(overrides)
+    return SimulationContext(**defaults)
+
+
+class TestOccupancyLightRule:
+    def test_on_off_events_with_delay(self):
+        rule = OccupancyLightRule(
+            "bulb", "kitchen", ["light_k"], night_only=False, delay_seconds=60.0
+        )
+        ctx = context(occupancy={"kitchen": [(1000.0, 2000.0)]})
+        out = rule.evaluate(ctx)
+        assert out.events == [(1060.0, 1.0), (2060.0, 0.0)]
+
+    def test_feedback_effect_spans_occupancy(self):
+        rule = OccupancyLightRule(
+            "bulb", "kitchen", ["light_k"], night_only=False, delay_seconds=60.0
+        )
+        ctx = context(occupancy={"kitchen": [(1000.0, 2000.0)]})
+        out = rule.evaluate(ctx)
+        assert len(out.effects) == 1
+        effect = out.effects[0]
+        assert effect.device_id == "light_k"
+        assert (effect.start, effect.end) == (1060.0, 2060.0)
+
+    def test_night_only_intersects_with_night(self):
+        rule = OccupancyLightRule("bulb", "kitchen", night_only=True)
+        # Occupancy entirely during daylight -> bulb never turns on.
+        ctx = context(occupancy={"kitchen": [(10 * HOUR, 12 * HOUR)]})
+        assert rule.evaluate(ctx).events == []
+
+    def test_empty_room_produces_nothing(self):
+        rule = OccupancyLightRule("bulb", "kitchen", night_only=False)
+        assert rule.evaluate(context()).events == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyLightRule("bulb", "kitchen", delay_seconds=-1.0)
+
+
+class TestEffectSwitchRule:
+    def test_follows_positive_effects_only(self):
+        rule = EffectSwitchRule("fan", "temp_k", delay_seconds=60.0)
+        ctx = context(
+            numeric_effects={
+                "temp_k": [
+                    EffectInterval("temp_k", 1000.0, 2000.0, 5.0),
+                    EffectInterval("temp_k", 3000.0, 4000.0, -5.0),
+                ]
+            }
+        )
+        out = rule.evaluate(ctx)
+        assert out.events == [(1060.0, 1.0), (2060.0, 0.0)]
+
+    def test_feedback(self):
+        rule = EffectSwitchRule(
+            "hum", "h_bed", feedback=[NumericEffect("h_bed2", 3.0)]
+        )
+        ctx = context(
+            numeric_effects={"h_bed": [EffectInterval("h_bed", 0.0, 600.0, 2.0)]}
+        )
+        out = rule.evaluate(ctx)
+        assert out.effects[0].device_id == "h_bed2"
+
+
+class TestDaylightBlindRule:
+    def test_two_movements_per_day(self):
+        rule = DaylightBlindRule("blind", delay_seconds=120.0)
+        out = rule.evaluate(context())
+        activations = [t for t, v in out.events if v > 0]
+        assert activations == [6 * HOUR + 120.0, 19 * HOUR + 120.0]
+
+    def test_movement_completion_reported(self):
+        rule = DaylightBlindRule("blind", movement_seconds=90.0, delay_seconds=0.0)
+        out = rule.evaluate(context())
+        offs = [t for t, v in out.events if v == 0.0]
+        assert offs == [6 * HOUR + 90.0, 19 * HOUR + 90.0]
+
+
+class TestActivityActuatorRule:
+    def test_matches_activity_instances(self):
+        spec = ActivitySpec("listen_music", "living_room", (30, 40))
+        inst = ActivityInstance(spec, 1000.0, 3000.0)
+        rule = ActivityActuatorRule("speaker", "listen_music", delay_seconds=60.0)
+        out = rule.evaluate(context(schedule=[inst]))
+        assert out.events == [(1060.0, 1.0), (3060.0, 0.0)]
+
+    def test_other_activities_ignored(self):
+        spec = ActivitySpec("cook", "kitchen", (10, 20))
+        inst = ActivityInstance(spec, 1000.0, 2000.0)
+        rule = ActivityActuatorRule("speaker", "listen_music")
+        assert rule.evaluate(context(schedule=[inst])).events == []

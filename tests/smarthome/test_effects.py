@@ -1,0 +1,121 @@
+"""Tests for signal synthesis (numeric builders, binary triggers)."""
+
+import numpy as np
+import pytest
+
+from repro.smarthome import BinaryTrigger, NumericProfile, NumericSignalBuilder, binary_events
+
+
+def profile(**kw):
+    defaults = dict(
+        base=20.0,
+        quantum=1.0,
+        noise_sigma=0.0,
+        ramp_seconds=30.0,
+        sample_interval=10.0,
+        hold_reports=1,
+        held_interval=0.0,
+        snap_seconds=60.0,
+    )
+    defaults.update(kw)
+    return NumericProfile(**defaults)
+
+
+class TestBinaryTrigger:
+    def test_continuous_period(self):
+        trigger = BinaryTrigger("d", "continuous", period=20.0)
+        times = binary_events(trigger, 0.0, 100.0, np.random.default_rng(0))
+        assert list(times) == [0.0, 20.0, 40.0, 60.0, 80.0]
+
+    def test_start_and_end(self):
+        rng = np.random.default_rng(0)
+        assert list(binary_events(BinaryTrigger("d", "start"), 5.0, 9.0, rng)) == [5.0]
+        assert list(binary_events(BinaryTrigger("d", "end"), 5.0, 9.0, rng)) == [9.0]
+
+    def test_random_is_subset_of_grid(self):
+        trigger = BinaryTrigger("d", "random", period=10.0, probability=0.5)
+        times = binary_events(trigger, 0.0, 200.0, np.random.default_rng(1))
+        assert all(t % 10.0 == 0.0 for t in times)
+        assert len(times) < 20
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryTrigger("d", "sometimes")
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryTrigger("d", "random", probability=1.5)
+
+
+class TestLevels:
+    def test_single_effect(self):
+        builder = NumericSignalBuilder(profile())
+        builder.add(120.0, 300.0, 5.0)
+        assert builder.levels(600.0) == [(0.0, 20.0), (120.0, 25.0), (300.0, 20.0)]
+
+    def test_overlapping_effects_sum(self):
+        builder = NumericSignalBuilder(profile())
+        builder.add(60.0, 240.0, 5.0)
+        builder.add(120.0, 180.0, 3.0)
+        levels = dict(builder.levels(600.0))
+        assert levels[120.0] == 28.0
+        assert levels[180.0] == 25.0
+
+    def test_snap_rounds_to_grid(self):
+        builder = NumericSignalBuilder(profile(snap_seconds=60.0))
+        builder.add(95.0, 200.0, 5.0)
+        assert builder.levels(600.0)[1][0] == 120.0
+
+    def test_snap_keeps_minimum_duration(self):
+        builder = NumericSignalBuilder(profile())
+        builder.add(100.0, 110.0, 5.0)  # would collapse when snapped
+        levels = builder.levels(600.0)
+        assert len(levels) == 3  # up and back down
+
+    def test_zero_delta_ignored(self):
+        builder = NumericSignalBuilder(profile())
+        builder.add(60.0, 120.0, 0.0)
+        assert builder.levels(600.0) == [(0.0, 20.0)]
+
+
+class TestRender:
+    def test_quiet_sensor_emits_nothing(self):
+        builder = NumericSignalBuilder(profile())
+        times, values = builder.render(600.0, np.random.default_rng(0))
+        assert len(times) == 0
+
+    def test_ramp_then_silence(self):
+        builder = NumericSignalBuilder(profile())
+        builder.add(60.0, 600.0, 10.0)
+        times, values = builder.render(600.0, np.random.default_rng(0))
+        # Ramp samples + one settle confirmation, then silence on plateau.
+        assert times[0] == 60.0
+        assert times[-1] < 120.0
+        assert values[-1] == 30.0
+
+    def test_held_reporting_covers_plateau(self):
+        builder = NumericSignalBuilder(profile(held_interval=45.0))
+        builder.add(60.0, 600.0, 10.0)
+        times, values = builder.render(600.0, np.random.default_rng(0))
+        # Every window of the plateau must contain at least one reading.
+        for window_start in range(120, 540, 60):
+            in_window = (times >= window_start) & (times < window_start + 60)
+            assert in_window.any()
+
+    def test_values_are_quantised(self):
+        builder = NumericSignalBuilder(profile(quantum=0.5, noise_sigma=0.05))
+        builder.add(60.0, 600.0, 7.3)
+        _, values = builder.render(600.0, np.random.default_rng(3))
+        assert np.allclose(values * 2, np.round(values * 2))
+
+    def test_monotone_quadratic_ramp(self):
+        builder = NumericSignalBuilder(profile(ramp_seconds=30.0))
+        builder.add(60.0, 600.0, 10.0)
+        times, values = builder.render(600.0, np.random.default_rng(0))
+        ramp = values[times < 90.0]
+        assert list(ramp) == sorted(ramp)
+
+    def test_negative_duration_rejected(self):
+        builder = NumericSignalBuilder(profile())
+        with pytest.raises(ValueError):
+            builder.add(10.0, 5.0, 1.0)

@@ -1,0 +1,117 @@
+"""Tests for routine instantiation and occupancy derivation."""
+
+import numpy as np
+import pytest
+
+from repro.smarthome import (
+    ActivityCatalog,
+    ActivitySpec,
+    DailyRoutine,
+    RoutineEntry,
+    build_schedule,
+    occupancy_intervals,
+)
+
+DAY = 24 * 3600.0
+
+
+def catalog():
+    return ActivityCatalog(
+        [
+            ActivitySpec("breakfast", "kitchen", (10, 14)),
+            ActivitySpec("sleep", "bedroom", (600, 720), still=True),
+            ActivitySpec("away", "hall", (600, 720), away=True),
+        ]
+    )
+
+
+def routine(entries=None):
+    return DailyRoutine(
+        entries
+        or [
+            RoutineEntry("sleep", 23 * 60, 3),
+            RoutineEntry("breakfast", 8 * 60, 3),
+            RoutineEntry("away", 9 * 60, 3, skip_probability=0.5),
+        ]
+    )
+
+
+class TestRoutineEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoutineEntry("x", -1)
+        with pytest.raises(ValueError):
+            RoutineEntry("x", 10, jitter_minutes=-1)
+        with pytest.raises(ValueError):
+            RoutineEntry("x", 10, skip_probability=1.0)
+
+    def test_activity_names_deduplicated(self):
+        r = DailyRoutine(
+            [RoutineEntry("a", 10), RoutineEntry("b", 20), RoutineEntry("a", 30)]
+        )
+        assert r.activity_names == ["a", "b"]
+
+
+class TestBuildSchedule:
+    def test_instances_sorted_and_clipped(self):
+        rng = np.random.default_rng(0)
+        schedule = build_schedule(routine(), catalog(), 3 * DAY, rng)
+        for earlier, later in zip(schedule, schedule[1:]):
+            assert earlier.start <= later.start
+            assert earlier.end <= later.start + 1e-9
+
+    def test_minute_snapping(self):
+        rng = np.random.default_rng(0)
+        schedule = build_schedule(routine(), catalog(), 2 * DAY, rng)
+        for inst in schedule:
+            assert inst.start % 60.0 == 0.0
+            assert inst.end % 60.0 == 0.0
+
+    def test_presence_extends_to_next_instance(self):
+        rng = np.random.default_rng(0)
+        schedule = build_schedule(routine(), catalog(), 2 * DAY, rng)
+        for earlier, later in zip(schedule, schedule[1:]):
+            assert earlier.presence_end == later.start
+
+    def test_fill_activity_reaches_successor(self):
+        rng = np.random.default_rng(1)
+        schedule = build_schedule(routine(), catalog(), 2 * DAY, rng)
+        sleeps = [i for i in schedule if i.name == "sleep"]
+        assert sleeps
+        for sleep in sleeps[:-1]:
+            following = [i for i in schedule if i.start >= sleep.end]
+            assert following and following[0].start == sleep.end
+
+    def test_skip_probability_takes_effect(self):
+        rng = np.random.default_rng(2)
+        schedule = build_schedule(routine(), catalog(), 30 * DAY, rng)
+        aways = [i for i in schedule if i.name == "away"]
+        assert 3 < len(aways) < 28
+
+    def test_deterministic_given_seed(self):
+        a = build_schedule(routine(), catalog(), 5 * DAY, np.random.default_rng(7))
+        b = build_schedule(routine(), catalog(), 5 * DAY, np.random.default_rng(7))
+        assert [(i.name, i.start, i.end) for i in a] == [
+            (i.name, i.start, i.end) for i in b
+        ]
+
+
+class TestOccupancy:
+    def test_away_contributes_nothing(self):
+        rng = np.random.default_rng(0)
+        schedule = build_schedule(routine(), catalog(), 2 * DAY, rng)
+        occupancy = occupancy_intervals(schedule)
+        assert "hall" not in occupancy
+
+    def test_rooms_present(self):
+        rng = np.random.default_rng(0)
+        schedule = build_schedule(routine(), catalog(), 2 * DAY, rng)
+        occupancy = occupancy_intervals(schedule)
+        assert "kitchen" in occupancy and "bedroom" in occupancy
+
+    def test_spans_merged_and_sorted(self):
+        rng = np.random.default_rng(0)
+        schedule = build_schedule(routine(), catalog(), 5 * DAY, rng)
+        for spans in occupancy_intervals(schedule).values():
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 < s2

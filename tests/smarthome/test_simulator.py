@@ -1,0 +1,123 @@
+"""Tests for the home simulator, floor plans, daylight and automations."""
+
+import numpy as np
+import pytest
+
+from repro.model import SensorType
+from repro.smarthome import (
+    DaylightModel,
+    FloorPlan,
+    HomeSimulator,
+    postech_floorplan,
+    single_floor_apartment,
+)
+from repro.datasets import build_spec
+
+
+class TestFloorPlan:
+    def test_rooms_and_doorways(self):
+        plan = FloorPlan(["a", "b"], [("a", "b")])
+        assert plan.are_adjacent("a", "b")
+        assert plan.neighbours("a") == frozenset({"b"})
+        assert "a" in plan and "c" not in plan
+
+    def test_duplicate_rooms_rejected(self):
+        with pytest.raises(ValueError):
+            FloorPlan(["a", "a"])
+
+    def test_self_doorway_rejected(self):
+        plan = FloorPlan(["a", "b"])
+        with pytest.raises(ValueError):
+            plan.connect("a", "a")
+
+    def test_unknown_room_rejected(self):
+        plan = FloorPlan(["a"])
+        with pytest.raises(KeyError):
+            plan.connect("a", "ghost")
+
+    def test_standard_plans(self):
+        assert "kitchen" in postech_floorplan()
+        assert "hall" in single_floor_apartment(["toilet"])
+
+
+class TestDaylight:
+    def test_one_span_per_day(self):
+        model = DaylightModel(jitter_minutes=0.0)
+        spans = model.spans(3 * 24 * 3600.0, np.random.default_rng(0))
+        assert len(spans) == 3
+        for start, end in spans:
+            assert end - start == pytest.approx(13 * 3600.0, abs=60.0)
+
+    def test_spans_clipped_to_horizon(self):
+        model = DaylightModel()
+        spans = model.spans(8 * 3600.0, np.random.default_rng(0))
+        for start, end in spans:
+            assert 0 <= start < end <= 8 * 3600.0
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            DaylightModel(sunrise_minute=1200, sunset_minute=600)
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return HomeSimulator(build_spec("D_houseA")).simulate(48 * 3600.0, seed=3)
+
+    def test_deterministic_given_seed(self):
+        spec = build_spec("houseA")
+        a = HomeSimulator(spec).simulate(24 * 3600.0, seed=9)
+        b = HomeSimulator(spec).simulate(24 * 3600.0, seed=9)
+        assert np.array_equal(a.timestamps, b.timestamps)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        spec = build_spec("houseA")
+        a = HomeSimulator(spec).simulate(24 * 3600.0, seed=1)
+        b = HomeSimulator(spec).simulate(24 * 3600.0, seed=2)
+        assert len(a) != len(b) or not np.array_equal(a.timestamps, b.timestamps)
+
+    def test_all_device_kinds_produce_events(self, trace):
+        counts = trace.event_counts()
+        registry = trace.registry
+        assert counts[registry.index_of("motion_kitchen")] > 0
+        assert counts[registry.index_of("t_kitchen")] > 0
+        assert counts[registry.index_of("hue_kitchen")] > 0
+        assert counts[registry.index_of("w_bed")] > 0
+
+    def test_events_inside_horizon(self, trace):
+        assert trace.timestamps.min() >= 0.0
+        assert trace.timestamps.max() < 48 * 3600.0
+
+    def test_motion_fires_only_when_occupied(self, trace):
+        # Deep night (02:00-03:00): the resident sleeps (still) — the
+        # kitchen motion sensor must stay quiet.
+        night = trace.slice(2 * 3600.0, 3 * 3600.0)
+        times, _ = night.events_for("motion_kitchen")
+        assert len(times) == 0
+
+    def test_bed_weight_active_at_night(self, trace):
+        # Second night (the simulation starts at midnight of day 0, before
+        # the first scheduled sleep instance exists).
+        night = trace.slice(26 * 3600.0, 27 * 3600.0)
+        _, values = night.events_for("w_bed")
+        # Held reporting keeps the mat visible throughout the night.
+        assert len(values) > 0
+        assert values.max() >= 69.0
+
+    def test_fan_follows_cooking(self, trace):
+        fan_times, fan_values = trace.events_for("wemo_fan")
+        activations = fan_times[fan_values > 0]
+        assert len(activations) > 0
+        # Each activation must coincide with elevated kitchen temperature
+        # shortly after (the cooking effect that triggered it).
+        temp_times, temp_values = trace.events_for("t_kitchen")
+        for activation in activations[:5]:
+            nearby = temp_values[
+                (temp_times > activation - 900) & (temp_times < activation + 900)
+            ]
+            assert len(nearby) and nearby.max() > 22.0
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            HomeSimulator(build_spec("houseA")).simulate(0.0, seed=1)

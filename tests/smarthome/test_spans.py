@@ -1,0 +1,97 @@
+"""Unit and property tests for span arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smarthome.spans import (
+    clip,
+    complement,
+    contains,
+    intersect,
+    normalise,
+    shift,
+    total_length,
+    union,
+)
+
+span_lists = st.lists(
+    st.tuples(
+        st.floats(0, 1000, allow_nan=False), st.floats(0, 1000, allow_nan=False)
+    ).map(lambda p: (min(p), max(p))),
+    max_size=12,
+)
+
+
+class TestNormalise:
+    def test_merges_overlaps(self):
+        assert normalise([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_merges_touching(self):
+        assert normalise([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_drops_empty(self):
+        assert normalise([(3, 3), (1, 2)]) == [(1, 2)]
+
+    def test_sorts(self):
+        assert normalise([(5, 6), (1, 2)]) == [(1, 2), (5, 6)]
+
+
+class TestIntersect:
+    def test_basic(self):
+        assert intersect([(0, 10)], [(5, 15)]) == [(5, 10)]
+
+    def test_disjoint(self):
+        assert intersect([(0, 1)], [(2, 3)]) == []
+
+    def test_multiple(self):
+        a = [(0, 4), (6, 10)]
+        b = [(2, 8)]
+        assert intersect(a, b) == [(2, 4), (6, 8)]
+
+
+class TestComplement:
+    def test_gaps(self):
+        assert complement([(2, 4)], 0, 10) == [(0, 2), (4, 10)]
+
+    def test_full_cover(self):
+        assert complement([(0, 10)], 0, 10) == []
+
+    def test_empty_input(self):
+        assert complement([], 0, 5) == [(0, 5)]
+
+
+class TestMisc:
+    def test_union(self):
+        assert union([(0, 2)], [(1, 5)]) == [(0, 5)]
+
+    def test_total_length(self):
+        assert total_length([(0, 2), (5, 6)]) == 3
+
+    def test_contains(self):
+        assert contains([(0, 2)], 1.0)
+        assert not contains([(0, 2)], 2.0)  # half-open
+
+    def test_shift(self):
+        assert shift([(0, 1)], 10) == [(10, 11)]
+
+    def test_clip(self):
+        assert clip([(0, 10)], 2, 5) == [(2, 5)]
+        assert clip([(0, 1)], 5, 6) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(spans=span_lists)
+def test_normalise_is_idempotent(spans):
+    once = normalise(spans)
+    assert normalise(once) == once
+
+
+@settings(max_examples=60, deadline=None)
+@given(spans=span_lists)
+def test_complement_partitions_interval(spans):
+    lo, hi = 0.0, 1000.0
+    norm = normalise(clip(spans, lo, hi))
+    comp = complement(norm, lo, hi)
+    assert total_length(norm) + total_length(comp) == pytest.approx(hi - lo)
+    assert intersect(norm, comp) == []

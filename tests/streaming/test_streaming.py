@@ -1,0 +1,107 @@
+"""Tests for the online windower and the streaming runtime.
+
+The central property: replaying a trace through the streaming path
+produces exactly the same windows and verdicts as the batch path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DiceDetector, StateSetEncoder
+from repro.model import Event
+from repro.streaming import OnlineDice, OnlineWindower
+from tests.conftest import HOUR, make_cyclic_trace
+
+
+@pytest.fixture
+def encoder(registry, cyclic_trace):
+    return StateSetEncoder(registry, 60.0).fit(cyclic_trace)
+
+
+class TestOnlineWindower:
+    def test_masks_match_batch_encoder(self, registry, encoder, cyclic_trace):
+        batch = encoder.encode(cyclic_trace)
+        windower = OnlineWindower(encoder)
+        snapshots = []
+        for event in cyclic_trace:
+            snapshots.extend(windower.push(event))
+        snapshots.extend(windower.advance_to(cyclic_trace.end))
+        assert len(snapshots) == len(batch)
+        for snapshot, mask in zip(snapshots, batch.masks):
+            assert snapshot.mask == mask
+
+    def test_actuator_activations_match(self, registry, encoder, cyclic_trace):
+        batch = encoder.encode(cyclic_trace)
+        windower = OnlineWindower(encoder)
+        snapshots = []
+        for event in cyclic_trace:
+            snapshots.extend(windower.push(event))
+        snapshots.extend(windower.advance_to(cyclic_trace.end))
+        for snapshot, acts in zip(snapshots, batch.actuator_activations):
+            assert snapshot.actuator_activations == acts
+
+    def test_late_event_rejected(self, encoder):
+        windower = OnlineWindower(encoder)
+        windower.push(Event(200.0, "motion_kitchen", 1.0))
+        with pytest.raises(ValueError):
+            windower.push(Event(10.0, "motion_kitchen", 1.0))
+
+    def test_unknown_device_rejected(self, encoder):
+        windower = OnlineWindower(encoder)
+        with pytest.raises(KeyError):
+            windower.push(Event(1.0, "ghost", 1.0))
+
+    def test_unfitted_encoder_rejected(self, registry):
+        with pytest.raises(ValueError):
+            OnlineWindower(StateSetEncoder(registry, 60.0))
+
+    def test_flush_partial_window(self, encoder):
+        windower = OnlineWindower(encoder)
+        windower.push(Event(10.0, "motion_kitchen", 1.0))
+        snapshot = windower.flush()
+        assert snapshot.mask == 1 << 0
+
+
+class TestOnlineDice:
+    def test_requires_fitted_detector(self, registry):
+        with pytest.raises(ValueError):
+            OnlineDice(DiceDetector(registry))
+
+    def test_clean_replay_matches_batch(self, fitted_detector, live_segment):
+        batch = fitted_detector.process(live_segment)
+        online = OnlineDice(fitted_detector, start=live_segment.start)
+        online.replay(live_segment)
+        detections = [a for a in online.alerts if a.kind == "detection"]
+        assert len(detections) == len(batch.detections)
+
+    def test_faulty_replay_matches_batch(self, fitted_detector, live_segment):
+        faulty = live_segment.without_device("motion_kitchen")
+        batch = fitted_detector.process(faulty)
+        online = OnlineDice(fitted_detector, start=faulty.start)
+        online.replay(faulty)
+        detections = [a for a in online.alerts if a.kind == "detection"]
+        identifications = [a for a in online.alerts if a.kind == "identification"]
+        assert len(detections) == len(batch.detections)
+        assert len(identifications) == len(batch.identifications)
+        assert detections[0].time == batch.first_detection.time
+        assert (
+            identifications[0].devices == batch.first_identification.devices
+        )
+
+    def test_alert_times_align_with_window_ends(self, fitted_detector, live_segment):
+        faulty = live_segment.without_device("motion_kitchen")
+        online = OnlineDice(fitted_detector, start=faulty.start)
+        online.replay(faulty)
+        for alert in online.alerts:
+            assert (alert.time - faulty.start) % 60.0 == pytest.approx(0.0)
+
+    def test_dataset_scale_parity(self, small_house):
+        """Batch and streaming agree on a real generated dataset slice."""
+        trace = small_house.trace
+        detector = DiceDetector(trace.registry).fit(trace.slice(0, 72 * HOUR))
+        segment = trace.slice(96 * HOUR, 102 * HOUR)
+        batch = detector.process(segment)
+        online = OnlineDice(detector, start=segment.start)
+        online.replay(segment)
+        detections = [a for a in online.alerts if a.kind == "detection"]
+        assert len(detections) == len(batch.detections)

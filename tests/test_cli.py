@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_datasets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("houseA", "twor", "hh102", "D_houseA", "D_hh102"):
+            assert name in out
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        code = main(
+            ["generate", "houseA", "--hours", "6", "--seed", "1", "-o", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert (tmp_path / "trace.devices.csv").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_roundtrips_through_io(self, tmp_path):
+        out_path = tmp_path / "trace.csv"
+        main(["generate", "houseA", "--hours", "6", "--seed", "1", "-o", str(out_path)])
+        from repro.datasets import read_trace
+
+        trace = read_trace(str(out_path))
+        assert len(trace.registry) == 14
+
+
+class TestEvaluate:
+    def test_prints_metrics(self, capsys):
+        code = main(
+            ["evaluate", "houseA", "--scale", "0.2", "--pairs", "4", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detection:" in out
+        assert "identification:" in out
+        assert "correlation degree:" in out
+
+
+class TestExperiment:
+    def test_degree_table(self, capsys):
+        code = main(
+            [
+                "experiment", "degree",
+                "--datasets", "houseA",
+                "--scale", "0.2",
+                "--pairs", "4",
+            ]
+        )
+        assert code == 0
+        assert "correlation degree" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
