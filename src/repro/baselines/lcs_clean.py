@@ -11,9 +11,8 @@ collapses relative to training is reported as an outlier.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-import numpy as np
 
 from ..core import DEFAULT_CONFIG, DiceConfig, StateSetEncoder
 from ..model import Trace

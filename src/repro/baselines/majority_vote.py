@@ -14,7 +14,7 @@ sensors (houseA!) leave most devices peerless and therefore unprotected.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core import DEFAULT_CONFIG, DiceConfig, StateSetEncoder
 from ..model import Trace

@@ -11,7 +11,7 @@ criticises: fail-stop faults (no data at all) are invisible to it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

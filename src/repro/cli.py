@@ -1,20 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the everyday workflows:
+Five commands cover the everyday workflows:
 
 * ``list`` — the Table 4.1 dataset registry;
 * ``generate`` — render a dataset to CSV (plus its device registry);
 * ``evaluate`` — run the Ch. V protocol on one dataset and print the
   headline metrics;
 * ``experiment`` — regenerate one of the paper's artifacts (accuracy,
-  timing, check-timing, computation, degree, ratio) as a table.
+  timing, check-timing, computation, degree, ratio) as a table;
+* ``stream`` — exercise the hardened gateway runtime on one dataset:
+  optional pipe faults on the delivery channel, ingest-guard drop
+  accounting, device supervision, and checkpoint save/resume.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +55,44 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.5)
     experiment.add_argument("--pairs", type=int, default=30)
     experiment.add_argument("--seed", type=int, default=0)
+
+    stream = sub.add_parser(
+        "stream", help="run the hardened gateway runtime over one dataset"
+    )
+    stream.add_argument("dataset")
+    stream.add_argument("--hours", type=float, default=96.0, help="total recording")
+    stream.add_argument(
+        "--train-hours", type=float, default=72.0, help="precomputation prefix"
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--lateness", type=float, default=120.0,
+        help="reorder-buffer lateness budget in seconds",
+    )
+    stream.add_argument(
+        "--silence", type=float, default=900.0,
+        help="supervisor: silence before a device degrades (seconds)",
+    )
+    stream.add_argument(
+        "--quarantine", type=float, default=1800.0,
+        help="supervisor: silence before a device is quarantined (seconds)",
+    )
+    stream.add_argument(
+        "--pipe-faults", default=None,
+        help="comma-separated channel perturbations to inject "
+        "(drop,delay,duplicate,reorder,corrupt_value)",
+    )
+    stream.add_argument(
+        "--pipe-rate", type=float, default=0.05, help="pipe-fault event fraction"
+    )
+    stream.add_argument(
+        "--save-checkpoint", default=None, metavar="PATH",
+        help="write the end-of-stream runtime snapshot to PATH",
+    )
+    stream.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="restore the runtime from a snapshot instead of starting fresh",
+    )
     return parser
 
 
@@ -164,6 +205,98 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import numpy as np
+
+    from .datasets import load_dataset
+    from .faults import PipeFaultInjector, PipeFaultSpec, PipeFaultType
+    from .streaming import (
+        HardenedOnlineDice,
+        SupervisorPolicy,
+        restore_from_file,
+        save_checkpoint,
+    )
+
+    data = load_dataset(args.dataset, seed=args.seed, hours=args.hours)
+    trace = data.trace
+    split = trace.start + args.train_hours * 3600.0
+    if not trace.start < split < trace.end:
+        print("train-hours must leave a non-empty live segment", file=sys.stderr)
+        return 2
+    from .core import DiceDetector
+
+    detector = DiceDetector(trace.registry).fit(trace.slice(trace.start, split))
+    live = trace.slice(split, trace.end)
+
+    if args.resume:
+        from .streaming import CheckpointError
+
+        try:
+            runtime = restore_from_file(detector, args.resume)
+        except (OSError, ValueError, KeyError, CheckpointError) as exc:
+            print(f"cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        print(f"resumed from {args.resume} (watermark {runtime.reorder.watermark:.0f}s)")
+    else:
+        runtime = HardenedOnlineDice(
+            detector,
+            start=live.start,
+            lateness_seconds=args.lateness,
+            policy=SupervisorPolicy(
+                silence_seconds=args.silence, quarantine_seconds=args.quarantine
+            ),
+        )
+
+    events = [e for e in live if e.timestamp > runtime.reorder.watermark]
+    if args.pipe_faults:
+        specs = []
+        for name in args.pipe_faults.split(","):
+            try:
+                fault_type = PipeFaultType(name.strip())
+            except ValueError:
+                valid = ", ".join(t.value for t in PipeFaultType)
+                print(
+                    f"unknown pipe fault {name.strip()!r} (choose from: {valid})",
+                    file=sys.stderr,
+                )
+                return 2
+            specs.append(
+                PipeFaultSpec(
+                    fault_type,
+                    rate=args.pipe_rate,
+                    max_delay_seconds=args.lateness,
+                )
+            )
+        injector = PipeFaultInjector(np.random.default_rng(args.seed), specs)
+        events = injector.apply(events)
+
+    alerts = runtime.ingest_many(events)
+    if args.save_checkpoint:
+        save_checkpoint(runtime, args.save_checkpoint)
+        print(f"checkpoint saved to {args.save_checkpoint} (stream left open)")
+    else:
+        alerts += runtime.finish_stream(live.end)
+
+    print(
+        f"streamed {len(events)} events "
+        f"({live.duration_hours:.1f} h live segment of {args.dataset})"
+    )
+    kinds: dict = {}
+    for alert in alerts:
+        kinds[alert.kind] = kinds.get(alert.kind, 0) + 1
+    for kind in ("detection", "identification", "device_silence",
+                 "device_errors", "device_recovered"):
+        if kind in kinds:
+            print(f"alerts[{kind}]: {kinds[kind]}")
+    drops = runtime.drops.summary()
+    print(f"dropped events: {runtime.drops.total}"
+          + (f" ({', '.join(f'{k}={v}' for k, v in drops.items())})" if drops else ""))
+    quarantined = sorted(runtime.supervisor.quarantined)
+    if quarantined:
+        print(f"quarantined devices: {', '.join(quarantined)}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -174,6 +307,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

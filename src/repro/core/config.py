@@ -22,7 +22,7 @@ All tunables named in the paper live here with their paper defaults:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 #: Bits contributed per device class (Eq. 3.1 vs Eqs. 3.2-3.4).

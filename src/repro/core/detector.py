@@ -226,7 +226,6 @@ class DiceDetector:
         prev_acts: FrozenSet[str] = frozenset()
         session: Optional[IdentificationSession] = None
         session_trigger = CORRELATION_CHECK
-        session_start_window = 0
 
         for i, (mask, acts) in enumerate(windowed):
             timings.windows += 1

@@ -25,7 +25,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..model import DeviceKind, DeviceRegistry, Trace
+from ..model import DeviceRegistry, Trace
 from .bitset import words_needed
 
 #: Roles of the three numeric-sensor bits, in layout order.
@@ -276,7 +276,9 @@ class StateSetEncoder:
         # Its sign equals the sign of the skewness in Eq. 3.2 (sigma > 0).
         m3 = (s3 - 3.0 * mean * s2 + 2.0 * count * mean**3) / count
         variance = s2 / count - mean**2
-        skew_bit = (m3 > 1e-12) & (variance > 1e-12)
+        # Single-sample windows have no spread: skewness must read False by
+        # construction, not by trusting s2/n - mu^2 to cancel to exactly 0.
+        skew_bit = (m3 > 1e-12) & (variance > 1e-12) & (count > 1)
         trend_bit = last - first > 0
         thresholds = self._value_thresholds[seg_dev]
         mean_bit = mean > thresholds

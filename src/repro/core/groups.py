@@ -15,7 +15,7 @@ The scan is the dominant real-time cost (Fig. 5.3) and is vectorised via
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

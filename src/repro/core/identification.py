@@ -18,7 +18,7 @@ single-fault configuration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .checks import (
@@ -204,6 +204,37 @@ class IdentificationSession:
             self.intersection = narrowed or probable.devices
         self._check_done()
         return self._outcome
+
+    # -- checkpoint support ---------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the session (gateway checkpointing).
+
+        Only open sessions are worth snapshotting — a done session has
+        already produced its alert — so the outcome is not serialized.
+        """
+        return {
+            "intersection": sorted(self.intersection),
+            "windows_used": self.windows_used,
+            "history": [sorted(devices) for devices in self.history],
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        config: DiceConfig,
+        state: dict,
+        weights: Optional[DeviceWeights] = None,
+    ) -> "IdentificationSession":
+        """Rebuild a session captured by :meth:`state_dict`."""
+        session = cls.__new__(cls)
+        session.config = config
+        session.weights = weights
+        session.intersection = frozenset(state["intersection"])
+        session.windows_used = int(state["windows_used"])
+        session.history = [frozenset(devices) for devices in state["history"]]
+        session._outcome = None
+        return session
 
     def _check_done(self) -> None:
         if self._outcome is not None:

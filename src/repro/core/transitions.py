@@ -16,7 +16,7 @@ a *zero* probability for an observed row is a transition violation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Generic, Hashable, List, Sequence, Tuple, TypeVar
+from typing import Dict, FrozenSet, Generic, Hashable, List, Sequence, TypeVar
 
 Row = TypeVar("Row", bound=Hashable)
 Col = TypeVar("Col", bound=Hashable)

@@ -12,7 +12,7 @@ warning on safety-critical devices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Set
+from typing import Dict, Iterable, Set
 
 #: Weight at which a device bypasses the numThre convergence rule.
 DEFAULT_ALARM_THRESHOLD = 1.0

@@ -11,14 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..model import (
-    Device,
-    DeviceRegistry,
-    SensorType,
-    actuator,
-    binary_sensor,
-    numeric_sensor,
-)
+from ..model import DeviceRegistry, SensorType, actuator, binary_sensor, numeric_sensor
 from ..smarthome import (
     ActivityCatalog,
     ActivitySpec,

@@ -55,14 +55,14 @@ def build_twor() -> HomeSpec:
 
     # Doors (12).
     front = b.binary("d_front", DOOR, "hall")
-    back = b.binary("d_back", DOOR, "kitchen")
+    b.binary("d_back", DOOR, "kitchen")
     bed1_door = b.binary("d_bedroom1", DOOR, "bedroom1")
     bed2_door = b.binary("d_bedroom2", DOOR, "bedroom2")
     bath1_door = b.binary("d_bathroom1", DOOR, "bathroom1")
     bath2_door = b.binary("d_bathroom2", DOOR, "bathroom2")
     office_door = b.binary("d_office", DOOR, "office")
-    closet1 = b.binary("d_closet1", DOOR, "bedroom1")
-    closet2 = b.binary("d_closet2", DOOR, "bedroom2")
+    b.binary("d_closet1", DOOR, "bedroom1")
+    b.binary("d_closet2", DOOR, "bedroom2")
     fridge = b.binary("d_fridge", DOOR, "kitchen")
     freezer = b.binary("d_freezer", DOOR, "kitchen")
     cabinet = b.binary("d_cabinet", DOOR, "kitchen")

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Optional, TextIO, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -17,7 +17,7 @@ structure to learn.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..model import SensorType
 from ..smarthome import (
@@ -68,7 +68,7 @@ def _testbed_builder(name: str) -> HomeBuilder:
     b.numeric("h_entrance", SensorType.HUMIDITY, "entrance")
     s_kitchen = b.numeric("s_kitchen", SensorType.SOUND, "kitchen")
     s_bathroom = b.numeric("s_bathroom", SensorType.SOUND, "bathroom")
-    s_bedroom = b.numeric("s_bedroom", SensorType.SOUND, "bedroom")
+    b.numeric("s_bedroom", SensorType.SOUND, "bedroom")
     s_living = b.numeric("s_living", SensorType.SOUND, "living_room")
     b.numeric("u_entrance", SensorType.ULTRASONIC, "entrance")
     b.numeric("u_kitchen", SensorType.ULTRASONIC, "kitchen")

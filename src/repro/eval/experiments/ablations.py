@@ -18,9 +18,8 @@ Plus one ablation of our own design choices: the two-step G2G closure
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
-from ...core import DiceConfig
 from .common import ProtocolSettings, run_protocol
 
 

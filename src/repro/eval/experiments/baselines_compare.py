@@ -12,7 +12,7 @@ same-type sensors exist, and the AR baseline cannot see fail-stop faults.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ identification are near-free, and the total stays well under the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .common import ProtocolSettings, default_datasets, run_protocol
 

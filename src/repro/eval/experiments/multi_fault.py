@@ -11,11 +11,10 @@ holes at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ...core import DiceConfig, DiceDetector
+from ...core import DiceDetector
 from ...datasets import load_dataset
 from ...faults import FaultInjector, split_precompute
 from ..metrics import IdentificationCounts

@@ -10,7 +10,7 @@ actually moves on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ...core import CORRELATION_CHECK, TRANSITION_CHECK
 from .common import ProtocolSettings, default_datasets, run_protocol

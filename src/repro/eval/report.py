@@ -6,7 +6,7 @@ artifact reports, so a benchmark run reads side-by-side with the thesis.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def format_table(

@@ -16,14 +16,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
-from ..core import (
-    CORRELATION_CHECK,
-    DEFAULT_CONFIG,
-    DiceConfig,
-    DiceDetector,
-    SegmentReport,
-    StageTimings,
-)
+from ..core import DEFAULT_CONFIG, DiceConfig, DiceDetector, SegmentReport, StageTimings
 from ..faults import FaultType, InjectedFault, SegmentPair, make_segment_pairs
 from ..model import Device, Trace
 from .metrics import DetectionCounts, IdentificationCounts, TimingStats

@@ -14,9 +14,31 @@ from .models import (
     inject_spike,
     inject_stuck_at,
 )
+from .pipe import (
+    ALL_PIPE_FAULT_TYPES,
+    PipeFaultInjector,
+    PipeFaultSpec,
+    PipeFaultType,
+    apply_pipe_fault,
+    corrupt_values,
+    delay_events,
+    drop_events,
+    duplicate_events,
+    reorder_events,
+)
 from .segments import SegmentPair, make_segment_pairs, segment_starts, split_precompute
 
 __all__ = [
+    "ALL_PIPE_FAULT_TYPES",
+    "PipeFaultInjector",
+    "PipeFaultSpec",
+    "PipeFaultType",
+    "apply_pipe_fault",
+    "corrupt_values",
+    "delay_events",
+    "drop_events",
+    "duplicate_events",
+    "reorder_events",
     "Attack",
     "light_attack",
     "spoof_sensor_high",

@@ -1,0 +1,175 @@
+"""Pipe-fault injectors: perturbations of the *delivery channel*.
+
+The paper's fault models (:mod:`repro.faults.models`) perturb what a
+device *measures*; these injectors perturb how its telemetry *travels* —
+the gateway-side failure modes a hardened runtime must survive: dropped
+frames, delayed delivery, re-delivered duplicates, out-of-order arrival,
+and payload corruption (NaN/inf values).
+
+They operate on **arrival sequences** — plain lists of
+:class:`~repro.model.events.Event` in the order the gateway receives them —
+not on :class:`~repro.model.trace.Trace`, which sorts by timestamp and
+would erase exactly the disorder being modelled.  Delay/reorder faults
+keep every event's *timestamp* (the device's clock is fine; the pipe is
+late) and move its *position* in the sequence instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..model import Event
+
+
+class PipeFaultType(enum.Enum):
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    CORRUPT_VALUE = "corrupt_value"
+
+
+ALL_PIPE_FAULT_TYPES = tuple(PipeFaultType)
+
+#: Corrupt payloads cycle through the classic non-finite values.
+_CORRUPT_VALUES = (float("nan"), float("inf"), float("-inf"))
+
+
+@dataclass(frozen=True)
+class PipeFaultSpec:
+    """One channel perturbation: which fault, how often, how severe."""
+
+    fault_type: PipeFaultType
+    #: Fraction of events affected (DROP/DELAY/DUPLICATE/CORRUPT_VALUE); the
+    #: REORDER fault jitters every event's arrival instead.
+    rate: float = 0.05
+    #: Maximum extra arrival latency in seconds (DELAY/DUPLICATE/REORDER).
+    max_delay_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if self.max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be non-negative")
+
+
+def _arrival_sort(events: Sequence[Event], arrival: np.ndarray) -> List[Event]:
+    """Events re-ordered by their arrival keys (stable)."""
+    order = np.argsort(arrival, kind="stable")
+    return [events[int(i)] for i in order]
+
+
+def drop_events(
+    events: Sequence[Event], rng: np.random.Generator, rate: float
+) -> List[Event]:
+    """The pipe silently loses a *rate* fraction of frames."""
+    keep = rng.random(len(events)) >= rate
+    return [e for e, k in zip(events, keep) if k]
+
+
+def delay_events(
+    events: Sequence[Event],
+    rng: np.random.Generator,
+    rate: float,
+    max_delay_seconds: float,
+) -> List[Event]:
+    """A *rate* fraction of frames arrives up to *max_delay_seconds* late.
+
+    Timestamps are untouched; only the arrival position moves, so a
+    reorder buffer with a sufficient lateness budget can undo this fault
+    completely.
+    """
+    n = len(events)
+    arrival = np.array([e.timestamp for e in events], dtype=np.float64)
+    late = rng.random(n) < rate
+    arrival[late] += rng.uniform(0.0, max_delay_seconds, size=int(late.sum()))
+    return _arrival_sort(events, arrival)
+
+
+def duplicate_events(
+    events: Sequence[Event],
+    rng: np.random.Generator,
+    rate: float,
+    max_delay_seconds: float,
+) -> List[Event]:
+    """A *rate* fraction of frames is re-delivered, the copy arriving up to
+    *max_delay_seconds* after the original."""
+    out: List[Event] = []
+    arrival: List[float] = []
+    for event in events:
+        out.append(event)
+        arrival.append(event.timestamp)
+        if rng.random() < rate:
+            out.append(event)
+            arrival.append(
+                event.timestamp + float(rng.uniform(0.0, max_delay_seconds))
+            )
+    return _arrival_sort(out, np.array(arrival, dtype=np.float64))
+
+
+def reorder_events(
+    events: Sequence[Event],
+    rng: np.random.Generator,
+    max_delay_seconds: float,
+) -> List[Event]:
+    """Every frame's arrival is jittered by up to *max_delay_seconds* —
+    local shuffling, the typical footprint of a congested uplink."""
+    arrival = np.array([e.timestamp for e in events], dtype=np.float64)
+    arrival += rng.uniform(0.0, max_delay_seconds, size=len(events))
+    return _arrival_sort(events, arrival)
+
+
+def corrupt_values(
+    events: Sequence[Event], rng: np.random.Generator, rate: float
+) -> List[Event]:
+    """A *rate* fraction of payloads arrives as NaN/±inf (bit rot, firmware
+    bugs, truncated frames decoded as garbage)."""
+    out: List[Event] = []
+    for event in events:
+        if rng.random() < rate:
+            value = _CORRUPT_VALUES[int(rng.integers(len(_CORRUPT_VALUES)))]
+            out.append(Event(event.timestamp, event.device_id, value))
+        else:
+            out.append(event)
+    return out
+
+
+def apply_pipe_fault(
+    events: Sequence[Event],
+    spec: PipeFaultSpec,
+    rng: np.random.Generator,
+) -> List[Event]:
+    """Dispatch on the pipe-fault type."""
+    if spec.fault_type is PipeFaultType.DROP:
+        return drop_events(events, rng, spec.rate)
+    if spec.fault_type is PipeFaultType.DELAY:
+        return delay_events(events, rng, spec.rate, spec.max_delay_seconds)
+    if spec.fault_type is PipeFaultType.DUPLICATE:
+        return duplicate_events(events, rng, spec.rate, spec.max_delay_seconds)
+    if spec.fault_type is PipeFaultType.REORDER:
+        return reorder_events(events, rng, spec.max_delay_seconds)
+    if spec.fault_type is PipeFaultType.CORRUPT_VALUE:
+        return corrupt_values(events, rng, spec.rate)
+    raise ValueError(f"unhandled pipe fault type {spec.fault_type}")
+
+
+class PipeFaultInjector:
+    """Composes several channel perturbations over one arrival sequence."""
+
+    def __init__(
+        self, rng: np.random.Generator, specs: Sequence[PipeFaultSpec]
+    ) -> None:
+        if not specs:
+            raise ValueError("need at least one pipe-fault spec")
+        self.rng = rng
+        self.specs = tuple(specs)
+
+    def apply(self, events: Sequence[Event]) -> List[Event]:
+        out = list(events)
+        for spec in self.specs:
+            out = apply_pipe_fault(out, spec, self.rng)
+        return out

@@ -10,7 +10,7 @@ activations feed the G2A/A2G transition matrices.  Everything downstream
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 

@@ -7,7 +7,9 @@ An event is one reading or activation from one device at one instant:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Optional
 
 #: Conventional values for binary devices.
 ON = 1.0
@@ -34,6 +36,26 @@ class Event:
     def shifted(self, delta: float) -> "Event":
         """A copy of this event moved by *delta* seconds."""
         return Event(self.timestamp + delta, self.device_id, self.value)
+
+    def invalid_reason(self) -> Optional[str]:
+        """Why this event is malformed, or ``None`` when it is well-formed.
+
+        A well-formed event has a finite timestamp, a finite value and a
+        non-empty device id.  Gateway pipes deliver everything else too —
+        NaN payloads from flaky firmware, empty ids from truncated frames —
+        so ingest paths check this before touching any windowing state.
+        """
+        if not isinstance(self.device_id, str) or not self.device_id:
+            return "empty_device_id"
+        if not math.isfinite(self.timestamp):
+            return "non_finite_timestamp"
+        if not math.isfinite(self.value):
+            return "non_finite_value"
+        return None
+
+    def is_valid(self) -> bool:
+        """Whether the event is well-formed (see :meth:`invalid_reason`)."""
+        return self.invalid_reason() is None
 
 
 def seconds(hours: float = 0.0, minutes: float = 0.0, secs: float = 0.0) -> float:

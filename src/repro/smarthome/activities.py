@@ -13,7 +13,7 @@ that room's presence sensors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from .effects import BinaryTrigger

@@ -19,11 +19,10 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from .activities import ActivityInstance, NumericEffect
 from .effects import EffectInterval
-from .spans import Span, complement, intersect, normalise, shift
+from .spans import Span, complement, intersect, normalise
 
 
 @dataclass

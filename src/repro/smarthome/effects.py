@@ -12,7 +12,7 @@ ramps while the physical quantity moves, confirmations on settling, silence
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 

@@ -28,11 +28,11 @@ from ..model import DeviceKind, DeviceRegistry, SensorType, Trace
 from .activities import ActivityCatalog, ActivityInstance
 from .automation import AutomationRule, SimulationContext
 from .daylight import DaylightModel
-from .effects import BinaryTrigger, EffectInterval, NumericSignalBuilder, binary_events
+from .effects import EffectInterval, NumericSignalBuilder, binary_events
 from .floorplan import FloorPlan
 from .profiles import NumericProfile, profile_for
 from .schedule import DailyRoutine, build_schedule, occupancy_intervals
-from .spans import clip, complement, intersect, normalise
+from .spans import normalise
 
 
 @dataclass

@@ -1,0 +1,167 @@
+"""Ingest validation for the hardened gateway runtime.
+
+A real gateway pipe delivers more than well-formed telemetry: NaN payloads
+from flaky firmware, empty device ids from truncated frames, readings from
+devices that were never commissioned, and timestamps from before the stream
+even started.  The :class:`IngestGuard` checks every arriving event against
+those failure modes *before* it can touch any windowing state, and turns
+each reject into a structured :class:`DroppedEvent` record instead of an
+exception mid-stream.  All drops — the guard's own and those of the reorder
+buffer downstream — accumulate in one shared :class:`DropLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..model import DeviceRegistry, Event
+
+#: Drop reasons stamped by the ingest guard.
+EMPTY_DEVICE_ID = "empty_device_id"
+NON_FINITE_TIMESTAMP = "non_finite_timestamp"
+NON_FINITE_VALUE = "non_finite_value"
+UNKNOWN_DEVICE = "unknown_device"
+BEFORE_START = "before_start"
+#: Drop reasons stamped by the reorder buffer (kept here so every reason
+#: string lives in one module).
+TOO_LATE = "too_late"
+DUPLICATE = "duplicate"
+
+#: Every reason a DroppedEvent may carry, in reporting order.
+ALL_DROP_REASONS = (
+    EMPTY_DEVICE_ID,
+    NON_FINITE_TIMESTAMP,
+    NON_FINITE_VALUE,
+    UNKNOWN_DEVICE,
+    BEFORE_START,
+    TOO_LATE,
+    DUPLICATE,
+)
+
+
+@dataclass(frozen=True)
+class DroppedEvent:
+    """One rejected event, preserved for post-mortems.
+
+    The raw fields are copied out of the event (rather than holding the
+    event itself) so the record stays JSON-serializable even when the value
+    is NaN/inf — those serialize as strings via :meth:`to_json_dict`.
+    """
+
+    timestamp: float
+    device_id: str
+    value: float
+    reason: str
+
+    def to_json_dict(self) -> dict:
+        return {
+            "timestamp": _float_to_json(self.timestamp),
+            "device_id": self.device_id,
+            "value": _float_to_json(self.value),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "DroppedEvent":
+        return cls(
+            _float_from_json(data["timestamp"]),
+            data["device_id"],
+            _float_from_json(data["value"]),
+            data["reason"],
+        )
+
+
+def _float_to_json(x: float):
+    """JSON has no NaN/inf literals; render them as strings."""
+    if x != x or x in (float("inf"), float("-inf")):
+        return repr(x)
+    return x
+
+
+def _float_from_json(x) -> float:
+    return float(x)
+
+
+class DropLog:
+    """Counters plus a bounded sample of dropped events.
+
+    Per-reason counts are exact; only the first ``max_samples`` full records
+    are kept so a firehose of rejects cannot exhaust gateway memory.
+    """
+
+    def __init__(self, max_samples: int = 100) -> None:
+        self.max_samples = int(max_samples)
+        self.counts: Dict[str, int] = {}
+        self.samples: List[DroppedEvent] = []
+
+    def record(self, dropped: DroppedEvent) -> DroppedEvent:
+        self.counts[dropped.reason] = self.counts.get(dropped.reason, 0) + 1
+        if len(self.samples) < self.max_samples:
+            self.samples.append(dropped)
+        return dropped
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, reason: str) -> int:
+        return self.counts.get(reason, 0)
+
+    def summary(self) -> Dict[str, int]:
+        """Per-reason counts in stable reporting order (non-zero only)."""
+        return {r: self.counts[r] for r in ALL_DROP_REASONS if r in self.counts}
+
+    # -- checkpoint support ---------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        return {
+            "max_samples": self.max_samples,
+            "counts": dict(self.counts),
+            "samples": [d.to_json_dict() for d in self.samples],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DropLog":
+        log = cls(max_samples=state["max_samples"])
+        log.counts = {str(k): int(v) for k, v in state["counts"].items()}
+        log.samples = [DroppedEvent.from_json_dict(d) for d in state["samples"]]
+        return log
+
+
+class IngestGuard:
+    """Validates events at the gateway's front door.
+
+    Checks, in order: well-formedness (finite timestamp/value, non-empty
+    device id — :meth:`Event.invalid_reason`), a registered device id, and a
+    timestamp not before the stream's start.  ``check`` reports the verdict
+    without side effects; ``admit`` also records any drop in the shared log.
+    """
+
+    def __init__(
+        self,
+        registry: DeviceRegistry,
+        log: Optional[DropLog] = None,
+        start: float = float("-inf"),
+    ) -> None:
+        self.registry = registry
+        self.log = log if log is not None else DropLog()
+        self.start = float(start)
+
+    def check(self, event: Event) -> Optional[DroppedEvent]:
+        """``None`` when the event is admissible, else the drop record."""
+        reason = event.invalid_reason()
+        if reason is None and event.device_id not in self.registry:
+            reason = UNKNOWN_DEVICE
+        if reason is None and event.timestamp < self.start:
+            reason = BEFORE_START
+        if reason is None:
+            return None
+        return DroppedEvent(event.timestamp, event.device_id, event.value, reason)
+
+    def admit(self, event: Event) -> Optional[DroppedEvent]:
+        """Like :meth:`check`, but records the drop in the log."""
+        dropped = self.check(event)
+        if dropped is not None:
+            self.log.record(dropped)
+        return dropped

@@ -1,0 +1,139 @@
+"""Bounded reorder buffer with watermark semantics.
+
+Gateway pipes deliver telemetry late and out of order: a Zigbee retry, a
+congested uplink, a device flushing a backlog after a brief radio outage.
+The :class:`ReorderBuffer` absorbs that within a configurable *lateness
+budget*: events are held in a min-heap and released in timestamp order once
+the **watermark** — the highest timestamp seen minus the budget — passes
+them, so anything that arrives within the budget is re-sorted into its
+correct window.  Events behind the watermark are counted-and-dropped
+(``too_late``) rather than raising mid-stream, and exact duplicates still
+pending in the buffer are dropped as ``duplicate`` — re-delivered frames
+would otherwise skew numeric window statistics.
+
+The buffer is bounded (``max_pending``): on overflow the oldest pending
+event is force-released and the watermark advances to its timestamp, which
+keeps memory flat under a pathological pipe at the cost of shrinking the
+effective budget while the burst lasts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..model import Event
+from .guard import DUPLICATE, TOO_LATE, DropLog, DroppedEvent
+
+_NEG_INF = float("-inf")
+
+
+class ReorderBuffer:
+    """Re-sorts events that arrive within ``lateness_seconds`` of the front."""
+
+    def __init__(
+        self,
+        lateness_seconds: float,
+        max_pending: int = 4096,
+        log: Optional[DropLog] = None,
+    ) -> None:
+        if lateness_seconds < 0:
+            raise ValueError("lateness_seconds must be non-negative")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.lateness_seconds = float(lateness_seconds)
+        self.max_pending = int(max_pending)
+        self.log = log if log is not None else DropLog()
+        self._heap: List[Event] = []
+        self._pending_keys: Dict[Tuple[float, str, float], int] = {}
+        self._watermark = _NEG_INF
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def watermark(self) -> float:
+        """No event at or before this time will be released in the future."""
+        return self._watermark
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> List[Event]:
+        """Buffer one event; returns events newly released in time order."""
+        if event.timestamp < self._watermark:
+            self.log.record(
+                DroppedEvent(event.timestamp, event.device_id, event.value, TOO_LATE)
+            )
+            return []
+        key = (event.timestamp, event.device_id, event.value)
+        if self._pending_keys.get(key, 0):
+            self.log.record(
+                DroppedEvent(event.timestamp, event.device_id, event.value, DUPLICATE)
+            )
+            return []
+        heapq.heappush(self._heap, event)
+        self._pending_keys[key] = self._pending_keys.get(key, 0) + 1
+        released = self._release(event.timestamp - self.lateness_seconds)
+        while len(self._heap) > self.max_pending:
+            released.append(self._pop_front())
+        return released
+
+    def advance_to(self, timestamp: float) -> List[Event]:
+        """Account for wall-clock reaching *timestamp* with no new events:
+        releases everything at or before ``timestamp - lateness``."""
+        return self._release(timestamp - self.lateness_seconds)
+
+    def flush(self) -> List[Event]:
+        """End-of-stream: release every pending event in time order."""
+        released: List[Event] = []
+        while self._heap:
+            released.append(self._pop_front())
+        return released
+
+    # ------------------------------------------------------------------ #
+
+    def _release(self, watermark: float) -> List[Event]:
+        if watermark > self._watermark:
+            self._watermark = watermark
+        released: List[Event] = []
+        while self._heap and self._heap[0].timestamp <= self._watermark:
+            released.append(self._pop_front())
+        return released
+
+    def _pop_front(self) -> Event:
+        event = heapq.heappop(self._heap)
+        key = (event.timestamp, event.device_id, event.value)
+        count = self._pending_keys[key]
+        if count <= 1:
+            del self._pending_keys[key]
+        else:  # pragma: no cover - duplicates never coexist in the heap
+            self._pending_keys[key] = count - 1
+        # A force-released event (overflow) drags the watermark with it so
+        # later arrivals older than it are correctly counted as too late.
+        if event.timestamp > self._watermark:
+            self._watermark = event.timestamp
+        return event
+
+    # -- checkpoint support ---------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        pending = sorted(self._heap)
+        return {
+            "lateness_seconds": self.lateness_seconds,
+            "max_pending": self.max_pending,
+            "watermark": None if self._watermark == _NEG_INF else self._watermark,
+            "pending": [[e.timestamp, e.device_id, e.value] for e in pending],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.lateness_seconds = float(state["lateness_seconds"])
+        self.max_pending = int(state["max_pending"])
+        wm = state["watermark"]
+        self._watermark = _NEG_INF if wm is None else float(wm)
+        self._heap = [Event(float(t), str(d), float(v)) for t, d, v in state["pending"]]
+        heapq.heapify(self._heap)
+        self._pending_keys = {}
+        for e in self._heap:
+            key = (e.timestamp, e.device_id, e.value)
+            self._pending_keys[key] = self._pending_keys.get(key, 0) + 1

@@ -5,30 +5,56 @@ the event-at-a-time windower and exposes a push API; alerts (detections
 and concluded identifications) come back from every ``push`` call as they
 happen, with the same semantics as the batch ``process`` path — a property
 the test suite checks by replaying traces through both.
+
+:class:`HardenedOnlineDice` is the production-grade variant: it fronts the
+same detector with an ingest guard (malformed events become structured
+drop records instead of exceptions), a bounded reorder buffer (late events
+within the lateness budget are re-sorted into their window), a device
+supervisor (silent or error-spewing devices are quarantined and masked out
+of the correlation check), and versioned checkpoint/restore so a gateway
+can crash mid-window and resume deterministically.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core import (
     CORRELATION_CHECK,
     TRANSITION_CHECK,
+    CorrelationResult,
     DiceDetector,
     IdentificationSession,
     ProbableFaultSet,
     TransitionCase,
+    popcount,
 )
 from ..model import Event, Trace
+from .guard import DropLog, IngestGuard
+from .reorder import ReorderBuffer
+from .supervisor import (
+    ERRORS,
+    DeviceStatus,
+    DeviceSupervisor,
+    HealthTransition,
+    SupervisorPolicy,
+)
 from .windower import OnlineWindower, WindowSnapshot
+
+#: Alert kinds emitted by the supervising runtime, beyond the paper's
+#: "detection"/"identification".
+DEVICE_SILENCE = "device_silence"
+DEVICE_ERRORS = "device_errors"
+DEVICE_RECOVERED = "device_recovered"
 
 
 @dataclass(frozen=True)
 class Alert:
     """One real-time notification from the gateway."""
 
-    kind: str  # "detection" or "identification"
+    kind: str  # "detection", "identification", or a device_* health kind
     time: float
     check: Optional[str] = None
     cases: Tuple[TransitionCase, ...] = ()
@@ -75,11 +101,15 @@ class OnlineDice:
         return fresh
 
     def replay(self, trace: Trace) -> List[Alert]:
-        """Convenience: stream a whole trace, including its quiet tail."""
-        self.push_many(trace)
-        self.advance_to(trace.end)
-        self.finish()
-        return self.alerts
+        """Convenience: stream a whole trace, including its quiet tail.
+
+        Returns only the alerts raised *by this call* (matching ``push`` /
+        ``advance_to``); the cumulative history stays in ``self.alerts``.
+        """
+        fresh = self.push_many(trace)
+        fresh.extend(self.advance_to(trace.end))
+        fresh.extend(self.finish())
+        return fresh
 
     def finish(self) -> List[Alert]:
         """End-of-stream: report any identification session still open
@@ -99,9 +129,13 @@ class OnlineDice:
 
     # ------------------------------------------------------------------ #
 
+    def _check_correlation(self, mask: int) -> CorrelationResult:
+        """Hook: subclasses may mask devices out of the check."""
+        return self.detector._correlation_checker.check(mask)
+
     def _handle_window(self, snapshot: WindowSnapshot) -> List[Alert]:
         detector = self.detector
-        corr = detector._correlation_checker.check(snapshot.mask)
+        corr = self._check_correlation(snapshot.mask)
         violations = ()
         if not corr.is_violation:
             violations = detector._transition_checker.check(
@@ -172,3 +206,235 @@ class OnlineDice:
         self._prev_acts = snapshot.actuator_activations
         self.alerts.extend(fresh)
         return fresh
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-serializable detector-side streaming state."""
+        return {
+            "windower": self.windower.state_dict(),
+            "prev_group": self._prev_group,
+            "anchor_group": self._anchor_group,
+            "prev_acts": sorted(self._prev_acts),
+            "session": (
+                None if self._session is None else self._session.state_dict()
+            ),
+            "session_trigger": self._session_trigger,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.windower.load_state(state["windower"])
+        self._prev_group = state["prev_group"]
+        self._anchor_group = state["anchor_group"]
+        self._prev_acts = frozenset(state["prev_acts"])
+        session = state["session"]
+        self._session = (
+            None
+            if session is None
+            else IdentificationSession.from_state_dict(
+                self.detector.config, session, self.detector.weights
+            )
+        )
+        self._session_trigger = state["session_trigger"]
+
+
+class HardenedOnlineDice(OnlineDice):
+    """The resilient gateway runtime: guard → reorder → supervise → detect.
+
+    Feed raw pipe output through :meth:`ingest`; call :meth:`finish_stream`
+    at end-of-stream (or :meth:`checkpoint` any time in between).  Unlike
+    the plain :class:`OnlineDice`, out-of-order events within
+    ``lateness_seconds`` are tolerated, malformed events are counted and
+    dropped, and devices that go silent beyond the supervisor's budget are
+    quarantined — their bits are ignored by the correlation check until
+    they recover, so one dead sensor does not flood the detector.
+    """
+
+    def __init__(
+        self,
+        detector: DiceDetector,
+        start: float = 0.0,
+        *,
+        lateness_seconds: float = 120.0,
+        max_pending: int = 4096,
+        policy: SupervisorPolicy = SupervisorPolicy(),
+        max_drop_samples: int = 100,
+    ) -> None:
+        super().__init__(detector, start=start)
+        self.drops = DropLog(max_samples=max_drop_samples)
+        self.guard = IngestGuard(detector.registry, self.drops, start=start)
+        self.reorder = ReorderBuffer(lateness_seconds, max_pending, self.drops)
+        self.supervisor = DeviceSupervisor(detector.registry, policy, start=start)
+
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, event: Event) -> List[Alert]:
+        """Feed one raw event from the pipe; never raises on bad input."""
+        dropped = self.guard.admit(event)
+        if dropped is not None:
+            fresh: List[Alert] = []
+            if event.device_id in self.detector.registry:
+                # A known device emitting garbage counts against its health.
+                transitions = self.supervisor.record_error(
+                    event.device_id, self._stream_time(event)
+                )
+                fresh.extend(self._health_alerts(transitions))
+            return fresh
+        return self._process_released(self.reorder.push(event))
+
+    def _stream_time(self, event: Event) -> float:
+        """Best current estimate of event time for health bookkeeping."""
+        watermark = self.reorder.watermark
+        if watermark != float("-inf"):
+            return watermark
+        if math.isfinite(event.timestamp):
+            return event.timestamp
+        return self.guard.start
+
+    def ingest_many(self, events: Iterable[Event]) -> List[Alert]:
+        fresh: List[Alert] = []
+        for event in events:
+            fresh.extend(self.ingest(event))
+        return fresh
+
+    def advance_to(self, timestamp: float) -> List[Alert]:
+        """Wall clock reached *timestamp*: release what the watermark allows
+        and account for event-free time (silence detection included)."""
+        fresh = self._process_released(self.reorder.advance_to(timestamp))
+        watermark = self.reorder.watermark
+        horizon = max(watermark, timestamp - self.reorder.lateness_seconds)
+        if horizon > float("-inf"):
+            for snapshot in self.windower.advance_to(horizon):
+                fresh.extend(self._handle_window(snapshot))
+            fresh.extend(
+                self._health_alerts(self.supervisor.check_silence(horizon))
+            )
+        return fresh
+
+    def finish_stream(self, end: Optional[float] = None) -> List[Alert]:
+        """End-of-stream: flush the reorder buffer, close the quiet tail up
+        to *end*, and conclude any open identification session."""
+        fresh = self._process_released(self.reorder.flush())
+        if end is not None:
+            for snapshot in self.windower.advance_to(end):
+                fresh.extend(self._handle_window(snapshot))
+            fresh.extend(self._health_alerts(self.supervisor.check_silence(end)))
+        fresh.extend(self.finish())
+        return fresh
+
+    def replay(self, trace: Trace) -> List[Alert]:
+        """Stream a whole trace through the hardened path."""
+        fresh = self.ingest_many(trace)
+        fresh.extend(self.finish_stream(trace.end))
+        return fresh
+
+    # ------------------------------------------------------------------ #
+
+    def _process_released(self, events: List[Event]) -> List[Alert]:
+        fresh: List[Alert] = []
+        for event in events:
+            fresh.extend(self._health_alerts(self.supervisor.observe(event)))
+            fresh.extend(
+                self._health_alerts(
+                    self.supervisor.check_silence(event.timestamp)
+                )
+            )
+            for snapshot in self.windower.push(event):
+                fresh.extend(self._handle_window(snapshot))
+        return fresh
+
+    def _health_alerts(
+        self, transitions: List[HealthTransition]
+    ) -> List[Alert]:
+        fresh: List[Alert] = []
+        for edge in transitions:
+            if edge.current is DeviceStatus.QUARANTINED:
+                kind = DEVICE_ERRORS if edge.reason == ERRORS else DEVICE_SILENCE
+            elif edge.current is DeviceStatus.RECOVERED:
+                kind = DEVICE_RECOVERED
+            else:
+                continue  # degraded/healthy edges are internal
+            fresh.append(
+                Alert(kind, edge.time, devices=frozenset({edge.device_id}))
+            )
+        self.alerts.extend(fresh)
+        return fresh
+
+    def _quarantine_bits(self) -> int:
+        """State-set bits owned by currently quarantined sensors."""
+        bits = 0
+        layout = self.windower.layout
+        for device_id in self.supervisor.quarantined:
+            device = self.detector.registry.get(device_id)
+            if device is None or device.is_actuator:
+                continue
+            for bit in layout.bits_of_device(device_id):
+                bits |= 1 << bit
+        return bits
+
+    def _check_correlation(self, mask: int) -> CorrelationResult:
+        """Correlation check that ignores quarantined devices' bits.
+
+        With no quarantine active this is the fast vectorised path; while
+        devices are quarantined, Hamming distances are computed over the
+        remaining (visible) bits only, so a dead sensor's permanently-zero
+        bits cannot turn every window into a correlation violation.
+        """
+        qbits = self._quarantine_bits()
+        checker = self.detector._correlation_checker
+        if qbits == 0:
+            return checker.check(mask)
+        visible = ~qbits
+        main: Optional[int] = None
+        probable: List[Tuple[int, int]] = []
+        for group_id, group_mask in enumerate(checker.groups.masks):
+            distance = popcount((mask ^ group_mask) & visible)
+            if distance == 0:
+                if main is None:
+                    main = group_id
+            elif distance <= checker.max_distance:
+                probable.append((group_id, distance))
+        probable.sort(key=lambda pair: (pair[1], pair[0]))
+        return CorrelationResult(mask & visible, main, tuple(probable))
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support (see repro.streaming.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["guard"] = {"start": self.guard.start}
+        state["drops"] = self.drops.state_dict()
+        state["reorder"] = self.reorder.state_dict()
+        state["supervisor"] = self.supervisor.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self.drops = DropLog.from_state_dict(state["drops"])
+        self.guard = IngestGuard(
+            self.detector.registry, self.drops, start=state["guard"]["start"]
+        )
+        self.reorder.log = self.drops
+        self.reorder.load_state(state["reorder"])
+        self.supervisor.load_state(state["supervisor"])
+
+    def checkpoint(self) -> dict:
+        """Versioned, JSON-serializable snapshot of the full online state."""
+        from .checkpoint import checkpoint_state
+
+        return checkpoint_state(self)
+
+    def save_checkpoint(self, path) -> None:
+        from .checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def restore(cls, detector: DiceDetector, state: dict) -> "HardenedOnlineDice":
+        """Rebuild a runtime from a :meth:`checkpoint` snapshot."""
+        from .checkpoint import restore_runtime
+
+        return restore_runtime(detector, state)

@@ -9,8 +9,8 @@ encoder would produce — every time the clock crosses a window boundary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
 
 from ..core.encoding import BitLayout, StateSetEncoder
 from ..model import DeviceKind, Event
@@ -51,6 +51,12 @@ class _NumericAccumulator:
         """(skew, trend, mean) per Eqs. 3.2-3.4."""
         if self.count == 0:
             return False, False, False
+        if self.count == 1:
+            # A single sample has no spread or direction: skewness and trend
+            # are undefined and must read False by construction rather than
+            # by hoping the float cancellation in s2/count - mean^2 lands at
+            # exactly zero; only the mean bit is meaningful.
+            return False, False, self.s1 > threshold
         mean = self.s1 / self.count
         variance = self.s2 / self.count - mean * mean
         m3 = (self.s3 - 3.0 * mean * self.s2 + 2.0 * self.count * mean**3) / self.count
@@ -58,6 +64,17 @@ class _NumericAccumulator:
         trend = self.last - self.first > 0
         above = mean > threshold
         return skew, trend, above
+
+    def state_dict(self) -> list:
+        return [self.count, self.s1, self.s2, self.s3, self.first, self.last]
+
+    @classmethod
+    def from_state_dict(cls, state: list) -> "_NumericAccumulator":
+        acc = cls()
+        acc.count = int(state[0])
+        acc.s1, acc.s2, acc.s3 = float(state[1]), float(state[2]), float(state[3])
+        acc.first, acc.last = float(state[4]), float(state[5])
+        return acc
 
 
 class OnlineWindower:
@@ -153,3 +170,31 @@ class OnlineWindower:
         self._numeric.clear()
         self._actuators.clear()
         return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the in-flight window state."""
+        return {
+            "start": self.start,
+            "index": self._index,
+            "binary_mask": self._binary_mask,
+            "numeric": {
+                device_id: acc.state_dict()
+                for device_id, acc in sorted(self._numeric.items())
+            },
+            "actuators": sorted(self._actuators),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the in-flight window state captured by :meth:`state_dict`."""
+        self.start = float(state["start"])
+        self._index = int(state["index"])
+        self._binary_mask = int(state["binary_mask"])
+        self._numeric = {
+            device_id: _NumericAccumulator.from_state_dict(acc)
+            for device_id, acc in state["numeric"].items()
+        }
+        self._actuators = set(state["actuators"])

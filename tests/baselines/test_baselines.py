@@ -12,7 +12,7 @@ from repro.baselines import (
     TimeSeriesARDetector,
 )
 from repro.faults import inject_fail_stop, inject_spike, inject_stuck_at
-from tests.conftest import HOUR, make_cyclic_trace
+from tests.conftest import HOUR
 
 
 @pytest.fixture(scope="module")

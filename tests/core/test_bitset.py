@@ -1,6 +1,5 @@
 """Unit and property tests for packed bitsets and Hamming scans."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the correlation and transition checks (§3.3)."""
 
-import pytest
 
 from repro.core import (
     BitLayout,

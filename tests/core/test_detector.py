@@ -9,7 +9,6 @@ from repro.core import (
     DiceConfig,
     DiceDetector,
 )
-from repro.model import Trace
 from tests.conftest import HOUR, make_cyclic_trace
 
 

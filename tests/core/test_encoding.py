@@ -2,17 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import BitLayout, StateSetEncoder
-from repro.model import (
-    DeviceRegistry,
-    SensorType,
-    Trace,
-    binary_sensor,
-    numeric_sensor,
-)
+from repro.model import DeviceRegistry, SensorType, Trace, binary_sensor
 from tests.conftest import make_cyclic_trace
 
 

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BitLayout, GroupRegistry, StateSetEncoder
-from repro.core.encoding import WindowedTrace
 
 
 def make_registry(registry):

@@ -1,6 +1,5 @@
 """Tests for faulty-device identification (§3.4)."""
 
-import pytest
 
 from repro.core import (
     BitLayout,

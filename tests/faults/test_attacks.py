@@ -1,6 +1,5 @@
 """Tests for the Ch. VI security attacks."""
 
-import numpy as np
 import pytest
 
 from repro.faults import light_attack, spoof_sensor_high, temperature_attack

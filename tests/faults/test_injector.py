@@ -3,15 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.faults import (
-    ALL_FAULT_TYPES,
-    FaultInjector,
-    FaultType,
-    InjectionPolicy,
-    make_segment_pairs,
-    segment_starts,
-    split_precompute,
-)
+from repro.faults import FaultInjector, FaultType, InjectionPolicy, make_segment_pairs, segment_starts, split_precompute
 from tests.conftest import HOUR, make_cyclic_trace
 
 

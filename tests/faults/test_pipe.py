@@ -1,0 +1,116 @@
+"""Tests for the pipe-fault (delivery channel) injectors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ALL_PIPE_FAULT_TYPES,
+    PipeFaultInjector,
+    PipeFaultSpec,
+    PipeFaultType,
+    apply_pipe_fault,
+    corrupt_values,
+    delay_events,
+    drop_events,
+    duplicate_events,
+    reorder_events,
+)
+from repro.model import Event
+
+
+@pytest.fixture
+def events():
+    return [Event(float(t), f"dev_{t % 3}", float(t)) for t in range(100)]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestDrop:
+    def test_drops_roughly_rate(self, events, rng):
+        out = drop_events(events, rng, rate=0.3)
+        assert len(out) < len(events)
+        assert set(out) <= set(events)
+
+    def test_zero_rate_is_identity(self, events, rng):
+        assert drop_events(events, rng, rate=0.0) == events
+
+
+class TestDelayAndReorder:
+    def test_delay_keeps_timestamps_moves_arrival(self, events, rng):
+        out = delay_events(events, rng, rate=0.5, max_delay_seconds=10.0)
+        assert sorted(out) == sorted(events)  # same multiset, timestamps intact
+        assert out != events  # arrival order perturbed
+
+    def test_reorder_bounded_by_max_delay(self, events, rng):
+        budget = 5.0
+        out = reorder_events(events, rng, max_delay_seconds=budget)
+        # No event may arrive after one whose timestamp exceeds its own
+        # by more than the jitter budget.
+        front = float("-inf")
+        for event in out:
+            assert event.timestamp > front - budget
+            front = max(front, event.timestamp)
+
+    def test_zero_jitter_is_identity(self, events, rng):
+        assert reorder_events(events, rng, max_delay_seconds=0.0) == events
+
+
+class TestDuplicate:
+    def test_copies_added_not_replaced(self, events, rng):
+        out = duplicate_events(events, rng, rate=0.25, max_delay_seconds=10.0)
+        assert len(out) > len(events)
+        # Every original is still there; extras are exact copies.
+        from collections import Counter
+
+        original = Counter(events)
+        result = Counter(out)
+        assert all(result[e] >= 1 for e in original)
+        assert all(e in original for e in result)
+
+
+class TestCorrupt:
+    def test_corrupted_values_non_finite(self, events, rng):
+        out = corrupt_values(events, rng, rate=0.2)
+        assert len(out) == len(events)
+        corrupted = [e for e in out if not math.isfinite(e.value)]
+        assert corrupted
+        # Timestamps and ids are untouched.
+        for before, after in zip(events, out):
+            assert after.timestamp == before.timestamp
+            assert after.device_id == before.device_id
+
+
+class TestDispatchAndInjector:
+    @pytest.mark.parametrize("fault_type", ALL_PIPE_FAULT_TYPES)
+    def test_apply_dispatch(self, events, rng, fault_type):
+        out = apply_pipe_fault(
+            events, PipeFaultSpec(fault_type, rate=0.1, max_delay_seconds=5.0), rng
+        )
+        assert isinstance(out, list)
+
+    def test_injector_composes(self, events, rng):
+        injector = PipeFaultInjector(
+            rng,
+            [
+                PipeFaultSpec(PipeFaultType.DROP, rate=0.1),
+                PipeFaultSpec(PipeFaultType.REORDER, max_delay_seconds=5.0),
+                PipeFaultSpec(PipeFaultType.CORRUPT_VALUE, rate=0.1),
+            ],
+        )
+        out = injector.apply(events)
+        assert out and len(out) <= len(events)
+
+    def test_injector_requires_specs(self, rng):
+        with pytest.raises(ValueError):
+            PipeFaultInjector(rng, [])
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PipeFaultSpec(PipeFaultType.DROP, rate=1.5)
+        with pytest.raises(ValueError):
+            PipeFaultSpec(PipeFaultType.DELAY, max_delay_seconds=-1.0)

@@ -25,6 +25,43 @@ class TestEvent:
         assert moved.device_id == "s"
 
 
+class TestEventValidity:
+    def test_well_formed_event(self):
+        event = Event(1.0, "s", 2.5)
+        assert event.is_valid()
+        assert event.invalid_reason() is None
+
+    def test_nan_value(self):
+        event = Event(1.0, "s", float("nan"))
+        assert not event.is_valid()
+        assert event.invalid_reason() == "non_finite_value"
+
+    def test_inf_value(self):
+        assert Event(1.0, "s", float("inf")).invalid_reason() == "non_finite_value"
+        assert Event(1.0, "s", float("-inf")).invalid_reason() == "non_finite_value"
+
+    def test_nan_timestamp(self):
+        event = Event(float("nan"), "s", 1.0)
+        assert event.invalid_reason() == "non_finite_timestamp"
+
+    def test_inf_timestamp(self):
+        event = Event(float("inf"), "s", 1.0)
+        assert event.invalid_reason() == "non_finite_timestamp"
+
+    def test_empty_device_id(self):
+        event = Event(1.0, "", 1.0)
+        assert event.invalid_reason() == "empty_device_id"
+
+    def test_device_id_checked_before_numbers(self):
+        """An event broken in several ways reports the id problem first."""
+        event = Event(float("nan"), "", float("nan"))
+        assert event.invalid_reason() == "empty_device_id"
+
+    def test_negative_timestamp_is_valid(self):
+        """Traces may legitimately start before zero (rebased segments)."""
+        assert Event(-5.0, "s", 1.0).is_valid()
+
+
 class TestTimeHelpers:
     def test_seconds(self):
         assert seconds(hours=1) == 3600.0

@@ -2,17 +2,7 @@
 
 import pytest
 
-from repro.smarthome import (
-    ActivityActuatorRule,
-    ActivityCatalog,
-    ActivityInstance,
-    ActivitySpec,
-    DaylightBlindRule,
-    EffectSwitchRule,
-    NumericEffect,
-    OccupancyLightRule,
-    SimulationContext,
-)
+from repro.smarthome import ActivityActuatorRule, ActivityInstance, ActivitySpec, DaylightBlindRule, EffectSwitchRule, NumericEffect, OccupancyLightRule, SimulationContext
 from repro.smarthome.effects import EffectInterval
 
 HOUR = 3600.0

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.model import SensorType
 from repro.smarthome import (
     DaylightModel,
     FloorPlan,

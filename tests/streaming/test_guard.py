@@ -1,0 +1,84 @@
+"""Tests for the ingest guard and the shared drop log."""
+
+import json
+import math
+
+from repro.model import DeviceRegistry, Event, SensorType, binary_sensor
+from repro.streaming import (
+    BEFORE_START,
+    EMPTY_DEVICE_ID,
+    NON_FINITE_TIMESTAMP,
+    NON_FINITE_VALUE,
+    UNKNOWN_DEVICE,
+    DropLog,
+    DroppedEvent,
+    IngestGuard,
+)
+
+
+def _registry():
+    return DeviceRegistry([binary_sensor("motion", SensorType.MOTION, "hall")])
+
+
+class TestIngestGuard:
+    def test_valid_event_passes(self):
+        guard = IngestGuard(_registry())
+        assert guard.check(Event(1.0, "motion", 1.0)) is None
+
+    def test_nan_value_rejected(self):
+        guard = IngestGuard(_registry())
+        dropped = guard.check(Event(1.0, "motion", float("nan")))
+        assert dropped is not None and dropped.reason == NON_FINITE_VALUE
+
+    def test_inf_timestamp_rejected(self):
+        guard = IngestGuard(_registry())
+        dropped = guard.check(Event(float("inf"), "motion", 1.0))
+        assert dropped is not None and dropped.reason == NON_FINITE_TIMESTAMP
+
+    def test_empty_device_id_rejected(self):
+        guard = IngestGuard(_registry())
+        dropped = guard.check(Event(1.0, "", 1.0))
+        assert dropped is not None and dropped.reason == EMPTY_DEVICE_ID
+
+    def test_unknown_device_rejected(self):
+        guard = IngestGuard(_registry())
+        dropped = guard.check(Event(1.0, "ghost", 1.0))
+        assert dropped is not None and dropped.reason == UNKNOWN_DEVICE
+
+    def test_before_start_rejected(self):
+        guard = IngestGuard(_registry(), start=100.0)
+        dropped = guard.check(Event(99.0, "motion", 1.0))
+        assert dropped is not None and dropped.reason == BEFORE_START
+
+    def test_admit_records_in_log(self):
+        log = DropLog()
+        guard = IngestGuard(_registry(), log)
+        guard.admit(Event(1.0, "ghost", 1.0))
+        guard.admit(Event(2.0, "motion", 1.0))  # valid: no record
+        assert log.total == 1
+        assert log.count(UNKNOWN_DEVICE) == 1
+
+
+class TestDropLog:
+    def test_sample_bound(self):
+        log = DropLog(max_samples=2)
+        for i in range(5):
+            log.record(DroppedEvent(float(i), "d", 1.0, UNKNOWN_DEVICE))
+        assert log.total == 5
+        assert len(log.samples) == 2
+
+    def test_state_round_trip_preserves_non_finite_values(self):
+        log = DropLog()
+        log.record(DroppedEvent(1.0, "d", float("nan"), NON_FINITE_VALUE))
+        log.record(DroppedEvent(2.0, "d", float("inf"), NON_FINITE_VALUE))
+        state = json.loads(json.dumps(log.state_dict()))
+        restored = DropLog.from_state_dict(state)
+        assert restored.total == 2
+        assert math.isnan(restored.samples[0].value)
+        assert restored.samples[1].value == float("inf")
+
+    def test_summary_is_ordered_and_sparse(self):
+        log = DropLog()
+        log.record(DroppedEvent(1.0, "d", 1.0, UNKNOWN_DEVICE))
+        log.record(DroppedEvent(2.0, "", 1.0, EMPTY_DEVICE_ID))
+        assert list(log.summary()) == [EMPTY_DEVICE_ID, UNKNOWN_DEVICE]

@@ -1,0 +1,94 @@
+"""Tests for the bounded reorder buffer and its watermark semantics."""
+
+import json
+
+import numpy as np
+
+from repro.model import Event
+from repro.streaming import DUPLICATE, TOO_LATE, DropLog, ReorderBuffer
+
+
+def _ev(t, device="d", value=1.0):
+    return Event(float(t), device, float(value))
+
+
+class TestReorderBuffer:
+    def test_in_order_stream_released_behind_watermark(self):
+        buf = ReorderBuffer(lateness_seconds=10.0)
+        assert buf.push(_ev(0.0)) == []
+        assert buf.push(_ev(5.0)) == []
+        released = buf.push(_ev(20.0))
+        assert [e.timestamp for e in released] == [0.0, 5.0]
+        assert buf.pending == 1
+
+    def test_late_event_within_budget_resorted(self):
+        buf = ReorderBuffer(lateness_seconds=30.0)
+        buf.push(_ev(100.0))
+        buf.push(_ev(90.0))  # late but inside the budget
+        released = buf.flush()
+        assert [e.timestamp for e in released] == [90.0, 100.0]
+
+    def test_event_beyond_budget_dropped_and_counted(self):
+        log = DropLog()
+        buf = ReorderBuffer(lateness_seconds=10.0, log=log)
+        buf.push(_ev(100.0))  # watermark -> 90
+        assert buf.push(_ev(50.0)) == []
+        assert log.count(TOO_LATE) == 1
+        assert buf.pending == 1
+
+    def test_exact_duplicate_dropped(self):
+        log = DropLog()
+        buf = ReorderBuffer(lateness_seconds=60.0, log=log)
+        buf.push(_ev(10.0))
+        buf.push(_ev(10.0))
+        assert log.count(DUPLICATE) == 1
+        assert buf.pending == 1
+
+    def test_same_timestamp_different_device_kept(self):
+        buf = ReorderBuffer(lateness_seconds=60.0)
+        buf.push(_ev(10.0, "a"))
+        buf.push(_ev(10.0, "b"))
+        assert buf.pending == 2
+
+    def test_overflow_force_releases_and_advances_watermark(self):
+        log = DropLog()
+        buf = ReorderBuffer(lateness_seconds=1000.0, max_pending=3, log=log)
+        for t in (1.0, 2.0, 3.0):
+            assert buf.push(_ev(t)) == []
+        released = buf.push(_ev(4.0))
+        assert [e.timestamp for e in released] == [1.0]
+        assert buf.watermark == 1.0
+        # An arrival older than the forced watermark is now too late.
+        buf.push(_ev(0.5))
+        assert log.count(TOO_LATE) == 1
+
+    def test_advance_to_releases_event_free_time(self):
+        buf = ReorderBuffer(lateness_seconds=10.0)
+        buf.push(_ev(0.0))
+        assert buf.advance_to(5.0) == []
+        released = buf.advance_to(50.0)
+        assert [e.timestamp for e in released] == [0.0]
+
+    def test_watermark_monotone_under_random_arrivals(self):
+        rng = np.random.default_rng(7)
+        buf = ReorderBuffer(lateness_seconds=5.0)
+        last_released = float("-inf")
+        for t in rng.uniform(0.0, 100.0, size=500):
+            for event in buf.push(_ev(round(t, 3))):
+                assert event.timestamp >= last_released
+                last_released = event.timestamp
+        for event in buf.flush():
+            assert event.timestamp >= last_released
+            last_released = event.timestamp
+
+    def test_state_round_trip(self):
+        buf = ReorderBuffer(lateness_seconds=30.0, max_pending=16)
+        buf.push(_ev(100.0))
+        buf.push(_ev(95.0))
+        state = json.loads(json.dumps(buf.state_dict()))
+        clone = ReorderBuffer(lateness_seconds=1.0)
+        clone.load_state(state)
+        assert clone.lateness_seconds == 30.0
+        assert clone.max_pending == 16
+        assert clone.watermark == buf.watermark
+        assert [e.timestamp for e in clone.flush()] == [95.0, 100.0]

@@ -9,8 +9,9 @@ import pytest
 
 from repro.core import DiceDetector, StateSetEncoder
 from repro.model import Event
-from repro.streaming import OnlineDice, OnlineWindower
-from tests.conftest import HOUR, make_cyclic_trace
+from repro.streaming import OnlineDice, OnlineWindower, ReorderBuffer
+from repro.streaming.windower import _NumericAccumulator
+from tests.conftest import HOUR
 
 
 @pytest.fixture
@@ -62,6 +63,89 @@ class TestOnlineWindower:
         assert snapshot.mask == 1 << 0
 
 
+class TestNumericAccumulatorDegenerate:
+    """Single-sample windows: skew/trend must be False by construction, not
+    by hoping ``s2/n - mean^2`` cancels to exactly zero in floats."""
+
+    def test_empty_window(self):
+        acc = _NumericAccumulator()
+        assert acc.bits(0.0) == (False, False, False)
+
+    def test_single_sample_no_skew_no_trend(self):
+        acc = _NumericAccumulator()
+        # A value whose square cancels imperfectly in naive float arithmetic.
+        acc.add(1e8 + 0.1)
+        skew, trend, above = acc.bits(0.0)
+        assert skew is False
+        assert trend is False
+        assert above is True
+
+    def test_single_sample_mean_bit_respects_threshold(self):
+        acc = _NumericAccumulator()
+        acc.add(5.0)
+        assert acc.bits(10.0) == (False, False, False)
+        assert acc.bits(1.0) == (False, False, True)
+
+    def test_single_sample_matches_batch_encoder(self, registry):
+        """Both paths must agree on a window holding exactly one reading."""
+        from repro.model import Trace
+
+        trace = Trace(
+            registry,
+            np.array([10.0, 30.0]),
+            np.array([2, 0], dtype=np.int32),  # temp_kitchen once, motion once
+            np.array([1e8 + 0.1, 1.0]),
+            start=0.0,
+            end=60.0,
+        )
+        encoder = StateSetEncoder(registry, 60.0).fit(trace)
+        batch = encoder.encode(trace)
+        windower = OnlineWindower(encoder)
+        for event in trace:
+            windower.push(event)
+        snapshot = windower.flush()
+        assert snapshot.mask == batch.masks[0]
+        skew_bit, trend_bit, _ = encoder.layout.bits_of_device("temp_kitchen")
+        assert not snapshot.mask >> skew_bit & 1
+        assert not snapshot.mask >> trend_bit & 1
+
+
+class TestAdversarialPipeEquivalence:
+    """Satellite property: a trace shuffled within the lateness budget,
+    pushed through the reorder buffer, yields identical WindowSnapshot
+    masks to the sorted batch encoding."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_shuffled_within_budget_matches_batch(
+        self, registry, encoder, cyclic_trace, seed
+    ):
+        budget = 90.0
+        rng = np.random.default_rng(seed)
+        events = list(cyclic_trace)
+        arrival = np.array([e.timestamp for e in events])
+        arrival += rng.uniform(0.0, budget, size=len(events))
+        shuffled = [events[int(i)] for i in np.argsort(arrival, kind="stable")]
+        assert shuffled != events  # the pipe really is adversarial
+
+        buffer = ReorderBuffer(lateness_seconds=budget)
+        windower = OnlineWindower(encoder)
+        snapshots = []
+        for event in shuffled:
+            for released in buffer.push(event):
+                snapshots.extend(windower.push(released))
+        for released in buffer.flush():
+            snapshots.extend(windower.push(released))
+        snapshots.extend(windower.advance_to(cyclic_trace.end))
+
+        batch = encoder.encode(cyclic_trace)
+        assert len(snapshots) == len(batch)
+        for snapshot, mask, acts in zip(
+            snapshots, batch.masks, batch.actuator_activations
+        ):
+            assert snapshot.mask == mask
+            assert snapshot.actuator_activations == acts
+
+
 class TestOnlineDice:
     def test_requires_fitted_detector(self, registry):
         with pytest.raises(ValueError):
@@ -94,6 +178,21 @@ class TestOnlineDice:
         online.replay(faulty)
         for alert in online.alerts:
             assert (alert.time - faulty.start) % 60.0 == pytest.approx(0.0)
+
+    def test_replay_returns_only_fresh_alerts(self, fitted_detector, live_segment):
+        """Regression: a second replay on the same instance must not echo
+        the first trace's alerts back."""
+        faulty = live_segment.without_device("motion_kitchen")
+        online = OnlineDice(fitted_detector, start=faulty.start)
+        first = online.replay(faulty)
+        assert first  # the fail-stop produces at least a detection
+        assert first == online.alerts
+        tail = faulty.shifted(faulty.duration)
+        second = online.replay(tail)
+        # The second call reports only its own alerts ...
+        assert all(a.time > faulty.start + faulty.duration - 1e-9 for a in second)
+        # ... while the cumulative history keeps both.
+        assert online.alerts == first + second
 
     def test_dataset_scale_parity(self, small_house):
         """Batch and streaming agree on a real generated dataset slice."""

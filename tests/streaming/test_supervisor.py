@@ -1,0 +1,142 @@
+"""Tests for the device supervisor's quarantine state machine."""
+
+import json
+
+import pytest
+
+from repro.model import (
+    DeviceRegistry,
+    Event,
+    SensorType,
+    actuator,
+    binary_sensor,
+)
+from repro.streaming import (
+    DeviceStatus,
+    DeviceSupervisor,
+    SupervisorPolicy,
+)
+
+
+@pytest.fixture
+def registry():
+    return DeviceRegistry(
+        [
+            binary_sensor("motion", SensorType.MOTION, "hall"),
+            binary_sensor("door", SensorType.DOOR, "hall"),
+            actuator("bulb", SensorType.BULB, "hall"),
+        ]
+    )
+
+
+POLICY = SupervisorPolicy(silence_seconds=60.0, quarantine_seconds=120.0)
+
+
+class TestSilenceMachine:
+    def test_healthy_until_silence_budget(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        assert sup.check_silence(50.0) == []
+        assert sup.health_of("motion").status is DeviceStatus.HEALTHY
+
+    def test_degraded_is_silent_alertwise(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        assert sup.check_silence(90.0) == []  # degradation emits no edge list
+        assert sup.health_of("motion").status is DeviceStatus.DEGRADED
+
+    def test_quarantine_emits_transition_once(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        edges = sup.check_silence(150.0)
+        assert {e.device_id for e in edges} == {"motion", "door"}
+        assert all(e.current is DeviceStatus.QUARANTINED for e in edges)
+        # Re-checking does not re-raise.
+        assert sup.check_silence(200.0) == []
+        assert sup.quarantined == frozenset({"motion", "door"})
+
+    def test_actuators_not_watched_by_default(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        sup.check_silence(1000.0)
+        assert "bulb" not in sup.quarantined
+        watched = DeviceSupervisor(
+            registry,
+            SupervisorPolicy(
+                silence_seconds=60.0, quarantine_seconds=120.0, watch_actuators=True
+            ),
+        )
+        watched.check_silence(1000.0)
+        assert "bulb" in watched.quarantined
+
+    def test_recovery_path(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        sup.check_silence(150.0)
+        edges = sup.observe(Event(160.0, "motion", 1.0))
+        assert len(edges) == 1
+        assert edges[0].current is DeviceStatus.RECOVERED
+        assert sup.health_of("motion").recoveries == 1
+        # A second event settles back to HEALTHY with no new edge.
+        assert sup.observe(Event(170.0, "motion", 1.0)) == []
+        assert sup.health_of("motion").status is DeviceStatus.HEALTHY
+
+    def test_event_keeps_device_healthy(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        sup.observe(Event(100.0, "motion", 1.0))
+        sup.observe(Event(100.0, "door", 1.0))
+        assert sup.check_silence(150.0) == []
+
+    def test_late_event_does_not_rewind_heartbeat(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        sup.observe(Event(100.0, "motion", 1.0))
+        sup.observe(Event(40.0, "motion", 1.0))
+        assert sup.health_of("motion").last_seen == 100.0
+
+
+class TestErrorMachine:
+    def test_error_threshold_quarantines(self, registry):
+        policy = SupervisorPolicy(
+            silence_seconds=60.0, quarantine_seconds=120.0, error_threshold=3
+        )
+        sup = DeviceSupervisor(registry, policy)
+        assert sup.record_error("motion", 10.0) == []
+        assert sup.record_error("motion", 11.0) == []
+        edges = sup.record_error("motion", 12.0)
+        assert len(edges) == 1
+        assert edges[0].reason == "errors"
+        assert sup.quarantined == frozenset({"motion"})
+
+    def test_recovery_resets_error_counter(self, registry):
+        policy = SupervisorPolicy(
+            silence_seconds=60.0, quarantine_seconds=120.0, error_threshold=2
+        )
+        sup = DeviceSupervisor(registry, policy)
+        sup.record_error("motion", 1.0)
+        sup.record_error("motion", 2.0)
+        sup.observe(Event(3.0, "motion", 1.0))  # recovered
+        assert sup.health_of("motion").errors == 0
+
+    def test_unknown_device_ignored(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        assert sup.record_error("ghost", 1.0) == []
+        assert sup.observe(Event(1.0, "ghost", 1.0)) == []
+
+
+class TestPolicyValidation:
+    def test_quarantine_before_silence_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(silence_seconds=100.0, quarantine_seconds=50.0)
+
+    def test_zero_error_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(error_threshold=0)
+
+
+class TestSupervisorState:
+    def test_round_trip(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        sup.observe(Event(30.0, "door", 1.0))
+        sup.check_silence(150.0)  # quarantines motion
+        state = json.loads(json.dumps(sup.state_dict()))
+        clone = DeviceSupervisor(registry, SupervisorPolicy())
+        clone.load_state(state)
+        assert clone.policy == POLICY
+        assert clone.quarantined == sup.quarantined
+        assert clone.health_of("door").last_seen == 30.0
+        assert clone.health_of("motion").silences == 1

@@ -45,6 +45,45 @@ class TestEvaluate:
         assert "correlation degree:" in out
 
 
+class TestStream:
+    # Live window 30-40 h lands in daytime, where houseA actually has events.
+    ARGS = [
+        "stream", "houseA",
+        "--hours", "40", "--train-hours", "30", "--seed", "3",
+    ]
+
+    def test_clean_stream_prints_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out
+        assert "dropped events: 0" in out
+
+    def test_pipe_faults_are_survived_and_counted(self, capsys):
+        code = main(
+            self.ARGS
+            + ["--pipe-faults", "reorder,duplicate,corrupt_value",
+               "--pipe-rate", "0.1", "--lateness", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "non_finite_value" in out
+
+    def test_checkpoint_save_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "gateway.json"
+        assert main(self.ARGS + ["--save-checkpoint", str(ckpt)]) == 0
+        assert ckpt.exists()
+        assert "checkpoint saved" in capsys.readouterr().out
+        assert main(self.ARGS + ["--resume", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+    def test_bad_split_rejected(self, capsys):
+        code = main(
+            ["stream", "houseA", "--hours", "10", "--train-hours", "20"]
+        )
+        assert code == 2
+
+
 class TestExperiment:
     def test_degree_table(self, capsys):
         code = main(
