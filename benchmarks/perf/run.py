@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the performance benchmark harness.
+
+Thin wrapper over ``repro bench`` so the perf suite lives next to the
+figure-reproduction benchmarks.  All arguments are forwarded::
+
+    python benchmarks/perf/run.py --quick
+    python benchmarks/perf/run.py -o BENCH_perf.json --workers 1 2 4
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,15 @@
+"""Performance benchmark harness (``repro bench``)."""
+
+from .perf import (
+    BENCH_SCHEMA,
+    DEFAULT_OUTPUT,
+    run_benchmarks,
+    validate_document,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_OUTPUT",
+    "run_benchmarks",
+    "validate_document",
+]

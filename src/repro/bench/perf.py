@@ -1,0 +1,464 @@
+"""Timing harness for the detection hot paths (``repro bench``).
+
+The paper singles out "obtaining probable groups" — the Hamming scan over
+all training groups — as the dominant real-time cost (Fig. 5.3); this
+module times exactly the paths successive PRs optimise and writes the
+results to ``BENCH_perf.json`` so future changes have a trajectory to
+regress against:
+
+* **fit** — group interning (``GroupRegistry.from_windows``) over growing
+  synthetic traces; linear thanks to the capacity-doubled bitset storage;
+* **scan** — the per-window correlation check over ``G`` groups ×
+  ``W`` windows, four ways: uncached scalar (the seed path), memoised
+  scalar cold/warm, and the batched ``check_many`` matrix pass;
+* **eval** — the end-to-end Ch. V protocol with the process-parallel
+  ``EvaluationRunner``, checking that worker counts do not change the
+  aggregate results.
+
+All workloads are seeded and synthetic — the harness needs no dataset
+files and produces no timing *assertions* (CI runs it as a smoke test;
+regressions are judged by humans reading the JSON trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import DiceConfig, DiceDetector
+from ..core.checks import CorrelationChecker
+from ..core.encoding import BitLayout, WindowedTrace
+from ..core.groups import GroupRegistry
+from ..model import DeviceRegistry, SensorType, binary_sensor
+
+BENCH_SCHEMA = "dice-bench-perf/1"
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+
+# --------------------------------------------------------------------- #
+# Synthetic workloads
+# --------------------------------------------------------------------- #
+
+
+def _synthetic_layout(num_bits: int) -> BitLayout:
+    registry = DeviceRegistry(
+        [
+            binary_sensor(f"s{i:03d}", SensorType.MOTION, f"room{i % 8}")
+            for i in range(num_bits)
+        ]
+    )
+    return BitLayout(registry)
+
+
+def _random_mask(rng: np.random.Generator, num_bits: int, density: float) -> int:
+    bits = np.nonzero(rng.random(num_bits) < density)[0]
+    mask = 0
+    for b in bits:
+        mask |= 1 << int(b)
+    return mask
+
+
+def _group_pool(
+    rng: np.random.Generator, num_bits: int, count: int, density: float = 0.08
+) -> List[int]:
+    """*count* distinct synthetic group masks."""
+    pool: List[int] = []
+    seen = set()
+    while len(pool) < count:
+        mask = _random_mask(rng, num_bits, density)
+        if mask not in seen:
+            seen.add(mask)
+            pool.append(mask)
+    return pool
+
+
+def _probe_stream(
+    rng: np.random.Generator, pool: Sequence[int], num_bits: int, count: int
+) -> List[int]:
+    """A window-mask stream with smart-home repetition structure.
+
+    State sets "retain their value for several rounds" (§5.2): ~70 % of
+    windows repeat a known group mask, ~20 % are near misses (1-2 bits
+    flipped), ~10 % are novel — so the stream exercises cache hits, probable
+    groups, and violations alike.
+    """
+    probes: List[int] = []
+    for _ in range(count):
+        roll = rng.random()
+        base = pool[int(rng.integers(len(pool)))]
+        if roll < 0.7:
+            probes.append(base)
+        elif roll < 0.9:
+            for b in rng.integers(0, num_bits, size=int(rng.integers(1, 3))):
+                base ^= 1 << int(b)
+            probes.append(base)
+        else:
+            probes.append(_random_mask(rng, num_bits, 0.1))
+    return probes
+
+
+# --------------------------------------------------------------------- #
+# Sections
+# --------------------------------------------------------------------- #
+
+
+def bench_fit(
+    sizes: Sequence[int], num_bits: int, seed: int
+) -> List[Dict]:
+    """Group interning over growing synthetic traces (amortised append)."""
+    layout = _synthetic_layout(num_bits)
+    results = []
+    for n_windows in sizes:
+        rng = np.random.default_rng(seed)
+        # ~60 % unique masks so the registry itself grows with the trace.
+        pool = _group_pool(rng, num_bits, max(2, int(n_windows * 0.6)))
+        masks = [pool[int(rng.integers(len(pool)))] for _ in range(n_windows)]
+        windowed = WindowedTrace(
+            layout, 60.0, 0.0, masks, [frozenset()] * n_windows
+        )
+        t0 = time.perf_counter()
+        registry, _ = GroupRegistry.from_windows(windowed)
+        seconds = time.perf_counter() - t0
+        results.append(
+            {
+                "windows": int(n_windows),
+                "groups": len(registry),
+                "seconds": seconds,
+            }
+        )
+    return results
+
+
+def _best_of(repeats: int, make_timed):
+    """Run ``make_timed()`` *repeats* times; return (best seconds, result).
+
+    Taking the minimum is the standard defence against scheduler noise on
+    loaded machines — every run does identical work, so the fastest run is
+    the closest to the true cost.
+    """
+    best_s = float("inf")
+    result = None
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        out = make_timed()
+        seconds = time.perf_counter() - t0
+        if seconds < best_s:
+            best_s = seconds
+        if i == 0:
+            result = out
+    return best_s, result
+
+
+def bench_scan(
+    n_groups: int, n_windows: int, num_bits: int, seed: int, repeats: int = 3
+) -> Dict:
+    """The correlation check four ways over G groups × W windows."""
+    rng = np.random.default_rng(seed)
+    layout = _synthetic_layout(num_bits)
+    groups = GroupRegistry(layout)
+    for mask in _group_pool(rng, num_bits, n_groups):
+        groups.add(mask)
+    probes = _probe_stream(rng, groups.masks, num_bits, n_windows)
+    config = DiceConfig(max_candidate_distance=2)
+
+    # Seed scalar path: one uncached scan per window.
+    scalar = CorrelationChecker(groups, config, cache_size=0)
+    scalar_s, scalar_results = _best_of(
+        repeats, lambda: [scalar.scan(mask) for mask in probes]
+    )
+
+    # Memoised scalar: cold pass fills the LRU, warm pass mostly hits it.
+    def _memo_cold():
+        checker = CorrelationChecker(groups, config)
+        return checker, [checker.check(mask) for mask in probes]
+
+    memo_cold_s, (memo, memo_results) = _best_of(repeats, _memo_cold)
+    memo_warm_s, _ = _best_of(
+        repeats, lambda: [memo.check(mask) for mask in probes]
+    )
+
+    # Batch + memoised: one (W, G) matrix pass over the cache misses.
+    def _batch_cold():
+        checker = CorrelationChecker(groups, config)
+        return checker, checker.check_many(probes)
+
+    batch_cold_s, (batch, batch_results) = _best_of(repeats, _batch_cold)
+    cold_info = batch.cache_info()  # counters from the first cold pass only
+    batch_warm_s, _ = _best_of(repeats, lambda: batch.check_many(probes))
+
+    if not (scalar_results == memo_results == batch_results):
+        raise AssertionError("scalar, memoised and batch paths disagree")
+
+    def _speedup(base: float, new: float) -> float:
+        return base / new if new > 0 else float("inf")
+
+    return {
+        "groups": int(n_groups),
+        "windows": int(n_windows),
+        "num_bits": int(num_bits),
+        "scalar_s": scalar_s,
+        "memoized_cold_s": memo_cold_s,
+        "memoized_warm_s": memo_warm_s,
+        "batch_cold_s": batch_cold_s,
+        "batch_warm_s": batch_warm_s,
+        "cache_hits": cold_info["hits"],
+        "cache_misses": cold_info["misses"],
+        "per_window_us": {
+            "scalar": 1e6 * scalar_s / n_windows,
+            "memoized_warm": 1e6 * memo_warm_s / n_windows,
+            "batch_cold": 1e6 * batch_cold_s / n_windows,
+        },
+        "speedup_batch_vs_scalar": _speedup(scalar_s, batch_cold_s),
+        "speedup_warm_vs_scalar": _speedup(scalar_s, batch_warm_s),
+    }
+
+
+def bench_eval(
+    dataset: str,
+    hours: float,
+    precompute_hours: float,
+    pairs: int,
+    seed: int,
+    workers_list: Sequence[int],
+) -> Dict:
+    """End-to-end Ch. V protocol wall clock per worker count."""
+    from ..datasets import load_dataset
+    from ..eval import EvaluationRunner
+
+    data = load_dataset(dataset, seed=seed, hours=hours)
+    runs = []
+    fingerprints = []
+    for workers in workers_list:
+        runner = EvaluationRunner(
+            precompute_hours=precompute_hours,
+            pairs=pairs,
+            seed=seed,
+            workers=workers,
+        )
+        t0 = time.perf_counter()
+        result = runner.evaluate(dataset, data.trace)
+        seconds = time.perf_counter() - t0
+        fingerprints.append(result.aggregate_fingerprint())
+        runs.append(
+            {
+                "workers": int(workers),
+                "seconds": seconds,
+                "fingerprint": fingerprints[-1],
+                "cache_hit_rate": result.timings.correlation_cache_hit_rate,
+            }
+        )
+    return {
+        "dataset": dataset,
+        "hours": float(hours),
+        "pairs": int(pairs),
+        "runs": runs,
+        "aggregates_identical": len(set(fingerprints)) <= 1,
+    }
+
+
+def bench_detector_segment(
+    n_groups: int, n_windows: int, num_bits: int, seed: int
+) -> Dict:
+    """Full ``process_windows`` (all four stages) batch vs scalar."""
+    rng = np.random.default_rng(seed)
+    layout = _synthetic_layout(num_bits)
+    pool = _group_pool(rng, num_bits, n_groups)
+    training_masks = [pool[int(rng.integers(len(pool)))] for _ in range(n_groups * 3)]
+    from ..core.encoding import StateSetEncoder
+
+    encoder = StateSetEncoder(layout.registry)
+    encoder._value_thresholds = np.zeros(len(layout.registry))
+    training = WindowedTrace(
+        layout, 60.0, 0.0, training_masks, [frozenset()] * len(training_masks)
+    )
+    detector = DiceDetector(layout.registry).fit_windows(encoder, training)
+    probes = _probe_stream(rng, pool, num_bits, n_windows)
+    segment = WindowedTrace(layout, 60.0, 0.0, probes, [frozenset()] * len(probes))
+
+    # Clear the memo before each timed run so both paths start cold.
+    detector._correlation_checker.clear_cache()
+    t0 = time.perf_counter()
+    scalar_report = detector.process_windows(segment, batch=False)
+    scalar_s = time.perf_counter() - t0
+    detector._correlation_checker.clear_cache()
+    t0 = time.perf_counter()
+    batch_report = detector.process_windows(segment, batch=True)
+    batch_s = time.perf_counter() - t0
+    if (
+        scalar_report.detections != batch_report.detections
+        or scalar_report.identifications != batch_report.identifications
+    ):
+        raise AssertionError("batch and scalar segment reports disagree")
+    return {
+        "groups": int(n_groups),
+        "windows": int(n_windows),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "detections": len(batch_report.detections),
+        "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def run_benchmarks(
+    quick: bool = False,
+    seed: int = 0,
+    dataset: str = "houseA",
+    groups: Optional[int] = None,
+    windows: Optional[int] = None,
+    workers_list: Optional[Sequence[int]] = None,
+    num_bits: int = 96,
+) -> Dict:
+    """Run every section; returns the ``BENCH_perf.json`` document."""
+    if quick:
+        groups = groups or 120
+        windows = windows or 800
+        fit_sizes = [500, 2000]
+        eval_hours, eval_precompute, eval_pairs = 100.0, 72.0, 4
+    else:
+        groups = groups or 500
+        windows = windows or 5000
+        fit_sizes = [2000, 8000, 16000]
+        eval_hours, eval_precompute, eval_pairs = 120.0, 72.0, 12
+    cpus = os.cpu_count() or 1
+    if workers_list is None:
+        workers_list = [1, 2] if cpus == 1 else sorted({1, 2, cpus})
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "machine": {
+            "cpus": cpus,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "fit": bench_fit(fit_sizes, num_bits, seed),
+        "scan": [bench_scan(groups, windows, num_bits, seed)],
+        "segment": bench_detector_segment(groups, windows, num_bits, seed),
+        "eval": bench_eval(
+            dataset, eval_hours, eval_precompute, eval_pairs, seed, workers_list
+        ),
+    }
+    validate_document(doc)
+    return doc
+
+
+def write_document(doc: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# --------------------------------------------------------------------- #
+# Schema validation (no external dependency)
+# --------------------------------------------------------------------- #
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(f"BENCH_perf.json schema violation: {message}")
+
+
+def validate_document(doc: Dict) -> Dict:
+    """Structurally validate a ``BENCH_perf.json`` document.
+
+    Raises :class:`ValueError` on any shape mismatch; returns *doc* so the
+    call can be chained.  Checks structure and value domains only — never
+    timings — so CI validation cannot flake.
+    """
+    _require(isinstance(doc, dict), "top level must be an object")
+    _require(doc.get("schema") == BENCH_SCHEMA, f"schema must be {BENCH_SCHEMA!r}")
+    _require(isinstance(doc.get("quick"), bool), "quick must be a bool")
+    machine = doc.get("machine")
+    _require(isinstance(machine, dict), "machine must be an object")
+    _require(
+        isinstance(machine.get("cpus"), int) and machine["cpus"] >= 1,
+        "machine.cpus must be a positive int",
+    )
+    for key in ("python", "numpy"):
+        _require(isinstance(machine.get(key), str), f"machine.{key} must be a string")
+
+    fit = doc.get("fit")
+    _require(isinstance(fit, list) and fit, "fit must be a non-empty list")
+    for row in fit:
+        for key in ("windows", "groups"):
+            _require(
+                isinstance(row.get(key), int) and row[key] > 0,
+                f"fit[].{key} must be a positive int",
+            )
+        _require(
+            isinstance(row.get("seconds"), (int, float)) and row["seconds"] >= 0,
+            "fit[].seconds must be a non-negative number",
+        )
+
+    scan = doc.get("scan")
+    _require(isinstance(scan, list) and scan, "scan must be a non-empty list")
+    for row in scan:
+        for key in ("groups", "windows", "num_bits"):
+            _require(
+                isinstance(row.get(key), int) and row[key] > 0,
+                f"scan[].{key} must be a positive int",
+            )
+        for key in (
+            "scalar_s",
+            "memoized_cold_s",
+            "memoized_warm_s",
+            "batch_cold_s",
+            "batch_warm_s",
+            "speedup_batch_vs_scalar",
+            "speedup_warm_vs_scalar",
+        ):
+            _require(
+                isinstance(row.get(key), (int, float)) and row[key] >= 0,
+                f"scan[].{key} must be a non-negative number",
+            )
+        for key in ("cache_hits", "cache_misses"):
+            _require(
+                isinstance(row.get(key), int) and row[key] >= 0,
+                f"scan[].{key} must be a non-negative int",
+            )
+
+    segment = doc.get("segment")
+    _require(isinstance(segment, dict), "segment must be an object")
+    for key in ("scalar_s", "batch_s", "speedup"):
+        _require(
+            isinstance(segment.get(key), (int, float)) and segment[key] >= 0,
+            f"segment.{key} must be a non-negative number",
+        )
+
+    ev = doc.get("eval")
+    _require(isinstance(ev, dict), "eval must be an object")
+    _require(isinstance(ev.get("dataset"), str), "eval.dataset must be a string")
+    _require(
+        isinstance(ev.get("pairs"), int) and ev["pairs"] > 0,
+        "eval.pairs must be a positive int",
+    )
+    runs = ev.get("runs")
+    _require(isinstance(runs, list) and runs, "eval.runs must be a non-empty list")
+    for run in runs:
+        _require(
+            isinstance(run.get("workers"), int) and run["workers"] >= 1,
+            "eval.runs[].workers must be >= 1",
+        )
+        _require(
+            isinstance(run.get("seconds"), (int, float)) and run["seconds"] >= 0,
+            "eval.runs[].seconds must be a non-negative number",
+        )
+        _require(
+            isinstance(run.get("fingerprint"), str) and len(run["fingerprint"]) == 64,
+            "eval.runs[].fingerprint must be a sha256 hex digest",
+        )
+    _require(
+        ev.get("aggregates_identical") is True,
+        "eval.aggregates_identical must be true (worker counts changed results)",
+    )
+    return doc

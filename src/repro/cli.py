@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the everyday workflows:
+Six commands cover the everyday workflows:
 
 * ``list`` — the Table 4.1 dataset registry;
 * ``generate`` — render a dataset to CSV (plus its device registry);
@@ -10,7 +10,10 @@ Five commands cover the everyday workflows:
   timing, check-timing, computation, degree, ratio) as a table;
 * ``stream`` — exercise the hardened gateway runtime on one dataset:
   optional pipe faults on the delivery channel, ingest-guard drop
-  accounting, device supervision, and checkpoint save/resume.
+  accounting, device supervision, and checkpoint save/resume;
+* ``bench`` — time the detection hot paths (fit, scalar vs memoised vs
+  batched correlation scan, parallel evaluation) and write
+  ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -18,6 +21,13 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("worker count must be at least 1")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -43,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--actuators", action="store_true", help="inject actuator faults only"
     )
+    evaluate.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the segment-pair fan-out (results are "
+        "identical for any count)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -55,6 +70,30 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.5)
     experiment.add_argument("--pairs", type=int, default=30)
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--workers", type=_worker_count, default=1)
+
+    bench = sub.add_parser(
+        "bench", help="time the detection hot paths; write BENCH_perf.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small workloads for CI smoke (~seconds instead of minutes)",
+    )
+    bench.add_argument(
+        "-o", "--output", default="BENCH_perf.json", help="output JSON path"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--dataset", default="houseA", help="end-to-end eval dataset")
+    bench.add_argument(
+        "--groups", type=int, default=None, help="scan section: group count"
+    )
+    bench.add_argument(
+        "--windows", type=int, default=None, help="scan section: window count"
+    )
+    bench.add_argument(
+        "--workers", type=_worker_count, nargs="*", default=None,
+        help="worker counts for the end-to-end eval section",
+    )
 
     stream = sub.add_parser(
         "stream", help="run the hardened gateway runtime over one dataset"
@@ -142,7 +181,8 @@ def _cmd_evaluate(args) -> int:
     hours = None if args.scale == 1.0 else data_hours(args.dataset, args.scale)
     data = load_dataset(args.dataset, seed=args.seed, hours=hours)
     runner = EvaluationRunner(
-        precompute_hours=300.0 * args.scale, pairs=args.pairs, seed=args.seed
+        precompute_hours=300.0 * args.scale, pairs=args.pairs, seed=args.seed,
+        workers=args.workers,
     )
     devices = data.trace.registry.actuators() if args.actuators else None
     result = runner.evaluate(args.dataset, data.trace, devices=devices)
@@ -187,7 +227,8 @@ def _cmd_experiment(args) -> int:
     )
 
     settings = ProtocolSettings(
-        hours_scale=args.scale, pairs=args.pairs, seed=args.seed
+        hours_scale=args.scale, pairs=args.pairs, seed=args.seed,
+        workers=args.workers,
     )
     datasets = args.datasets or None
     if args.name == "accuracy":
@@ -297,6 +338,45 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import run_benchmarks
+    from .bench.perf import write_document
+
+    doc = run_benchmarks(
+        quick=args.quick,
+        seed=args.seed,
+        dataset=args.dataset,
+        groups=args.groups,
+        windows=args.windows,
+        workers_list=args.workers,
+    )
+    write_document(doc, args.output)
+    scan = doc["scan"][0]
+    print(
+        f"scan: {scan['groups']} groups x {scan['windows']} windows  "
+        f"scalar {1e3 * scan['scalar_s']:.1f} ms  "
+        f"batch {1e3 * scan['batch_cold_s']:.1f} ms  "
+        f"({scan['speedup_batch_vs_scalar']:.1f}x, "
+        f"warm {scan['speedup_warm_vs_scalar']:.1f}x)"
+    )
+    segment = doc["segment"]
+    print(
+        f"segment: full pipeline batch vs scalar {segment['speedup']:.1f}x "
+        f"({1e3 * segment['scalar_s']:.1f} -> {1e3 * segment['batch_s']:.1f} ms)"
+    )
+    for run in doc["eval"]["runs"]:
+        print(
+            f"eval[{doc['eval']['dataset']}]: workers={run['workers']} "
+            f"{run['seconds']:.2f}s  cache hit rate {100 * run['cache_hit_rate']:.1f}%"
+        )
+    print(
+        "eval aggregates identical across worker counts: "
+        f"{doc['eval']['aggregates_identical']}"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -309,6 +389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -18,8 +18,11 @@ structure; it flags transitions with zero learned probability:
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .config import DiceConfig
 from .groups import GroupRegistry
@@ -60,14 +63,69 @@ class TransitionViolation:
 
 
 class CorrelationChecker:
-    """§3.3.1 — main/probable group search over the group registry."""
+    """§3.3.1 — main/probable group search over the group registry.
 
-    def __init__(self, groups: GroupRegistry, config: DiceConfig) -> None:
+    Live traffic repeats a small working set of state-set masks heavily
+    (state sets "retain their value for several rounds", §5.2), so results
+    are memoised in an LRU mask → :class:`CorrelationResult` cache: a hit
+    skips the group scan entirely.  The cache is keyed on the fitted
+    registry — it drops itself whenever :attr:`GroupRegistry.version`
+    changes (i.e. on refit), so stale results can never be served.
+
+    :meth:`check_many` is the batch path: all misses of a whole segment are
+    resolved in one ``(W, G)`` XOR + popcount matrix pass instead of one
+    scan per window, with results identical to the scalar :meth:`check`.
+    """
+
+    def __init__(
+        self,
+        groups: GroupRegistry,
+        config: DiceConfig,
+        cache_size: Optional[int] = None,
+    ) -> None:
         self.groups = groups
         self.config = config
         self.max_distance = config.candidate_distance(groups.layout.has_numeric)
+        self._cache_size = (
+            config.correlation_cache_size if cache_size is None else cache_size
+        )
+        self._cache: "OrderedDict[int, CorrelationResult]" = OrderedDict()
+        self._cache_version = groups.version
+        self.cache_hits = 0
+        self.cache_misses = 0
 
-    def check(self, mask: int) -> CorrelationResult:
+    # -- cache plumbing -------------------------------------------------- #
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters and current cache occupancy."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "max_size": self._cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._cache_version = self.groups.version
+
+    def _cache_lookup(self, mask: int) -> Optional[CorrelationResult]:
+        if self.groups.version != self._cache_version:
+            self.clear_cache()
+        result = self._cache.get(mask)
+        if result is not None:
+            self._cache.move_to_end(mask)
+        return result
+
+    def _cache_store(self, mask: int, result: CorrelationResult) -> None:
+        self._cache[mask] = result
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    # -- scalar path ----------------------------------------------------- #
+
+    def scan(self, mask: int) -> CorrelationResult:
+        """Uncached single-mask scan (the pre-memoisation seed path)."""
         candidates = self.groups.candidates(mask, self.max_distance)
         main: Optional[int] = None
         probable: List[Tuple[int, int]] = []
@@ -77,6 +135,94 @@ class CorrelationChecker:
             else:
                 probable.append((group_id, distance))
         return CorrelationResult(mask, main, tuple(probable))
+
+    def check(self, mask: int) -> CorrelationResult:
+        if not self._cache_size:
+            self.cache_misses += 1
+            return self.scan(mask)
+        cached = self._cache_lookup(mask)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        result = self.scan(mask)
+        self._cache_store(mask, result)
+        return result
+
+    # -- batch path ------------------------------------------------------ #
+
+    def check_many(self, masks: Sequence[int]) -> List[CorrelationResult]:
+        """Correlation checks for a whole segment's windows at once.
+
+        Result-identical to calling :meth:`check` per window; cache-miss
+        masks are resolved through one batched distance-matrix pass.
+        """
+        masks = list(masks)
+        if not masks:
+            return []
+        if not self._cache_size:
+            self.cache_misses += len(masks)
+            return self._scan_many(masks)
+        if self.groups.version != self._cache_version:
+            self.clear_cache()
+        cache = self._cache
+        hits = 0
+        results: List[Optional[CorrelationResult]] = [None] * len(masks)
+        pending: Dict[int, List[int]] = {}
+        for i, mask in enumerate(masks):
+            cached = cache.get(mask)
+            if cached is not None:
+                hits += 1
+                cache.move_to_end(mask)
+                results[i] = cached
+            elif mask in pending:
+                # The scalar loop would have hit the entry stored by the
+                # first occurrence; count it the same way.
+                hits += 1
+                pending[mask].append(i)
+            else:
+                pending[mask] = [i]
+        self.cache_hits += hits
+        if pending:
+            unique = list(pending)
+            self.cache_misses += len(unique)
+            for mask, result in zip(unique, self._scan_many(unique)):
+                cache[mask] = result
+                for i in pending[mask]:
+                    results[i] = result
+            while len(cache) > self._cache_size:
+                cache.popitem(last=False)
+        return results  # type: ignore[return-value]
+
+    def _scan_many(self, masks: List[int]) -> List[CorrelationResult]:
+        """One (W, G) matrix pass; per-row candidate extraction mirrors
+        :meth:`PackedBitsets.within` (distance order, ties by group id)."""
+        if len(self.groups) == 0:
+            return [CorrelationResult(mask, None, ()) for mask in masks]
+        dist = self.groups.distances_many(masks)
+        rows, cols = np.nonzero(dist <= self.max_distance)
+        ds = dist[rows, cols]
+        order = np.lexsort((cols, ds, rows))
+        rows = rows[order]
+        bounds = np.searchsorted(rows, np.arange(len(masks) + 1)).tolist()
+        cols = cols[order].tolist()
+        ds = ds[order].tolist()
+        results: List[CorrelationResult] = []
+        for i, mask in enumerate(masks):
+            lo, hi = bounds[i], bounds[i + 1]
+            if lo == hi:
+                # No group within the bound: a correlation violation.
+                results.append(CorrelationResult(mask, None, ()))
+                continue
+            main: Optional[int] = None
+            probable: List[Tuple[int, int]] = []
+            for k in range(lo, hi):
+                if ds[k] == 0 and main is None:
+                    main = cols[k]
+                else:
+                    probable.append((cols[k], ds[k]))
+            results.append(CorrelationResult(mask, main, tuple(probable)))
+        return results
 
     def nearest(self, mask: int, limit_distance: int) -> Tuple[Tuple[int, int], ...]:
         """Groups at the smallest non-zero distance ≤ *limit_distance*.

@@ -63,6 +63,11 @@ class DiceConfig:
     #: A group only qualifies as a skipped middle in the two-step closure if
     #: its training self-loop probability is at most this (short dwell).
     closure_max_self_loop: float = 0.4
+    #: LRU entries for the mask → correlation-result memo.  Smart-home state
+    #: sets "retain their value for several rounds" (§5.2), so live traffic
+    #: repeats a small working set of masks heavily; a hit skips the group
+    #: scan entirely.  0 disables memoisation (every check scans).
+    correlation_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -77,6 +82,8 @@ class DiceConfig:
             raise ValueError("min_row_observations must be at least 1")
         if self.min_group_observations < 1:
             raise ValueError("min_group_observations must be at least 1")
+        if self.correlation_cache_size < 0:
+            raise ValueError("correlation_cache_size must be non-negative")
 
     @property
     def num_thre(self) -> int:

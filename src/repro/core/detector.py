@@ -23,6 +23,7 @@ from typing import FrozenSet, List, Optional, Tuple
 from ..model import DeviceRegistry, Trace
 from .checks import (
     CorrelationChecker,
+    CorrelationResult,
     TransitionCase,
     TransitionChecker,
 )
@@ -44,13 +45,19 @@ TRANSITION_CHECK = "transition"
 
 @dataclass
 class StageTimings:
-    """Accumulated wall-clock cost per real-time stage (Fig. 5.3)."""
+    """Accumulated wall-clock cost per real-time stage (Fig. 5.3).
+
+    Also carries the correlation-memo hit/miss counters, so evaluation
+    results expose how much of the dominant scan cost the cache absorbed.
+    """
 
     encoding_s: float = 0.0
     correlation_s: float = 0.0
     transition_s: float = 0.0
     identification_s: float = 0.0
     windows: int = 0
+    correlation_cache_hits: int = 0
+    correlation_cache_misses: int = 0
 
     def per_window(self) -> dict:
         """Average seconds per processed window for each stage."""
@@ -62,12 +69,19 @@ class StageTimings:
             "identification": self.identification_s / n,
         }
 
+    @property
+    def correlation_cache_hit_rate(self) -> float:
+        total = self.correlation_cache_hits + self.correlation_cache_misses
+        return self.correlation_cache_hits / total if total else 0.0
+
     def merge(self, other: "StageTimings") -> None:
         self.encoding_s += other.encoding_s
         self.correlation_s += other.correlation_s
         self.transition_s += other.transition_s
         self.identification_s += other.identification_s
         self.windows += other.windows
+        self.correlation_cache_hits += other.correlation_cache_hits
+        self.correlation_cache_misses += other.correlation_cache_misses
 
 
 @dataclass(frozen=True)
@@ -195,17 +209,24 @@ class DiceDetector:
     # Real-time phase
     # ------------------------------------------------------------------ #
 
-    def process(self, trace: Trace) -> SegmentReport:
-        """Run the real-time phase over a segment trace."""
+    def process(self, trace: Trace, batch: bool = True) -> SegmentReport:
+        """Run the real-time phase over a segment trace.
+
+        ``batch=True`` (default) resolves every window's correlation check
+        through one vectorised distance-matrix pass; ``batch=False`` keeps
+        the window-at-a-time scalar path.  Both produce identical reports.
+        """
         model = self._require_fitted()
         t0 = time.perf_counter()
         windowed = model.encoder.encode(trace)
         encoding_s = time.perf_counter() - t0
-        report = self.process_windows(windowed)
+        report = self.process_windows(windowed, batch=batch)
         report.timings.encoding_s += encoding_s
         return report
 
-    def process_windows(self, windowed: WindowedTrace) -> SegmentReport:
+    def process_windows(
+        self, windowed: WindowedTrace, batch: bool = True
+    ) -> SegmentReport:
         """Real-time phase over pre-encoded windows."""
         self._require_fitted()
         report = SegmentReport(
@@ -217,6 +238,17 @@ class DiceDetector:
         corr_checker = self._correlation_checker
         trans_checker = self._transition_checker
         identifier = self._identifier
+        cache_hits0 = corr_checker.cache_hits
+        cache_misses0 = corr_checker.cache_misses
+
+        # Batch path: one (W, G) matrix pass answers the correlation check
+        # for the whole segment; the per-window loop below then consumes
+        # the precomputed results in order.
+        corr_results: Optional[List[CorrelationResult]] = None
+        if batch and len(windowed):
+            t0 = time.perf_counter()
+            corr_results = corr_checker.check_many(windowed.masks)
+            timings.correlation_s += time.perf_counter() - t0
 
         prev_group: Optional[int] = None
         # The last window that matched a main group — identification prunes
@@ -231,9 +263,12 @@ class DiceDetector:
             timings.windows += 1
             window_end = windowed.window_start(i) + windowed.window_seconds
 
-            t0 = time.perf_counter()
-            corr = corr_checker.check(mask)
-            timings.correlation_s += time.perf_counter() - t0
+            if corr_results is not None:
+                corr = corr_results[i]
+            else:
+                t0 = time.perf_counter()
+                corr = corr_checker.check(mask)
+                timings.correlation_s += time.perf_counter() - t0
 
             violations = ()
             if not corr.is_violation:
@@ -314,6 +349,10 @@ class DiceDetector:
                 anchor_group = corr.main_group
             prev_acts = acts
 
+        timings.correlation_cache_hits += corr_checker.cache_hits - cache_hits0
+        timings.correlation_cache_misses += (
+            corr_checker.cache_misses - cache_misses0
+        )
         if session is not None:
             # Segment ended mid-session: report the best current guess.
             last_end = windowed.window_start(len(windowed) - 1) + (

@@ -15,7 +15,7 @@ The scan is the dominant real-time cost (Fig. 5.3) and is vectorised via
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,6 +64,16 @@ class GroupRegistry:
     def __len__(self) -> int:
         return len(self._counts)
 
+    @property
+    def version(self) -> int:
+        """Monotone token that changes whenever a new group is interned.
+
+        Correlation results depend only on the *set* of group masks, so
+        caches keyed on a fitted registry stay valid exactly while this
+        value is unchanged (observation counts may still grow).
+        """
+        return len(self._bitsets)
+
     def __contains__(self, mask: int) -> bool:
         return mask in self._by_mask
 
@@ -87,6 +97,19 @@ class GroupRegistry:
         pairs, nearest first (§3.3.1)."""
         ids, dists = self._bitsets.within(mask, max_distance)
         return [(int(g), int(d)) for g, d in zip(ids, dists)]
+
+    def distances_many(
+        self, masks: Union[Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Hamming distances from every probe mask to every group: ``(W, G)``.
+
+        One XOR + popcount matrix pass — the batch form of the per-window
+        neighbourhood scan."""
+        return self._bitsets.distances_many(masks)
+
+    def masked_distances(self, mask: int, visible: Optional[int]) -> np.ndarray:
+        """Distances from *mask* to every group over *visible* bits only."""
+        return self._bitsets.masked_distances(mask, visible)
 
     # ------------------------------------------------------------------ #
     # Statistics

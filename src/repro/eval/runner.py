@@ -11,8 +11,11 @@ module simply projects a different view of the same
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -127,9 +130,41 @@ class DatasetResult:
             for stage, seconds in self.timings.per_window().items()
         }
 
+    def aggregate_fingerprint(self) -> str:
+        """SHA-256 over the canonicalised, order-sensitive outcomes.
+
+        Wall-clock timings are excluded, so two runs of the same protocol —
+        e.g. ``workers=1`` vs ``workers=4`` — must produce the *same*
+        fingerprint; anything else is a parallelism bug."""
+        canon = [
+            (
+                o.fault.device_id,
+                o.fault.fault_type.value,
+                o.fault.onset,
+                o.faultless_detected,
+                o.detected,
+                o.detecting_check,
+                o.detection_minutes,
+                o.identification_minutes,
+                tuple(sorted(o.identified)),
+                tuple(sorted(o.faultless_identified)),
+            )
+            for o in self.outcomes
+        ]
+        header = (self.name, self.num_sensors, self.correlation_degree, self.num_groups)
+        return hashlib.sha256(repr((header, canon)).encode()).hexdigest()
+
 
 class EvaluationRunner:
-    """Runs the segment-pair protocol for one dataset."""
+    """Runs the segment-pair protocol for one dataset.
+
+    ``workers > 1`` fans the (independent) segment pairs across a
+    ``ProcessPoolExecutor``: each worker unpickles the fitted detector
+    together with its chunk of pairs (joint pickling preserves the shared
+    device-registry identity the encoder checks) and returns its outcomes;
+    the parent reassembles chunks in submission order, so results are
+    deterministic and identical to a ``workers=1`` run.
+    """
 
     def __init__(
         self,
@@ -138,12 +173,16 @@ class EvaluationRunner:
         segment_hours: float = 6.0,
         pairs: int = 100,
         seed: int = 0,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self.config = config
         self.precompute_hours = precompute_hours
         self.segment_hours = segment_hours
         self.pairs = pairs
         self.seed = seed
+        self.workers = workers
 
     # ------------------------------------------------------------------ #
 
@@ -191,44 +230,81 @@ class EvaluationRunner:
             num_groups=len(detector.model.groups),
             fit_seconds=fit_seconds,
         )
-        for pair in pairs:
-            result.outcomes.append(self._evaluate_pair(detector, pair, result))
+        for outcome, timings in self._run_pairs(detector, pairs):
+            result.outcomes.append(outcome)
+            result.timings.merge(timings)
         return result
 
-    def _evaluate_pair(
-        self, detector: DiceDetector, pair: SegmentPair, result: DatasetResult
-    ) -> SegmentOutcome:
-        clean_report = detector.process(pair.faultless)
-        faulty_report = detector.process(pair.faulty)
-        result.timings.merge(clean_report.timings)
-        result.timings.merge(faulty_report.timings)
-        manifest = _manifestation_time(pair)
-        clean_first = clean_report.first_identification
-        outcome = SegmentOutcome(
-            fault=pair.fault,
-            faultless_detected=clean_report.detected,
-            detected=faulty_report.detected,
-            faultless_identified=(
-                clean_first.devices if clean_first else frozenset()
-            ),
+    def _run_pairs(
+        self, detector: DiceDetector, pairs: Sequence[SegmentPair]
+    ) -> List[Tuple[SegmentOutcome, StageTimings]]:
+        """Evaluate every pair, sequentially or across worker processes."""
+        if self.workers <= 1 or len(pairs) <= 1:
+            return [_evaluate_pair(detector, pair) for pair in pairs]
+        chunks = _contiguous_chunks(list(pairs), self.workers)
+        payloads = [
+            pickle.dumps((detector, chunk), protocol=pickle.HIGHEST_PROTOCOL)
+            for chunk in chunks
+        ]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            per_chunk = list(pool.map(_evaluate_chunk_payload, payloads))
+        return [item for chunk in per_chunk for item in chunk]
+
+
+def _contiguous_chunks(items: List, n: int) -> List[List]:
+    """Split *items* into ≤ *n* contiguous, near-equal, non-empty chunks
+    (concatenating them restores the original order)."""
+    n = min(n, len(items))
+    bounds = np.linspace(0, len(items), n + 1).round().astype(int)
+    return [items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+
+def _evaluate_chunk_payload(
+    payload: bytes,
+) -> List[Tuple[SegmentOutcome, StageTimings]]:
+    """Worker entry point: rebuild the fitted detector and its chunk of
+    pairs from one joint pickle, evaluate the chunk in order."""
+    detector, pairs = pickle.loads(payload)
+    return [_evaluate_pair(detector, pair) for pair in pairs]
+
+
+def _evaluate_pair(
+    detector: DiceDetector, pair: SegmentPair
+) -> Tuple[SegmentOutcome, StageTimings]:
+    """Process one faultless/faulty pair; returns the outcome and the
+    pair's accumulated stage timings (merged by the caller)."""
+    timings = StageTimings()
+    clean_report = detector.process(pair.faultless)
+    faulty_report = detector.process(pair.faulty)
+    timings.merge(clean_report.timings)
+    timings.merge(faulty_report.timings)
+    manifest = _manifestation_time(pair)
+    clean_first = clean_report.first_identification
+    outcome = SegmentOutcome(
+        fault=pair.fault,
+        faultless_detected=clean_report.detected,
+        detected=faulty_report.detected,
+        faultless_identified=(
+            clean_first.devices if clean_first else frozenset()
+        ),
+    )
+    detection = _first_after(faulty_report, pair.fault.onset)
+    if detection is not None:
+        outcome.detecting_check = detection.check
+        outcome.detection_minutes = max(
+            0.0, (detection.time - manifest) / 60.0
         )
-        detection = _first_after(faulty_report, pair.fault.onset)
-        if detection is not None:
-            outcome.detecting_check = detection.check
-            outcome.detection_minutes = max(
-                0.0, (detection.time - manifest) / 60.0
+    # The per-fault verdict is the first identification session that
+    # concludes after the fault onset (§3.4: DICE outputs the faulty
+    # sensor "and starts detecting faults from the top").
+    identification = _first_identification_after(faulty_report, pair.fault.onset)
+    if identification is not None:
+        outcome.identified = identification.devices
+        if pair.fault.device_id in identification.devices:
+            outcome.identification_minutes = max(
+                0.0, (identification.time - manifest) / 60.0
             )
-        # The per-fault verdict is the first identification session that
-        # concludes after the fault onset (§3.4: DICE outputs the faulty
-        # sensor "and starts detecting faults from the top").
-        identification = _first_identification_after(faulty_report, pair.fault.onset)
-        if identification is not None:
-            outcome.identified = identification.devices
-            if pair.fault.device_id in identification.devices:
-                outcome.identification_minutes = max(
-                    0.0, (identification.time - manifest) / 60.0
-                )
-        return outcome
+    return outcome, timings
 
 
 def _manifestation_time(pair: SegmentPair) -> float:

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from ..core import (
     CORRELATION_CHECK,
     TRANSITION_CHECK,
@@ -29,7 +31,6 @@ from ..core import (
     IdentificationSession,
     ProbableFaultSet,
     TransitionCase,
-    popcount,
 )
 from ..model import Event, Trace
 from .guard import DropLog, IngestGuard
@@ -377,26 +378,29 @@ class HardenedOnlineDice(OnlineDice):
     def _check_correlation(self, mask: int) -> CorrelationResult:
         """Correlation check that ignores quarantined devices' bits.
 
-        With no quarantine active this is the fast vectorised path; while
-        devices are quarantined, Hamming distances are computed over the
-        remaining (visible) bits only, so a dead sensor's permanently-zero
-        bits cannot turn every window into a correlation violation.
+        With no quarantine active this is the fast memoised/vectorised
+        path; while devices are quarantined, Hamming distances are computed
+        over the remaining (visible) bits only — still one vectorised
+        XOR+AND+popcount pass via :meth:`GroupRegistry.masked_distances` —
+        so a dead sensor's permanently-zero bits cannot turn every window
+        into a correlation violation.  Masked results bypass the memo: they
+        depend on the quarantine set, not just the mask.
         """
         qbits = self._quarantine_bits()
         checker = self.detector._correlation_checker
         if qbits == 0:
             return checker.check(mask)
         visible = ~qbits
+        dists = checker.groups.masked_distances(mask, visible)
         main: Optional[int] = None
         probable: List[Tuple[int, int]] = []
-        for group_id, group_mask in enumerate(checker.groups.masks):
-            distance = popcount((mask ^ group_mask) & visible)
-            if distance == 0:
-                if main is None:
-                    main = group_id
-            elif distance <= checker.max_distance:
-                probable.append((group_id, distance))
-        probable.sort(key=lambda pair: (pair[1], pair[0]))
+        zero = np.nonzero(dists == 0)[0]
+        if len(zero):
+            main = int(zero[0])
+        near = np.nonzero((dists > 0) & (dists <= checker.max_distance))[0]
+        order = np.lexsort((near, dists[near]))
+        for g in near[order]:
+            probable.append((int(g), int(dists[g])))
         return CorrelationResult(mask & visible, main, tuple(probable))
 
     # ------------------------------------------------------------------ #

@@ -1,5 +1,6 @@
 """Unit and property tests for packed bitsets and Hamming scans."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -99,3 +100,123 @@ def test_packed_distances_match_reference(pool, probe):
     bits = PackedBitsets(200, pool)
     expected = [hamming(probe, m) for m in pool]
     assert list(bits.distances(probe)) == expected
+
+
+class TestAmortizedGrowth:
+    def test_append_grows_capacity_geometrically(self):
+        bits = PackedBitsets(8)
+        reallocations = 0
+        buf = bits._buf
+        for mask in range(1000):
+            bits.append(mask)
+            if bits._buf is not buf:
+                reallocations += 1
+                buf = bits._buf
+        # Doubling from 16 → 1024 is 7 reallocations; a per-append vstack
+        # would have done 1000.
+        assert reallocations <= 8
+        assert bits.masks == list(range(1000))
+        assert list(bits.distances(0)) == [popcount(m) for m in range(1000)]
+
+    def test_rows_view_tracks_length(self):
+        bits = PackedBitsets(8)
+        bits.extend([1, 2, 3])
+        assert bits.rows.shape == (3, 1)
+        bits.append(4)
+        assert bits.rows.shape == (4, 1)
+        assert len(bits) == 4
+
+    def test_interleaved_append_extend(self):
+        bits = PackedBitsets(130)
+        wide = 1 << 129
+        bits.append(wide)
+        bits.extend([1, 3])
+        bits.append(wide | 1)
+        assert bits.masks == [wide, 1, 3, wide | 1]
+        assert list(bits.distances(wide)) == [0, 2, 3, 1]
+
+
+class TestDistancesMany:
+    def test_matches_per_mask_distances(self):
+        pool = [0b0001, 0b0011, 0b1111, 0b1000]
+        bits = PackedBitsets(8, pool)
+        probes = [0b0000, 0b0001, 0b1111, 0b1010]
+        many = bits.distances_many(probes)
+        assert many.shape == (4, 4)
+        for i, probe in enumerate(probes):
+            assert list(many[i]) == list(bits.distances(probe))
+
+    def test_gemm_path_matches_reference(self):
+        # ≥ 64 probes takes the float32 bit-plane GEMM branch; the result
+        # must still be the exact integer Hamming distance.
+        rng = np.random.default_rng(5)
+        num_bits = 150
+        pool = [int(rng.integers(0, 1 << 63)) | (1 << 149) for _ in range(90)]
+        probes = [int(rng.integers(0, 1 << 63)) for _ in range(128)]
+        bits = PackedBitsets(num_bits, pool)
+        many = bits.distances_many(probes)
+        for i, probe in enumerate(probes):
+            assert list(many[i]) == [hamming(probe, m) for m in pool]
+
+    def test_plane_cache_invalidates_on_growth(self):
+        bits = PackedBitsets(8, [0b01, 0b10])
+        probes = [0] * 70  # force the GEMM branch, populating the cache
+        assert bits.distances_many(probes).shape == (70, 2)
+        bits.append(0b11)
+        many = bits.distances_many(probes)
+        assert many.shape == (70, 3)
+        assert list(many[0]) == [1, 1, 2]
+
+    def test_accepts_packed_matrix(self):
+        bits = PackedBitsets(8, [0b01, 0b111])
+        packed = bits.pack_many([0b01, 0b10])
+        many = bits.distances_many(packed)
+        assert list(many[0]) == [0, 2]
+        assert list(many[1]) == [2, 2]
+
+    def test_empty_cases(self):
+        bits = PackedBitsets(8, [1, 2])
+        assert bits.distances_many([]).shape == (0, 2)
+        assert PackedBitsets(8).distances_many([1]).shape == (1, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pool=st.lists(masks, min_size=1, max_size=12),
+    probes=st.lists(masks, min_size=1, max_size=12),
+)
+def test_distances_many_matches_reference(pool, probes):
+    bits = PackedBitsets(200, pool)
+    many = bits.distances_many(probes)
+    for i, probe in enumerate(probes):
+        assert list(many[i]) == [hamming(probe, m) for m in pool]
+
+
+class TestMaskedDistances:
+    def test_masks_out_hidden_bits(self):
+        bits = PackedBitsets(8, [0b1100, 0b0011])
+        # Only the low two bits are visible: 0b1100 vs probe 0b0001 differs
+        # in bit 0 alone once the high bits are hidden.
+        assert list(bits.masked_distances(0b0001, visible=0b0011)) == [1, 1]
+
+    def test_none_visible_equals_distances(self):
+        bits = PackedBitsets(8, [0b1100, 0b0011])
+        assert list(bits.masked_distances(0b0001, None)) == list(
+            bits.distances(0b0001)
+        )
+
+    def test_wide_visible_mask(self):
+        wide = (1 << 150) | 0b1
+        bits = PackedBitsets(160, [wide])
+        assert bits.masked_distances(0b1, visible=(1 << 150) - 1)[0] == 0
+        assert bits.masked_distances(0b1, visible=wide)[0] == 1
+
+    def test_pickle_roundtrip_drops_plane_cache(self):
+        import pickle
+
+        bits = PackedBitsets(8, [1, 2, 3])
+        bits.distances_many([0] * 70)  # populate the GEMM plane cache
+        clone = pickle.loads(pickle.dumps(bits))
+        assert clone._planes is None
+        assert clone.masks == bits.masks
+        assert list(clone.distances(1)) == list(bits.distances(1))

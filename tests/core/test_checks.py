@@ -62,6 +62,83 @@ def model_from(sequence, activations=None):
     return TransitionModel.extract(sequence, activations)
 
 
+class TestCorrelationCache:
+    def test_repeat_check_hits_cache(self, registry):
+        groups = groups_with(registry, [0b01, 0b11])
+        checker = CorrelationChecker(groups, DiceConfig())
+        first = checker.check(0b01)
+        second = checker.check(0b01)
+        assert first == second
+        assert checker.cache_info() == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+            "max_size": DiceConfig().correlation_cache_size,
+        }
+
+    def test_cache_size_zero_disables_memoisation(self, registry):
+        groups = groups_with(registry, [0b01])
+        checker = CorrelationChecker(groups, DiceConfig(), cache_size=0)
+        checker.check(0b01)
+        checker.check(0b01)
+        info = checker.cache_info()
+        assert info["hits"] == 0
+        assert info["misses"] == 2
+        assert info["size"] == 0
+
+    def test_lru_evicts_oldest_entry(self, registry):
+        groups = groups_with(registry, [0b01, 0b10, 0b11])
+        checker = CorrelationChecker(groups, DiceConfig(), cache_size=2)
+        checker.check(0b01)
+        checker.check(0b10)
+        checker.check(0b01)  # touch 0b01 so 0b10 is now the LRU entry
+        checker.check(0b11)  # evicts 0b10
+        assert set(checker._cache) == {0b01, 0b11}
+        checker.check(0b10)
+        assert checker.cache_misses == 4  # 0b10 had to be re-scanned
+
+    def test_registry_growth_invalidates_cache(self, registry):
+        groups = groups_with(registry, [0b11])
+        checker = CorrelationChecker(groups, DiceConfig())
+        assert checker.check(0b01).main_group is None
+        groups.add(0b01)  # bumps GroupRegistry.version
+        result = checker.check(0b01)
+        assert result.main_group is not None
+        assert groups.mask_of(result.main_group) == 0b01
+
+    def test_check_many_matches_scalar_results_and_counters(self, registry):
+        groups = groups_with(registry, [0b001, 0b011, 0b110])
+        probes = [0b001, 0b111, 0b001, 0b011, 0b111, 0b000]
+        scalar = CorrelationChecker(groups, DiceConfig())
+        scalar_results = [scalar.check(mask) for mask in probes]
+        batch = CorrelationChecker(groups, DiceConfig())
+        batch_results = batch.check_many(probes)
+        assert batch_results == scalar_results
+        assert batch.cache_info() == scalar.cache_info()
+
+    def test_check_many_without_cache_matches_scan(self, registry):
+        groups = groups_with(registry, [0b001, 0b011])
+        probes = [0b001, 0b010, 0b001]
+        checker = CorrelationChecker(groups, DiceConfig(), cache_size=0)
+        assert checker.check_many(probes) == [checker.scan(m) for m in probes]
+
+    def test_check_many_empty_registry(self, registry):
+        groups = groups_with(registry, [])
+        checker = CorrelationChecker(groups, DiceConfig())
+        results = checker.check_many([0b01, 0b10])
+        assert all(r.is_violation for r in results)
+
+    def test_clear_cache_resets_entries_not_counters(self, registry):
+        groups = groups_with(registry, [0b01])
+        checker = CorrelationChecker(groups, DiceConfig())
+        checker.check(0b01)
+        checker.check(0b01)
+        checker.clear_cache()
+        info = checker.cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == 1 and info["misses"] == 1
+
+
 class TestTransitionChecker:
     def config(self, **kw):
         defaults = dict(min_group_observations=1, g2g_two_step_closure=False)

@@ -101,6 +101,41 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "nope"])
 
+
+class TestBench:
+    def test_quick_bench_writes_valid_document(self, tmp_path, capsys):
+        import json
+
+        from repro.bench import BENCH_SCHEMA, validate_document
+
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench", "--quick",
+                "--groups", "40",
+                "--windows", "200",
+                "--workers", "1", "2",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        assert "scan:" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert validate_document(doc) is doc
+        assert doc["scan"][0]["groups"] == 40
+        assert doc["eval"]["aggregates_identical"] is True
+        assert [run["workers"] for run in doc["eval"]["runs"]] == [1, 2]
+
+        # The validator is what CI gates on: it must reject mutations.
+        bad = dict(doc, schema="nope")
+        with pytest.raises(ValueError):
+            validate_document(bad)
+        bad = json.loads(out.read_text())
+        bad["eval"]["aggregates_identical"] = False
+        with pytest.raises(ValueError):
+            validate_document(bad)
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
