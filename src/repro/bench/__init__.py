@@ -3,6 +3,7 @@
 from .perf import (
     BENCH_SCHEMA,
     DEFAULT_OUTPUT,
+    bench_telemetry,
     run_benchmarks,
     validate_document,
 )
@@ -10,6 +11,7 @@ from .perf import (
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_OUTPUT",
+    "bench_telemetry",
     "run_benchmarks",
     "validate_document",
 ]

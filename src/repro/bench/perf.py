@@ -11,6 +11,9 @@ regress against:
 * **scan** — the per-window correlation check over ``G`` groups ×
   ``W`` windows, four ways: uncached scalar (the seed path), memoised
   scalar cold/warm, and the batched ``check_many`` matrix pass;
+* **telemetry** — the batched segment pipeline with a live metrics
+  registry vs the disabled ``NULL_REGISTRY`` twin, so the instrumentation
+  cost stays visible (budget: ≤ 5 % overhead);
 * **eval** — the end-to-end Ch. V protocol with the process-parallel
   ``EvaluationRunner``, checking that worker counts do not change the
   aggregate results.
@@ -30,13 +33,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..core import DiceConfig, DiceDetector
 from ..core.checks import CorrelationChecker
 from ..core.encoding import BitLayout, WindowedTrace
 from ..core.groups import GroupRegistry
 from ..model import DeviceRegistry, SensorType, binary_sensor
 
-BENCH_SCHEMA = "dice-bench-perf/1"
+#: /2 added the ``telemetry`` overhead section.
+BENCH_SCHEMA = "dice-bench-perf/2"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -261,10 +266,10 @@ def bench_eval(
     }
 
 
-def bench_detector_segment(
-    n_groups: int, n_windows: int, num_bits: int, seed: int
-) -> Dict:
-    """Full ``process_windows`` (all four stages) batch vs scalar."""
+def _fitted_segment(
+    n_groups: int, n_windows: int, num_bits: int, seed: int, metrics=None
+):
+    """A fitted synthetic detector plus a probe segment to replay into it."""
     rng = np.random.default_rng(seed)
     layout = _synthetic_layout(num_bits)
     pool = _group_pool(rng, num_bits, n_groups)
@@ -276,9 +281,23 @@ def bench_detector_segment(
     training = WindowedTrace(
         layout, 60.0, 0.0, training_masks, [frozenset()] * len(training_masks)
     )
-    detector = DiceDetector(layout.registry).fit_windows(encoder, training)
+    detector = DiceDetector(layout.registry, metrics=metrics).fit_windows(
+        encoder, training
+    )
     probes = _probe_stream(rng, pool, num_bits, n_windows)
     segment = WindowedTrace(layout, 60.0, 0.0, probes, [frozenset()] * len(probes))
+    return detector, segment
+
+
+def bench_detector_segment(
+    n_groups: int, n_windows: int, num_bits: int, seed: int
+) -> Dict:
+    """Full ``process_windows`` (all four stages) batch vs scalar."""
+    # NULL_REGISTRY keeps these trajectory numbers telemetry-free; the
+    # instrumentation cost is measured separately by :func:`bench_telemetry`.
+    detector, segment = _fitted_segment(
+        n_groups, n_windows, num_bits, seed, metrics=telemetry.NULL_REGISTRY
+    )
 
     # Clear the memo before each timed run so both paths start cold.
     detector._correlation_checker.clear_cache()
@@ -301,6 +320,60 @@ def bench_detector_segment(
         "batch_s": batch_s,
         "detections": len(batch_report.detections),
         "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+def bench_telemetry(
+    n_groups: int, n_windows: int, num_bits: int, seed: int, repeats: int = 5
+) -> Dict:
+    """Instrumentation overhead: the batched segment pipeline with a live
+    :class:`~repro.telemetry.MetricsRegistry` vs the disabled
+    ``NULL_REGISTRY`` twin.  The acceptance budget is ≤ 5 % overhead.
+
+    Enabled and disabled runs are *interleaved* (off, on, off, on, ...) so
+    slow drift in machine load — thermal throttling, a background task
+    spinning up — hits both sides equally instead of being booked as
+    telemetry overhead; best-of then suppresses the per-run jitter."""
+    enabled, seg_on = _fitted_segment(
+        n_groups, n_windows, num_bits, seed, metrics=telemetry.MetricsRegistry()
+    )
+    disabled, seg_off = _fitted_segment(
+        n_groups, n_windows, num_bits, seed, metrics=telemetry.NULL_REGISTRY
+    )
+
+    def _timed(detector, segment):
+        # publish=True is the production configuration: timings land in
+        # the registry once per segment, inside the measured region.
+        detector._correlation_checker.clear_cache()
+        t0 = time.perf_counter()
+        report = detector.process_windows(segment, batch=True)
+        return time.perf_counter() - t0, report
+
+    enabled_s = disabled_s = float("inf")
+    enabled_report = disabled_report = None
+    for i in range(repeats):
+        seconds, report = _timed(disabled, seg_off)
+        disabled_s = min(disabled_s, seconds)
+        if i == 0:
+            disabled_report = report
+        seconds, report = _timed(enabled, seg_on)
+        enabled_s = min(enabled_s, seconds)
+        if i == 0:
+            enabled_report = report
+
+    if (
+        enabled_report.detections != disabled_report.detections
+        or enabled_report.identifications != disabled_report.identifications
+    ):
+        raise AssertionError("telemetry changed the segment report")
+    ratio = enabled_s / disabled_s if disabled_s > 0 else float("inf")
+    return {
+        "groups": int(n_groups),
+        "windows": int(n_windows),
+        "enabled_s": enabled_s,
+        "disabled_s": disabled_s,
+        "overhead_ratio": ratio,
+        "overhead_pct": (ratio - 1.0) * 100.0,
     }
 
 
@@ -344,6 +417,7 @@ def run_benchmarks(
         "fit": bench_fit(fit_sizes, num_bits, seed),
         "scan": [bench_scan(groups, windows, num_bits, seed)],
         "segment": bench_detector_segment(groups, windows, num_bits, seed),
+        "telemetry": bench_telemetry(groups, windows, num_bits, seed),
         "eval": bench_eval(
             dataset, eval_hours, eval_precompute, eval_pairs, seed, workers_list
         ),
@@ -434,6 +508,23 @@ def validate_document(doc: Dict) -> Dict:
             isinstance(segment.get(key), (int, float)) and segment[key] >= 0,
             f"segment.{key} must be a non-negative number",
         )
+
+    tel = doc.get("telemetry")
+    _require(isinstance(tel, dict), "telemetry must be an object")
+    for key in ("groups", "windows"):
+        _require(
+            isinstance(tel.get(key), int) and tel[key] > 0,
+            f"telemetry.{key} must be a positive int",
+        )
+    for key in ("enabled_s", "disabled_s", "overhead_ratio"):
+        _require(
+            isinstance(tel.get(key), (int, float)) and tel[key] >= 0,
+            f"telemetry.{key} must be a non-negative number",
+        )
+    _require(
+        isinstance(tel.get("overhead_pct"), (int, float)),
+        "telemetry.overhead_pct must be a number",
+    )
 
     ev = doc.get("eval")
     _require(isinstance(ev, dict), "eval must be an object")

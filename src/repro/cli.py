@@ -10,10 +10,18 @@ Six commands cover the everyday workflows:
   timing, check-timing, computation, degree, ratio) as a table;
 * ``stream`` — exercise the hardened gateway runtime on one dataset:
   optional pipe faults on the delivery channel, ingest-guard drop
-  accounting, device supervision, and checkpoint save/resume;
+  accounting, device supervision, checkpoint save/resume, and a
+  ``--metrics-out`` telemetry snapshot;
+* ``metrics`` — render a telemetry snapshot as a table, Prometheus text
+  exposition, or JSON;
 * ``bench`` — time the detection hot paths (fit, scalar vs memoised vs
-  batched correlation scan, parallel evaluation) and write
-  ``BENCH_perf.json``.
+  batched correlation scan, parallel evaluation, telemetry overhead) and
+  write ``BENCH_perf.json``.
+
+Primary results go to **stdout**; diagnostics (resume/checkpoint notices,
+errors, state changes) go through the structured logger on stderr —
+``--log-level``/``--log-format`` control them, and ``--log-format json``
+makes every record one machine-parsable JSON object.
 """
 
 from __future__ import annotations
@@ -21,6 +29,10 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
+
+from . import telemetry
+
+_log = telemetry.get_logger("repro.cli")
 
 
 def _worker_count(text: str) -> int:
@@ -34,6 +46,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DICE reproduction: faulty-IoT-device detection in smart homes",
+    )
+    parser.add_argument(
+        "--log-level", choices=sorted(telemetry.LEVELS, key=telemetry.LEVELS.get),
+        default="info", help="threshold for diagnostic records on stderr",
+    )
+    parser.add_argument(
+        "--log-format", choices=[telemetry.HUMAN_FORMAT, telemetry.JSON_FORMAT],
+        default=telemetry.HUMAN_FORMAT,
+        help="human-readable lines or one JSON object per record",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -131,6 +152,19 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--resume", default=None, metavar="PATH",
         help="restore the runtime from a snapshot instead of starting fresh",
+    )
+    stream.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the end-of-run telemetry snapshot to PATH as JSON",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="render a telemetry snapshot (see stream --metrics-out)"
+    )
+    metrics.add_argument("snapshot", help="metrics snapshot JSON path")
+    metrics.add_argument(
+        "--format", choices=["table", "prom", "json"], default="table",
+        help="pretty table (default), Prometheus text exposition, or JSON",
     )
     return parser
 
@@ -262,7 +296,7 @@ def _cmd_stream(args) -> int:
     trace = data.trace
     split = trace.start + args.train_hours * 3600.0
     if not trace.start < split < trace.end:
-        print("train-hours must leave a non-empty live segment", file=sys.stderr)
+        _log.error("bad_split", reason="train-hours must leave a non-empty live segment")
         return 2
     from .core import DiceDetector
 
@@ -275,9 +309,13 @@ def _cmd_stream(args) -> int:
         try:
             runtime = restore_from_file(detector, args.resume)
         except (OSError, ValueError, KeyError, CheckpointError) as exc:
-            print(f"cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            _log.error("resume_failed", path=args.resume, error=str(exc))
             return 2
-        print(f"resumed from {args.resume} (watermark {runtime.reorder.watermark:.0f}s)")
+        _log.info(
+            "resumed from checkpoint",
+            path=args.resume,
+            watermark=runtime.reorder.watermark,
+        )
     else:
         runtime = HardenedOnlineDice(
             detector,
@@ -296,9 +334,8 @@ def _cmd_stream(args) -> int:
                 fault_type = PipeFaultType(name.strip())
             except ValueError:
                 valid = ", ".join(t.value for t in PipeFaultType)
-                print(
-                    f"unknown pipe fault {name.strip()!r} (choose from: {valid})",
-                    file=sys.stderr,
+                _log.error(
+                    "unknown_pipe_fault", fault=name.strip(), valid=valid
                 )
                 return 2
             specs.append(
@@ -314,7 +351,7 @@ def _cmd_stream(args) -> int:
     alerts = runtime.ingest_many(events)
     if args.save_checkpoint:
         save_checkpoint(runtime, args.save_checkpoint)
-        print(f"checkpoint saved to {args.save_checkpoint} (stream left open)")
+        _log.info("checkpoint saved, stream left open", path=args.save_checkpoint)
     else:
         alerts += runtime.finish_stream(live.end)
 
@@ -335,6 +372,47 @@ def _cmd_stream(args) -> int:
     quarantined = sorted(runtime.supervisor.quarantined)
     if quarantined:
         print(f"quarantined devices: {', '.join(quarantined)}")
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(runtime.metrics.snapshot(), handle, indent=2, sort_keys=True)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .eval.report import format_table
+    from .telemetry import to_prometheus
+
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        _log.error("bad_snapshot", path=args.snapshot, error=str(exc))
+        return 2
+    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+        _log.error("bad_snapshot", path=args.snapshot, error="not a metrics snapshot")
+        return 2
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        sys.stdout.write(to_prometheus(snapshot))
+    else:
+        rows = []
+        for name, entry in sorted(snapshot["metrics"].items()):
+            for row in entry["series"]:
+                labels = ",".join(f"{k}={v}" for k, v in row.get("labels", {}).items())
+                if entry["type"] == "histogram":
+                    value = (
+                        f"count={row['count']} sum={row['sum']:.6g}"
+                    )
+                else:
+                    value = f"{row['value']:g}"
+                rows.append([name, entry["type"], labels or "-", value])
+        print(format_table(["metric", "type", "labels", "value"], rows))
     return 0
 
 
@@ -364,6 +442,11 @@ def _cmd_bench(args) -> int:
         f"segment: full pipeline batch vs scalar {segment['speedup']:.1f}x "
         f"({1e3 * segment['scalar_s']:.1f} -> {1e3 * segment['batch_s']:.1f} ms)"
     )
+    tel = doc["telemetry"]
+    print(
+        f"telemetry: overhead {tel['overhead_pct']:+.1f}% "
+        f"({1e3 * tel['disabled_s']:.1f} -> {1e3 * tel['enabled_s']:.1f} ms)"
+    )
     for run in doc["eval"]["runs"]:
         print(
             f"eval[{doc['eval']['dataset']}]: workers={run['workers']} "
@@ -379,19 +462,27 @@ def _cmd_bench(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "evaluate":
-        return _cmd_evaluate(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "stream":
-        return _cmd_stream(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    previous = telemetry.configure(level=args.log_level, format=args.log_format)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "evaluate":
+            return _cmd_evaluate(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "stream":
+            return _cmd_stream(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        # Restore the library default so embedding callers (and tests) are
+        # not left with the CLI's log policy.
+        telemetry.configure(level=previous.level, format=previous.format)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

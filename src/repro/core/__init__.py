@@ -16,7 +16,11 @@ from .config import (
 )
 from .detector import (
     CORRELATION_CHECK,
+    STAGE_SECONDS_HISTOGRAM,
+    STAGE_SECONDS_TOTAL,
+    STAGES,
     TRANSITION_CHECK,
+    WINDOWS_TOTAL,
     DetectionRecord,
     DiceDetector,
     DiceModel,
@@ -58,7 +62,11 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DiceConfig",
     "CORRELATION_CHECK",
+    "STAGE_SECONDS_HISTOGRAM",
+    "STAGE_SECONDS_TOTAL",
+    "STAGES",
     "TRANSITION_CHECK",
+    "WINDOWS_TOTAL",
     "DetectionRecord",
     "DiceDetector",
     "DiceModel",

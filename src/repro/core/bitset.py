@@ -18,7 +18,7 @@ Requires numpy >= 2.0 for ``np.bitwise_count`` (pinned in pyproject.toml).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -123,6 +123,9 @@ class PackedBitsets:
         #: Lazily-built float32 bit planes of the rows for the GEMM kernel,
         #: tagged with the row count they were built at.
         self._planes: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        #: Plain-int tallies of which batch kernel ran, read by the
+        #: telemetry collector (``dice_bitset_kernel_calls_total``).
+        self.kernel_calls: Dict[str, int] = {"gemm": 0, "xor": 0}
         if masks:
             self.extend(masks)
 
@@ -209,7 +212,9 @@ class PackedBitsets:
         if probes.shape[0] == 0 or n == 0:
             return out
         if probes.shape[0] >= _GEMM_MIN_ROWS:
+            self.kernel_calls["gemm"] += 1
             return self._distances_gemm(probes, out)
+        self.kernel_calls["xor"] += 1
         rows = self.rows
         # Accumulate word by word over 2D (block, n) temporaries: far
         # friendlier to the cache than one 3D (block, n, words) broadcast.

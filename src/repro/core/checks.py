@@ -93,6 +93,7 @@ class CorrelationChecker:
         self._cache_version = groups.version
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     # -- cache plumbing -------------------------------------------------- #
 
@@ -101,6 +102,7 @@ class CorrelationChecker:
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
             "size": len(self._cache),
             "max_size": self._cache_size,
         }
@@ -121,6 +123,7 @@ class CorrelationChecker:
         self._cache[mask] = result
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
+            self.cache_evictions += 1
 
     # -- scalar path ----------------------------------------------------- #
 
@@ -192,6 +195,7 @@ class CorrelationChecker:
                     results[i] = result
             while len(cache) > self._cache_size:
                 cache.popitem(last=False)
+                self.cache_evictions += 1
         return results  # type: ignore[return-value]
 
     def _scan_many(self, masks: List[int]) -> List[CorrelationResult]:

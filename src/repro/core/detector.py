@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Tuple
 
+from .. import telemetry
 from ..model import DeviceRegistry, Trace
 from .checks import (
     CorrelationChecker,
@@ -42,6 +43,18 @@ from .weights import DeviceWeights
 CORRELATION_CHECK = "correlation"
 TRANSITION_CHECK = "transition"
 
+#: Real-time stage labels, in pipeline order.
+STAGES = ("encoding", "correlation", "transition", "identification")
+
+#: Telemetry metric families the pipeline reports into.  The counters are
+#: the source of truth :class:`StageTimings` is a view over.
+STAGE_SECONDS_TOTAL = "dice_stage_seconds_total"
+STAGE_SECONDS_HISTOGRAM = "dice_stage_seconds"
+SEGMENT_STAGE_SECONDS = "dice_segment_stage_seconds"
+WINDOWS_TOTAL = "dice_windows_total"
+CACHE_HITS_TOTAL = "dice_correlation_cache_hits_total"
+CACHE_MISSES_TOTAL = "dice_correlation_cache_misses_total"
+
 
 @dataclass
 class StageTimings:
@@ -49,6 +62,12 @@ class StageTimings:
 
     Also carries the correlation-memo hit/miss counters, so evaluation
     results expose how much of the dominant scan cost the cache absorbed.
+
+    This is a *view* over the telemetry counters: :meth:`publish` adds an
+    accumulation into a :class:`~repro.telemetry.MetricsRegistry` and
+    :meth:`from_snapshot` reads one back, so the evaluation runner, the
+    bench harness and ``repro metrics`` all report the same numbers — and
+    process-parallel workers merge into the same registry at join.
     """
 
     encoding_s: float = 0.0
@@ -59,9 +78,15 @@ class StageTimings:
     correlation_cache_hits: int = 0
     correlation_cache_misses: int = 0
 
-    def per_window(self) -> dict:
-        """Average seconds per processed window for each stage."""
-        n = max(1, self.windows)
+    def per_window(self) -> Optional[dict]:
+        """Average seconds per processed window for each stage.
+
+        ``None`` when no window was processed — zero windows means nothing
+        was measured, not that the stages were instantaneous.
+        """
+        n = self.windows
+        if n == 0:
+            return None
         return {
             "encoding": self.encoding_s / n,
             "correlation_check": self.correlation_s / n,
@@ -82,6 +107,66 @@ class StageTimings:
         self.windows += other.windows
         self.correlation_cache_hits += other.correlation_cache_hits
         self.correlation_cache_misses += other.correlation_cache_misses
+
+    def _stage_seconds(self) -> Tuple[Tuple[str, float], ...]:
+        return (
+            ("encoding", self.encoding_s),
+            ("correlation", self.correlation_s),
+            ("transition", self.transition_s),
+            ("identification", self.identification_s),
+        )
+
+    def publish(self, metrics: "telemetry.MetricsRegistry") -> None:
+        """Add this accumulation into the registry's stage counters."""
+        if not metrics.enabled:
+            return
+        totals = metrics.counter(
+            STAGE_SECONDS_TOTAL,
+            "Cumulative wall-clock seconds per real-time stage",
+            labelnames=("stage",),
+        )
+        per_segment = metrics.histogram(
+            SEGMENT_STAGE_SECONDS,
+            "Wall-clock seconds per stage for one processed segment",
+            labelnames=("stage",),
+        )
+        for stage, seconds in self._stage_seconds():
+            totals.labels(stage=stage).inc(seconds)
+            per_segment.labels(stage=stage).observe(seconds)
+        metrics.counter(WINDOWS_TOTAL, "Windows run through the real-time phase").inc(
+            self.windows
+        )
+        metrics.counter(CACHE_HITS_TOTAL, "Correlation-memo hits").inc(
+            self.correlation_cache_hits
+        )
+        metrics.counter(CACHE_MISSES_TOTAL, "Correlation-memo misses").inc(
+            self.correlation_cache_misses
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "StageTimings":
+        """Rebuild stage totals from a metrics snapshot (the inverse view)."""
+        metrics = snapshot.get("metrics", {})
+
+        def _counter(name: str, labels: Optional[dict] = None) -> float:
+            entry = metrics.get(name)
+            if entry is None:
+                return 0.0
+            total = 0.0
+            for row in entry.get("series", []):
+                if labels is None or row.get("labels", {}) == labels:
+                    total += row.get("value", 0.0)
+            return total
+
+        return cls(
+            encoding_s=_counter(STAGE_SECONDS_TOTAL, {"stage": "encoding"}),
+            correlation_s=_counter(STAGE_SECONDS_TOTAL, {"stage": "correlation"}),
+            transition_s=_counter(STAGE_SECONDS_TOTAL, {"stage": "transition"}),
+            identification_s=_counter(STAGE_SECONDS_TOTAL, {"stage": "identification"}),
+            windows=int(_counter(WINDOWS_TOTAL)),
+            correlation_cache_hits=int(_counter(CACHE_HITS_TOTAL)),
+            correlation_cache_misses=int(_counter(CACHE_MISSES_TOTAL)),
+        )
 
 
 @dataclass(frozen=True)
@@ -160,10 +245,15 @@ class DiceDetector:
         registry: DeviceRegistry,
         config: DiceConfig = DEFAULT_CONFIG,
         weights: Optional[DeviceWeights] = None,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
     ) -> None:
         self.registry = registry
         self.config = config
         self.weights = weights
+        #: Telemetry sink; ``None`` selects the process-global registry,
+        #: ``telemetry.NULL_REGISTRY`` turns recording off entirely.
+        self.metrics = telemetry.resolve(metrics)
+        self.tracer = telemetry.Tracer(self.metrics)
         self.model: Optional[DiceModel] = None
         self._correlation_checker: Optional[CorrelationChecker] = None
         self._transition_checker: Optional[TransitionChecker] = None
@@ -198,7 +288,53 @@ class DiceDetector:
         self._identifier = Identifier(
             groups, transitions, self._correlation_checker, self.config
         )
+        self._register_telemetry()
         return self
+
+    def _register_telemetry(self) -> None:
+        """Expose memo occupancy/evictions and kernel choices as metrics.
+
+        The hot paths keep plain-int counters (zero overhead); a snapshot
+        collector publishes their deltas, so the registry only pays at
+        export time.
+        """
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        checker = self._correlation_checker
+        groups = self.model.groups
+        # Created eagerly so every family is present in snapshots even
+        # before the first window is processed.
+        metrics.counter(CACHE_HITS_TOTAL, "Correlation-memo hits")
+        metrics.counter(CACHE_MISSES_TOTAL, "Correlation-memo misses")
+        cache_size = metrics.gauge(
+            "dice_correlation_cache_size", "Entries currently in the correlation memo"
+        )
+        evictions = metrics.counter(
+            "dice_correlation_cache_evictions_total",
+            "LRU evictions from the correlation memo",
+        )
+        kernels = metrics.counter(
+            "dice_bitset_kernel_calls_total",
+            "distances_many kernel selections (float32 GEMM vs per-word XOR)",
+            labelnames=("kernel",),
+        )
+        groups_gauge = metrics.gauge(
+            "dice_groups", "Groups in the fitted registry"
+        )
+        last = {"evictions": 0, "gemm": 0, "xor": 0}
+
+        def collect() -> None:
+            cache_size.set(checker.cache_info()["size"])
+            groups_gauge.set(len(groups))
+            evictions.inc(checker.cache_evictions - last["evictions"])
+            last["evictions"] = checker.cache_evictions
+            counts = groups.kernel_call_counts()
+            for kernel in ("gemm", "xor"):
+                kernels.labels(kernel=kernel).inc(counts[kernel] - last[kernel])
+                last[kernel] = counts[kernel]
+
+        metrics.register_collector("detector", collect)
 
     def _require_fitted(self) -> DiceModel:
         if self.model is None:
@@ -209,26 +345,46 @@ class DiceDetector:
     # Real-time phase
     # ------------------------------------------------------------------ #
 
-    def process(self, trace: Trace, batch: bool = True) -> SegmentReport:
+    def process(
+        self, trace: Trace, batch: bool = True, publish: bool = True
+    ) -> SegmentReport:
         """Run the real-time phase over a segment trace.
 
         ``batch=True`` (default) resolves every window's correlation check
         through one vectorised distance-matrix pass; ``batch=False`` keeps
         the window-at-a-time scalar path.  Both produce identical reports.
+
+        ``publish=False`` suppresses reporting the segment's
+        :class:`StageTimings` into the telemetry registry — the evaluation
+        runner uses it so parallel-worker timings are published exactly
+        once, at join, in the parent process.
         """
         model = self._require_fitted()
-        t0 = time.perf_counter()
-        windowed = model.encoder.encode(trace)
-        encoding_s = time.perf_counter() - t0
-        report = self.process_windows(windowed, batch=batch)
-        report.timings.encoding_s += encoding_s
+        with self.tracer.trace("process"):
+            with self.tracer.trace("encoding"):
+                t0 = time.perf_counter()
+                windowed = model.encoder.encode(trace)
+                encoding_s = time.perf_counter() - t0
+            report = self._process_windows_impl(windowed, batch)
+            report.timings.encoding_s += encoding_s
+        if publish:
+            report.timings.publish(self.metrics)
         return report
 
     def process_windows(
-        self, windowed: WindowedTrace, batch: bool = True
+        self, windowed: WindowedTrace, batch: bool = True, publish: bool = True
     ) -> SegmentReport:
         """Real-time phase over pre-encoded windows."""
         self._require_fitted()
+        with self.tracer.trace("process_windows"):
+            report = self._process_windows_impl(windowed, batch)
+        if publish:
+            report.timings.publish(self.metrics)
+        return report
+
+    def _process_windows_impl(
+        self, windowed: WindowedTrace, batch: bool = True
+    ) -> SegmentReport:
         report = SegmentReport(
             n_windows=len(windowed),
             window_seconds=windowed.window_seconds,
@@ -246,9 +402,10 @@ class DiceDetector:
         # the precomputed results in order.
         corr_results: Optional[List[CorrelationResult]] = None
         if batch and len(windowed):
-            t0 = time.perf_counter()
-            corr_results = corr_checker.check_many(windowed.masks)
-            timings.correlation_s += time.perf_counter() - t0
+            with self.tracer.trace("correlation"):
+                t0 = time.perf_counter()
+                corr_results = corr_checker.check_many(windowed.masks)
+                timings.correlation_s += time.perf_counter() - t0
 
         prev_group: Optional[int] = None
         # The last window that matched a main group — identification prunes

@@ -111,6 +111,10 @@ class GroupRegistry:
         """Distances from *mask* to every group over *visible* bits only."""
         return self._bitsets.masked_distances(mask, visible)
 
+    def kernel_call_counts(self) -> Dict[str, int]:
+        """How often each ``distances_many`` kernel ran (``gemm``/``xor``)."""
+        return dict(self._bitsets.kernel_calls)
+
     # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #

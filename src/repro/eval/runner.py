@@ -124,11 +124,18 @@ class DatasetResult:
         return ratios
 
     def computation_ms_per_window(self) -> Dict[str, float]:
-        """Fig. 5.3: average per-window wall-clock per real-time stage."""
-        return {
-            stage: seconds * 1000.0
-            for stage, seconds in self.timings.per_window().items()
-        }
+        """Fig. 5.3: average per-window wall-clock per real-time stage.
+
+        Raises :class:`ValueError` when no window was processed — an
+        average over zero windows is undefined, not zero.
+        """
+        per_window = self.timings.per_window()
+        if per_window is None:
+            raise ValueError(
+                f"{self.name}: no windows processed; "
+                "per-window averages are undefined"
+            )
+        return {stage: seconds * 1000.0 for stage, seconds in per_window.items()}
 
     def aggregate_fingerprint(self) -> str:
         """SHA-256 over the canonicalised, order-sensitive outcomes.
@@ -233,6 +240,10 @@ class EvaluationRunner:
         for outcome, timings in self._run_pairs(detector, pairs):
             result.outcomes.append(outcome)
             result.timings.merge(timings)
+        # Publish once, at join, in the parent process: per-pair publication
+        # is suppressed in ``_evaluate_pair``, so sequential and
+        # process-parallel runs land identical totals in the registry.
+        result.timings.publish(detector.metrics)
         return result
 
     def _run_pairs(
@@ -274,8 +285,10 @@ def _evaluate_pair(
     """Process one faultless/faulty pair; returns the outcome and the
     pair's accumulated stage timings (merged by the caller)."""
     timings = StageTimings()
-    clean_report = detector.process(pair.faultless)
-    faulty_report = detector.process(pair.faulty)
+    # publish=False: the runner publishes the merged timings at join (in
+    # the parent process), so worker counts don't change the registry.
+    clean_report = detector.process(pair.faultless, publish=False)
+    faulty_report = detector.process(pair.faulty, publish=False)
     timings.merge(clean_report.timings)
     timings.merge(faulty_report.timings)
     manifest = _manifestation_time(pair)

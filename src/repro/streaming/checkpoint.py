@@ -24,9 +24,15 @@ import json
 import os
 from typing import Union
 
+from .. import telemetry
 from ..core import DiceDetector
 
-CHECKPOINT_VERSION = 1
+_log = telemetry.get_logger("repro.streaming.checkpoint")
+
+#: Version 2 added the ``telemetry`` counters payload; v1 snapshots load
+#: fine (counters simply restart from zero).
+CHECKPOINT_VERSION = 2
+COMPATIBLE_VERSIONS = frozenset({1, 2})
 
 
 class CheckpointError(ValueError):
@@ -48,12 +54,21 @@ def model_fingerprint(detector: DiceDetector) -> dict:
 
 
 def checkpoint_state(runtime) -> dict:
-    """The full versioned snapshot for a :class:`HardenedOnlineDice`."""
-    return {
+    """The full versioned snapshot for a :class:`HardenedOnlineDice`.
+
+    Includes the telemetry *counter* families (monotone totals survive a
+    gateway restart); gauges and histograms are point-in-time/process-local
+    and restart from zero.
+    """
+    state = {
         "version": CHECKPOINT_VERSION,
         "model": model_fingerprint(runtime.detector),
         "runtime": runtime.state_dict(),
     }
+    metrics = getattr(runtime, "metrics", None)
+    if metrics is not None and metrics.enabled:
+        state["telemetry"] = metrics.counters_snapshot()
+    return state
 
 
 def restore_runtime(detector: DiceDetector, state: dict):
@@ -62,9 +77,10 @@ def restore_runtime(detector: DiceDetector, state: dict):
 
     if not isinstance(state, dict) or "version" not in state:
         raise CheckpointError("not a checkpoint snapshot")
-    if state["version"] != CHECKPOINT_VERSION:
+    if state["version"] not in COMPATIBLE_VERSIONS:
         raise CheckpointError(
-            f"checkpoint version {state['version']} != {CHECKPOINT_VERSION}"
+            f"checkpoint version {state['version']} not in "
+            f"{sorted(COMPATIBLE_VERSIONS)}"
         )
     expected = model_fingerprint(detector)
     if state.get("model") != expected:
@@ -74,6 +90,9 @@ def restore_runtime(detector: DiceDetector, state: dict):
         )
     runtime = HardenedOnlineDice(detector)
     runtime.load_state(state["runtime"])
+    telemetry_state = state.get("telemetry")
+    if telemetry_state is not None:
+        runtime.metrics.restore_counters(telemetry_state)
     return runtime
 
 
@@ -85,6 +104,7 @@ def save_checkpoint(runtime, path: Union[str, os.PathLike]) -> None:
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(payload)
     os.replace(tmp, path)
+    _log.info("checkpoint_saved", path=os.fspath(path), bytes=len(payload))
 
 
 def load_checkpoint(path: Union[str, os.PathLike]) -> dict:

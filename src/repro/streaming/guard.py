@@ -15,7 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..model import DeviceRegistry, Event
+
+#: Counter family every drop reports into, labelled by reason.
+DROPPED_TOTAL = "dice_ingest_dropped_total"
+
+_log = telemetry.get_logger("repro.streaming.guard")
 
 #: Drop reasons stamped by the ingest guard.
 EMPTY_DEVICE_ID = "empty_device_id"
@@ -90,15 +96,36 @@ class DropLog:
     are kept so a firehose of rejects cannot exhaust gateway memory.
     """
 
-    def __init__(self, max_samples: int = 100) -> None:
+    def __init__(
+        self,
+        max_samples: int = 100,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
+    ) -> None:
         self.max_samples = int(max_samples)
         self.counts: Dict[str, int] = {}
         self.samples: List[DroppedEvent] = []
+        registry = telemetry.NULL_REGISTRY if metrics is None else metrics
+        counter = registry.counter(
+            DROPPED_TOTAL, "Events rejected at ingest, by reason", labelnames=("reason",)
+        )
+        # Pre-resolve (and thereby pre-seed at 0) one series per reason so
+        # exports always show the full reason vocabulary, and the hot
+        # ``record`` path is a dict lookup away from its series.
+        self._series = {r: counter.labels(reason=r) for r in ALL_DROP_REASONS}
 
     def record(self, dropped: DroppedEvent) -> DroppedEvent:
         self.counts[dropped.reason] = self.counts.get(dropped.reason, 0) + 1
         if len(self.samples) < self.max_samples:
             self.samples.append(dropped)
+        series = self._series.get(dropped.reason)
+        if series is not None:
+            series.inc()
+        _log.debug(
+            "event_dropped",
+            reason=dropped.reason,
+            device=dropped.device_id,
+            timestamp=dropped.timestamp,
+        )
         return dropped
 
     @property
@@ -122,8 +149,12 @@ class DropLog:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "DropLog":
-        log = cls(max_samples=state["max_samples"])
+    def from_state_dict(
+        cls,
+        state: dict,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
+    ) -> "DropLog":
+        log = cls(max_samples=state["max_samples"], metrics=metrics)
         log.counts = {str(k): int(v) for k, v in state["counts"].items()}
         log.samples = [DroppedEvent.from_json_dict(d) for d in state["samples"]]
         return log

@@ -22,10 +22,16 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..model import Event
 from .guard import DUPLICATE, TOO_LATE, DropLog, DroppedEvent
 
+#: Counter of overflow force-releases (budget-shrinking events).
+FORCE_RELEASED_TOTAL = "dice_reorder_force_released_total"
+
 _NEG_INF = float("-inf")
+
+_log = telemetry.get_logger("repro.streaming.reorder")
 
 
 class ReorderBuffer:
@@ -36,6 +42,7 @@ class ReorderBuffer:
         lateness_seconds: float,
         max_pending: int = 4096,
         log: Optional[DropLog] = None,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
     ) -> None:
         if lateness_seconds < 0:
             raise ValueError("lateness_seconds must be non-negative")
@@ -47,6 +54,13 @@ class ReorderBuffer:
         self._heap: List[Event] = []
         self._pending_keys: Dict[Tuple[float, str, float], int] = {}
         self._watermark = _NEG_INF
+        self._newest = _NEG_INF
+        self.force_released = 0
+        registry = telemetry.NULL_REGISTRY if metrics is None else metrics
+        self._force_counter = registry.counter(
+            FORCE_RELEASED_TOTAL,
+            "Events released early because the reorder buffer overflowed",
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -58,6 +72,15 @@ class ReorderBuffer:
     @property
     def pending(self) -> int:
         return len(self._heap)
+
+    @property
+    def watermark_lag(self) -> float:
+        """Seconds between the newest timestamp seen and the watermark —
+        how far behind real time released windows currently run.  ``0.0``
+        before any event arrives."""
+        if self._newest == _NEG_INF:
+            return 0.0
+        return max(0.0, self._newest - self._watermark)
 
     def push(self, event: Event) -> List[Event]:
         """Buffer one event; returns events newly released in time order."""
@@ -74,9 +97,21 @@ class ReorderBuffer:
             return []
         heapq.heappush(self._heap, event)
         self._pending_keys[key] = self._pending_keys.get(key, 0) + 1
+        if event.timestamp > self._newest:
+            self._newest = event.timestamp
         released = self._release(event.timestamp - self.lateness_seconds)
         while len(self._heap) > self.max_pending:
-            released.append(self._pop_front())
+            forced = self._pop_front()
+            released.append(forced)
+            self.force_released += 1
+            self._force_counter.inc()
+            _log.warning(
+                "force_release",
+                timestamp=forced.timestamp,
+                device=forced.device_id,
+                pending=len(self._heap),
+                watermark=self._watermark,
+            )
         return released
 
     def advance_to(self, timestamp: float) -> List[Event]:
@@ -132,6 +167,9 @@ class ReorderBuffer:
         wm = state["watermark"]
         self._watermark = _NEG_INF if wm is None else float(wm)
         self._heap = [Event(float(t), str(d), float(v)) for t, d, v in state["pending"]]
+        self._newest = max(
+            [self._watermark] + [e.timestamp for e in self._heap]
+        )
         heapq.heapify(self._heap)
         self._pending_keys = {}
         for e in self._heap:

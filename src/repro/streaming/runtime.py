@@ -18,20 +18,25 @@ can crash mid-window and resume deterministically.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..core import (
     CORRELATION_CHECK,
+    STAGE_SECONDS_HISTOGRAM,
     TRANSITION_CHECK,
+    WINDOWS_TOTAL,
     CorrelationResult,
     DiceDetector,
     IdentificationSession,
     ProbableFaultSet,
     TransitionCase,
 )
+from ..core.detector import CACHE_HITS_TOTAL, CACHE_MISSES_TOTAL
 from ..model import Event, Trace
 from .guard import DropLog, IngestGuard
 from .reorder import ReorderBuffer
@@ -49,6 +54,11 @@ from .windower import OnlineWindower, WindowSnapshot
 DEVICE_SILENCE = "device_silence"
 DEVICE_ERRORS = "device_errors"
 DEVICE_RECOVERED = "device_recovered"
+
+#: Counter of alerts raised by the runtime, labelled by kind.
+ALERTS_TOTAL = "dice_alerts_total"
+
+_log = telemetry.get_logger("repro.streaming.runtime")
 
 
 @dataclass(frozen=True)
@@ -78,6 +88,32 @@ class OnlineDice:
         self._session: Optional[IdentificationSession] = None
         self._session_trigger: str = CORRELATION_CHECK
         self.alerts: List[Alert] = []
+        # Telemetry: the runtime shares its detector's registry/tracer.
+        # Series are resolved once here so the per-window path pays one
+        # dict-free observe per stage.
+        self.metrics = detector.metrics
+        self.tracer = detector.tracer
+        stage_hist = self.metrics.histogram(
+            STAGE_SECONDS_HISTOGRAM,
+            "Wall-clock seconds per streamed window, by real-time stage",
+            labelnames=("stage",),
+        )
+        self._stage_obs = {
+            stage: stage_hist.labels(stage=stage)
+            for stage in ("correlation", "transition", "identification")
+        }
+        self._windows_counter = self.metrics.counter(
+            WINDOWS_TOTAL, "Windows run through the real-time phase"
+        )
+        self._alerts_counter = self.metrics.counter(
+            ALERTS_TOTAL, "Alerts raised by the streaming runtime", labelnames=("kind",)
+        )
+        self._cache_hits_counter = self.metrics.counter(
+            CACHE_HITS_TOTAL, "Correlation-memo hits"
+        )
+        self._cache_misses_counter = self.metrics.counter(
+            CACHE_MISSES_TOTAL, "Correlation-memo misses"
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -126,7 +162,19 @@ class OnlineDice:
         )
         self._session = None
         self.alerts.append(alert)
+        self._note_alerts([alert])
         return [alert]
+
+    def _note_alerts(self, fresh: List[Alert]) -> None:
+        for alert in fresh:
+            self._alerts_counter.labels(kind=alert.kind).inc()
+            _log.info(
+                "alert",
+                kind=alert.kind,
+                time=alert.time,
+                check=alert.check,
+                devices=",".join(sorted(alert.devices)),
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -135,18 +183,41 @@ class OnlineDice:
         return self.detector._correlation_checker.check(mask)
 
     def _handle_window(self, snapshot: WindowSnapshot) -> List[Alert]:
+        checker = self.detector._correlation_checker
+        hits0, misses0 = checker.cache_hits, checker.cache_misses
+        with self.tracer.trace("window"):
+            fresh = self._handle_window_impl(snapshot)
+        self._windows_counter.inc()
+        # Attribute only this window's memo activity, so a detector shared
+        # with a batch ``process`` call is never double-counted.
+        if checker.cache_hits > hits0:
+            self._cache_hits_counter.inc(checker.cache_hits - hits0)
+        if checker.cache_misses > misses0:
+            self._cache_misses_counter.inc(checker.cache_misses - misses0)
+        self._note_alerts(fresh)
+        return fresh
+
+    def _handle_window_impl(self, snapshot: WindowSnapshot) -> List[Alert]:
         detector = self.detector
-        corr = self._check_correlation(snapshot.mask)
+        observe = self._stage_obs
+        with self.tracer.trace("correlation"):
+            t0 = time.perf_counter()
+            corr = self._check_correlation(snapshot.mask)
+            observe["correlation"].observe(time.perf_counter() - t0)
         violations = ()
         if not corr.is_violation:
-            violations = detector._transition_checker.check(
-                self._prev_group,
-                corr.main_group,
-                self._prev_acts,
-                snapshot.actuator_activations,
-            )
+            with self.tracer.trace("transition"):
+                t0 = time.perf_counter()
+                violations = detector._transition_checker.check(
+                    self._prev_group,
+                    corr.main_group,
+                    self._prev_acts,
+                    snapshot.actuator_activations,
+                )
+                observe["transition"].observe(time.perf_counter() - t0)
         fresh: List[Alert] = []
         identifier = detector._identifier
+        t_identify = time.perf_counter()
         if self._session is None:
             if corr.is_violation:
                 fresh.append(
@@ -201,6 +272,7 @@ class OnlineDice:
             )
             self._session = None
 
+        observe["identification"].observe(time.perf_counter() - t_identify)
         self._prev_group = corr.main_group
         if corr.main_group is not None:
             self._anchor_group = corr.main_group
@@ -264,10 +336,74 @@ class HardenedOnlineDice(OnlineDice):
         max_drop_samples: int = 100,
     ) -> None:
         super().__init__(detector, start=start)
-        self.drops = DropLog(max_samples=max_drop_samples)
+        self.drops = DropLog(max_samples=max_drop_samples, metrics=self.metrics)
         self.guard = IngestGuard(detector.registry, self.drops, start=start)
-        self.reorder = ReorderBuffer(lateness_seconds, max_pending, self.drops)
-        self.supervisor = DeviceSupervisor(detector.registry, policy, start=start)
+        self.reorder = ReorderBuffer(
+            lateness_seconds, max_pending, self.drops, metrics=self.metrics
+        )
+        self.supervisor = DeviceSupervisor(
+            detector.registry, policy, start=start, metrics=self.metrics
+        )
+        self._register_telemetry()
+
+    def _register_telemetry(self) -> None:
+        """Publish buffer depth and supervisor occupancy at snapshot time."""
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        pending = metrics.gauge(
+            "dice_reorder_pending", "Events currently held in the reorder buffer"
+        )
+        lag = metrics.gauge(
+            "dice_reorder_watermark_lag_seconds",
+            "Newest event timestamp seen minus the release watermark",
+        )
+        devices = metrics.gauge(
+            "dice_supervisor_devices",
+            "Supervised devices per health state",
+            labelnames=("state",),
+        )
+
+        def collect() -> None:
+            pending.set(self.reorder.pending)
+            lag.set(self.reorder.watermark_lag)
+            for state, count in self.supervisor.state_counts().items():
+                devices.labels(state=state).set(count)
+
+        metrics.register_collector("runtime", collect)
+
+    def health(self) -> dict:
+        """Point-in-time health report of the gateway runtime.
+
+        JSON-serializable; this is what an operator (or the supervising
+        process) polls to decide whether the gateway needs attention,
+        independent of the metrics export.
+        """
+        watermark = self.reorder.watermark
+        states = {}
+        for device in self.detector.registry:
+            health = self.supervisor.health_of(device.device_id)
+            if health is not None:
+                states[device.device_id] = health.status.value
+        states = dict(sorted(states.items()))
+        alert_counts: Dict[str, int] = {}
+        for alert in self.alerts:
+            alert_counts[alert.kind] = alert_counts.get(alert.kind, 0) + 1
+        return {
+            "devices": states,
+            "supervisor_states": self.supervisor.state_counts(),
+            "quarantined": sorted(self.supervisor.quarantined),
+            "watermark": None if watermark == float("-inf") else watermark,
+            "watermark_lag_seconds": self.reorder.watermark_lag,
+            "reorder_pending": self.reorder.pending,
+            "reorder_capacity": self.reorder.max_pending,
+            "force_released": self.reorder.force_released,
+            "drops": {
+                "total": self.drops.total,
+                "by_reason": self.drops.summary(),
+            },
+            "alerts": alert_counts,
+        }
 
     # ------------------------------------------------------------------ #
 
@@ -361,6 +497,7 @@ class HardenedOnlineDice(OnlineDice):
                 Alert(kind, edge.time, devices=frozenset({edge.device_id}))
             )
         self.alerts.extend(fresh)
+        self._note_alerts(fresh)
         return fresh
 
     def _quarantine_bits(self) -> int:
@@ -417,7 +554,7 @@ class HardenedOnlineDice(OnlineDice):
 
     def load_state(self, state: dict) -> None:
         super().load_state(state)
-        self.drops = DropLog.from_state_dict(state["drops"])
+        self.drops = DropLog.from_state_dict(state["drops"], metrics=self.metrics)
         self.guard = IngestGuard(
             self.detector.registry, self.drops, start=state["guard"]["start"]
         )

@@ -28,12 +28,18 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional
 
+from .. import telemetry
 from ..model import DeviceRegistry, Event
 
 #: Transition reasons.
 SILENCE = "silence"
 ERRORS = "errors"
 RECOVERY = "recovery"
+
+#: Counter of state-machine edges, labelled by destination state + reason.
+TRANSITIONS_TOTAL = "dice_supervisor_transitions_total"
+
+_log = telemetry.get_logger("repro.streaming.supervisor")
 
 
 class DeviceStatus(enum.Enum):
@@ -96,6 +102,7 @@ class DeviceSupervisor:
         registry: DeviceRegistry,
         policy: SupervisorPolicy = SupervisorPolicy(),
         start: float = 0.0,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
     ) -> None:
         self.registry = registry
         self.policy = policy
@@ -104,6 +111,12 @@ class DeviceSupervisor:
         for device in registry:
             if device.is_sensor or policy.watch_actuators:
                 self._health[device.device_id] = DeviceHealth(last_seen=self.start)
+        self._metrics = telemetry.NULL_REGISTRY if metrics is None else metrics
+        self._transitions_counter = self._metrics.counter(
+            TRANSITIONS_TOTAL,
+            "Supervisor state-machine edges, by destination state and reason",
+            labelnames=("to", "reason"),
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -116,6 +129,13 @@ class DeviceSupervisor:
             d for d, h in self._health.items()
             if h.status is DeviceStatus.QUARANTINED
         )
+
+    def state_counts(self) -> Dict[str, int]:
+        """Supervised devices per state (every state present, maybe 0)."""
+        counts = {status.value: 0 for status in DeviceStatus}
+        for health in self._health.values():
+            counts[health.status.value] += 1
+        return counts
 
     def observe(self, event: Event) -> List[HealthTransition]:
         """A valid event from a device arrived (heartbeat)."""
@@ -193,6 +213,16 @@ class DeviceSupervisor:
     ) -> HealthTransition:
         edge = HealthTransition(device_id, health.status, status, time, reason)
         health.status = status
+        self._transitions_counter.labels(to=status.value, reason=reason).inc()
+        level = "warning" if status is DeviceStatus.QUARANTINED else "info"
+        _log.log(
+            level,
+            f"device_{status.value}",
+            device=device_id,
+            previous=edge.previous.value,
+            reason=reason,
+            time=time,
+        )
         return edge
 
     # -- checkpoint support ---------------------------------------------- #

@@ -1,0 +1,77 @@
+"""Gateway observability: metrics registry, stage tracing, structured logs.
+
+The pipeline-wide default is one process-global :class:`MetricsRegistry`
+(:func:`get_registry`) and one :class:`Tracer` over it (:func:`get_tracer`)
+— every component falls back to them when not handed an explicit registry,
+so ``repro stream --metrics-out`` sees the whole pipeline in one snapshot.
+Pass :data:`NULL_REGISTRY` (or a private ``MetricsRegistry``) to a
+component to opt out or isolate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .log import (
+    HUMAN_FORMAT,
+    JSON_FORMAT,
+    LEVELS,
+    LogConfig,
+    TelemetryLogger,
+    configure,
+    current_config,
+    get_logger,
+)
+from .prometheus import to_prometheus, validate_prometheus_text
+from .registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_REGISTRY,
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from .spans import NULL_TRACER, SPAN_HISTOGRAM, Span, Tracer
+
+_default_registry = MetricsRegistry()
+_default_tracer = Tracer(_default_registry)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every component defaults to."""
+    return _default_registry
+
+
+def get_tracer() -> Tracer:
+    """The tracer bound to the process-global registry."""
+    return _default_tracer
+
+
+def resolve(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """``None`` → the global registry; anything else passes through."""
+    return _default_registry if metrics is None else metrics
+
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "HUMAN_FORMAT",
+    "JSON_FORMAT",
+    "LEVELS",
+    "LogConfig",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "SNAPSHOT_SCHEMA",
+    "SPAN_HISTOGRAM",
+    "Span",
+    "TelemetryLogger",
+    "Tracer",
+    "configure",
+    "current_config",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "merge_snapshots",
+    "resolve",
+    "to_prometheus",
+    "validate_prometheus_text",
+]

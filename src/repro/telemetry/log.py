@@ -1,0 +1,122 @@
+"""Structured, leveled logging for the gateway runtime.
+
+Silent state changes are the enemy of an unattended deployment: before
+this module, a quarantined device or a force-released reorder buffer left
+no trace anywhere.  Every runtime-visible state change now emits one
+*record* — an event name plus flat key/value fields — through a
+:class:`TelemetryLogger`, rendered either human-readable (default) or as
+one JSON object per line for machine ingestion::
+
+    WARNING repro.streaming.supervisor device_quarantined device=fridge reason=silence
+    {"level": "warning", "logger": "repro.streaming.supervisor",
+     "event": "device_quarantined", "device": "fridge", "reason": "silence"}
+
+Configuration is global (one gateway process, one log policy): level
+threshold, format, and output stream, set via :func:`configure`.  The
+default threshold is ``warning`` so the library stays quiet under tests
+and embedding; the CLI raises it to ``info``.  Records go to *stderr* —
+stdout stays reserved for a command's primary results.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, TextIO
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+HUMAN_FORMAT = "human"
+JSON_FORMAT = "json"
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Global logging policy."""
+
+    level: str = "warning"
+    format: str = HUMAN_FORMAT  # "human" or "json"
+    #: ``None`` means "sys.stderr at emit time" — late binding keeps
+    #: pytest's capture and shell redirection working.
+    stream: Optional[TextIO] = None
+    #: Stamp wall-clock ``ts`` on records (off in tests for stable output).
+    timestamps: bool = True
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVELS:
+            raise ValueError(f"unknown log level {self.level!r}")
+        if self.format not in (HUMAN_FORMAT, JSON_FORMAT):
+            raise ValueError(f"unknown log format {self.format!r}")
+
+
+_config = LogConfig()
+
+
+def configure(**changes) -> LogConfig:
+    """Update the global policy; returns the *previous* config so callers
+    (tests, mostly) can restore it in a ``finally``."""
+    global _config
+    previous = _config
+    _config = replace(_config, **changes)
+    return previous
+
+
+def current_config() -> LogConfig:
+    return _config
+
+
+class TelemetryLogger:
+    """Named emitter of structured records; cheap when below threshold."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def is_enabled(self, level: str) -> bool:
+        return LEVELS[level] >= LEVELS[_config.level]
+
+    def log(self, level: str, event: str, **fields) -> None:
+        config = _config
+        if LEVELS[level] < LEVELS[config.level]:
+            return
+        stream = config.stream if config.stream is not None else sys.stderr
+        if config.format == JSON_FORMAT:
+            record: Dict = {"level": level, "logger": self.name, "event": event}
+            if config.timestamps:
+                record["ts"] = time.time()
+            record.update(fields)
+            stream.write(json.dumps(record, default=str, sort_keys=False) + "\n")
+        else:
+            parts = [level.upper(), self.name, event]
+            parts += [f"{k}={_human(v)}" for k, v in fields.items()]
+            stream.write(" ".join(parts) + "\n")
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+def _human(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+_loggers: Dict[str, TelemetryLogger] = {}
+
+
+def get_logger(name: str) -> TelemetryLogger:
+    """Named-logger registry (one instance per name, like ``logging``)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = TelemetryLogger(name)
+    return logger

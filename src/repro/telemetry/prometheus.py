@@ -1,0 +1,200 @@
+"""Prometheus text exposition of a metrics snapshot — and its validator.
+
+:func:`to_prometheus` renders a :meth:`MetricsRegistry.snapshot` dict in
+the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ version
+0.0.4: ``# HELP``/``# TYPE`` headers, one sample per line, histograms as
+cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.  A gateway
+(or the ``repro metrics`` CLI) can serve the output to any Prometheus
+scraper unmodified.
+
+:func:`validate_prometheus_text` is the matching line-format checker —
+deliberately dependency-free so CI can assert "the export parses" without
+installing a Prometheus client.  It validates metric-name and label
+syntax, float-parsable values, histogram bucket monotonicity, and
+``TYPE``/sample-name consistency; it raises :class:`ValueError` naming the
+offending line.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a metrics snapshot as Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, entry in snapshot.get("metrics", {}).items():
+        kind = entry["type"]
+        help_text = entry.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            bounds = entry["buckets"]
+            for row in entry["series"]:
+                labels = row.get("labels", {})
+                cumulative = 0
+                for bound, count in zip(bounds, row["bucket_counts"]):
+                    cumulative += count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                    )
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = "+Inf"
+                lines.append(
+                    f"{name}_bucket{_labels_text(bucket_labels)} {row['count']}"
+                )
+                lines.append(f"{name}_sum{_labels_text(labels)} {_format_value(row['sum'])}")
+                lines.append(f"{name}_count{_labels_text(labels)} {row['count']}")
+        else:
+            for row in entry["series"]:
+                lines.append(
+                    f"{name}{_labels_text(row.get('labels', {}))} "
+                    f"{_format_value(row['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # raises ValueError on garbage, accepts NaN
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Line-format validation; returns the number of sample lines.
+
+    Checks, per line: comment structure (``# HELP``/``# TYPE`` only, with a
+    valid metric name and type), sample syntax (name, optional well-formed
+    label block, float value), that every sample's base name was announced
+    by a ``TYPE`` header, and that histogram ``_bucket`` series are
+    cumulative (non-decreasing with ``le``).  Raises :class:`ValueError`
+    naming the first offending line.
+    """
+    declared: Dict[str, str] = {}
+    samples = 0
+    last_bucket: Dict[str, float] = {}  # series-key -> last cumulative count
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment: {line!r}")
+            if not _NAME_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: invalid metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                    raise ValueError(f"line {lineno}: invalid TYPE line: {line!r}")
+                declared[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        if match.group("labels"):
+            for item in _split_labels(match.group("labels"), lineno):
+                label = _LABEL_RE.match(item)
+                if label is None:
+                    raise ValueError(f"line {lineno}: malformed label {item!r}")
+                labels[label.group("name")] = label.group("value")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparsable value {match.group('value')!r}"
+            ) from None
+        base = _base_name(name, declared)
+        if base is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE header")
+        if declared[base] == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                raise ValueError(f"line {lineno}: histogram bucket without le label")
+            key = name + repr(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if value < last_bucket.get(key, 0.0):
+                raise ValueError(
+                    f"line {lineno}: histogram buckets not cumulative for {name}"
+                )
+            last_bucket[key] = value
+        samples += 1
+    return samples
+
+
+def _split_labels(body: str, lineno: int) -> List[str]:
+    """Split a label block on commas outside quoted values."""
+    items: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if in_quotes:
+        raise ValueError(f"line {lineno}: unterminated label value")
+    if current:
+        items.append("".join(current))
+    return [item for item in items if item]
+
+
+def _base_name(sample_name: str, declared: Dict[str, str]) -> str | None:
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if declared.get(base) == "histogram":
+                return base
+    return None

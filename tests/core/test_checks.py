@@ -74,6 +74,7 @@ class TestCorrelationCache:
             "misses": 1,
             "size": 1,
             "max_size": DiceConfig().correlation_cache_size,
+            "evictions": 0,
         }
 
     def test_cache_size_zero_disables_memoisation(self, registry):

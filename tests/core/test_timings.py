@@ -1,0 +1,69 @@
+"""StageTimings as a telemetry view: per-window averages, publish, rebuild."""
+
+import pytest
+
+from repro.core import StageTimings
+from repro.eval.runner import DatasetResult
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
+
+
+class TestPerWindow:
+    def test_zero_windows_returns_none(self):
+        # Nothing was measured — an average would silently fabricate zeros.
+        assert StageTimings().per_window() is None
+        assert StageTimings(encoding_s=1.0, windows=0).per_window() is None
+
+    def test_averages_over_processed_windows(self):
+        timings = StageTimings(
+            encoding_s=1.0, correlation_s=2.0, transition_s=0.5,
+            identification_s=0.25, windows=4,
+        )
+        assert timings.per_window() == {
+            "encoding": 0.25,
+            "correlation_check": 0.5,
+            "transition_check": 0.125,
+            "identification": 0.0625,
+        }
+
+    def test_dataset_result_raises_on_zero_windows(self):
+        result = DatasetResult(
+            name="empty", num_sensors=0, correlation_degree=0.0, num_groups=0
+        )
+        with pytest.raises(ValueError, match="empty.*no windows"):
+            result.computation_ms_per_window()
+
+
+class TestRegistryView:
+    def _timings(self):
+        return StageTimings(
+            encoding_s=0.5, correlation_s=1.5, transition_s=0.25,
+            identification_s=0.125, windows=10,
+            correlation_cache_hits=7, correlation_cache_misses=3,
+        )
+
+    def test_publish_then_from_snapshot_round_trips(self):
+        reg = MetricsRegistry()
+        self._timings().publish(reg)
+        back = StageTimings.from_snapshot(reg.snapshot())
+        assert back == self._timings()
+
+    def test_publish_accumulates(self):
+        reg = MetricsRegistry()
+        self._timings().publish(reg)
+        self._timings().publish(reg)
+        back = StageTimings.from_snapshot(reg.snapshot())
+        assert back.windows == 20
+        assert back.correlation_s == pytest.approx(3.0)
+
+    def test_publish_to_disabled_registry_is_noop(self):
+        self._timings().publish(NULL_REGISTRY)
+        assert NULL_REGISTRY.snapshot()["metrics"] == {}
+
+    def test_from_empty_snapshot_is_zero(self):
+        empty = StageTimings.from_snapshot({"metrics": {}})
+        assert empty == StageTimings()
+        assert empty.per_window() is None
+
+    def test_cache_hit_rate(self):
+        assert self._timings().correlation_cache_hit_rate == 0.7
+        assert StageTimings().correlation_cache_hit_rate == 0.0

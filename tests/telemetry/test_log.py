@@ -1,0 +1,103 @@
+"""Structured logging: formats, level threshold, global configuration."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import LogConfig, configure, current_config, get_logger
+
+
+@pytest.fixture
+def capture():
+    """Route records into a StringIO and restore the policy afterwards."""
+    stream = io.StringIO()
+    previous = configure(
+        level="debug", format="human", stream=stream, timestamps=False
+    )
+    try:
+        yield stream
+    finally:
+        configure(
+            level=previous.level,
+            format=previous.format,
+            stream=previous.stream,
+            timestamps=previous.timestamps,
+        )
+
+
+class TestHumanFormat:
+    def test_record_layout(self, capture):
+        get_logger("repro.test").warning("device_quarantined", device="fridge", n=3)
+        assert capture.getvalue() == (
+            "WARNING repro.test device_quarantined device=fridge n=3\n"
+        )
+
+    def test_floats_render_compactly(self, capture):
+        get_logger("repro.test").info("tick", lag=0.25)
+        assert "lag=0.25\n" in capture.getvalue()
+
+
+class TestJsonFormat:
+    def test_one_object_per_line(self, capture):
+        configure(format="json")
+        log = get_logger("repro.test")
+        log.info("alert", kind="detection", time=5.0)
+        log.error("bad_snapshot", path="x.json")
+        lines = capture.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "level": "info",
+            "logger": "repro.test",
+            "event": "alert",
+            "kind": "detection",
+            "time": 5.0,
+        }
+        assert json.loads(lines[1])["level"] == "error"
+
+    def test_timestamps_when_enabled(self, capture):
+        configure(format="json", timestamps=True)
+        get_logger("repro.test").info("tick")
+        assert "ts" in json.loads(capture.getvalue())
+
+
+class TestLevels:
+    def test_below_threshold_is_dropped(self, capture):
+        configure(level="warning")
+        log = get_logger("repro.test")
+        log.debug("hidden")
+        log.info("hidden_too")
+        log.warning("visible")
+        assert "hidden" not in capture.getvalue()
+        assert "visible" in capture.getvalue()
+
+    def test_is_enabled(self, capture):
+        configure(level="warning")
+        log = get_logger("repro.test")
+        assert not log.is_enabled("info")
+        assert log.is_enabled("error")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            LogConfig(level="loud")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            LogConfig(format="xml")
+
+
+class TestConfigure:
+    def test_returns_previous_config(self, capture):
+        before = current_config()
+        previous = configure(level="error")
+        assert previous == before
+        assert current_config().level == "error"
+
+    def test_default_policy_is_quiet_warning_to_stderr(self):
+        default = LogConfig()
+        assert default.level == "warning"
+        assert default.stream is None  # late-bound sys.stderr
+
+    def test_get_logger_is_cached(self):
+        assert get_logger("repro.same") is get_logger("repro.same")

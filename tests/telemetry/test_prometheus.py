@@ -1,0 +1,105 @@
+"""Prometheus text exposition: golden rendering + validator rejections."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.prometheus import to_prometheus, validate_prometheus_text
+
+GOLDEN = Path(__file__).with_name("golden_metrics.prom")
+
+
+def _golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    drops = reg.counter(
+        "dice_ingest_dropped_total", "Events dropped by the ingest guard",
+        labelnames=("reason",),
+    )
+    drops.labels(reason="stale_late").inc(3)
+    drops.labels(reason="non_finite_value").inc()
+    reg.gauge("dice_reorder_pending", "Events waiting in the reorder buffer").set(2)
+    hist = reg.histogram(
+        "dice_stage_seconds", "Per-window stage cost",
+        labelnames=("stage",), buckets=(0.001, 0.01, 0.1),
+    )
+    hist.labels(stage="correlation").observe(0.0005)
+    hist.labels(stage="correlation").observe(0.02)
+    hist.labels(stage="transition").observe(0.5)
+    reg.counter("dice_windows_total", "Windows processed").inc(5)
+    return reg
+
+
+class TestRendering:
+    def test_matches_golden_file(self):
+        # The golden file pins the exposition byte-for-byte: HELP/TYPE
+        # headers, sorted label values, cumulative buckets, +Inf bucket,
+        # _sum/_count.  Regenerate deliberately if the format changes.
+        assert to_prometheus(_golden_registry().snapshot()) == GOLDEN.read_text()
+
+    def test_golden_text_validates(self):
+        assert validate_prometheus_text(GOLDEN.read_text()) == 16
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({"metrics": {}}) == ""
+        assert validate_prometheus_text("") == 0
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("k",)).labels(k='a"b\\c\nd').inc()
+        text = to_prometheus(reg.snapshot())
+        assert '{k="a\\"b\\\\c\\nd"}' in text
+        assert validate_prometheus_text(text) == 1
+
+    def test_special_float_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("inf"))
+        text = to_prometheus(reg.snapshot())
+        assert "g +Inf" in text
+        assert validate_prometheus_text(text) == 1
+
+
+class TestValidatorRejections:
+    def _reject(self, text, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            validate_prometheus_text(text)
+
+    def test_malformed_comment(self):
+        self._reject("# NOPE foo bar\n", "malformed comment")
+
+    def test_invalid_type(self):
+        self._reject("# TYPE foo flavour\n", "invalid TYPE")
+
+    def test_sample_without_type_header(self):
+        self._reject("orphan_total 1\n", "no TYPE header")
+
+    def test_unparsable_value(self):
+        self._reject("# TYPE x counter\nx banana\n", "unparsable value")
+
+    def test_malformed_label(self):
+        self._reject('# TYPE x counter\nx{k=unquoted} 1\n', "malformed")
+
+    def test_unterminated_label_value(self):
+        self._reject('# TYPE x counter\nx{k="open} 1\n', "unterminated|malformed")
+
+    def test_bucket_without_le(self):
+        self._reject(
+            "# TYPE h histogram\nh_bucket 1\n", "bucket without le"
+        )
+
+    def test_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+        )
+        self._reject(text, "not cumulative")
+
+    def test_valid_text_counts_samples(self):
+        text = (
+            "# HELP ok_total fine\n"
+            "# TYPE ok_total counter\n"
+            'ok_total{k="v"} 1\n'
+            "ok_total 2\n"
+        )
+        assert validate_prometheus_text(text) == 2

@@ -72,16 +72,86 @@ class TestStream:
         ckpt = tmp_path / "gateway.json"
         assert main(self.ARGS + ["--save-checkpoint", str(ckpt)]) == 0
         assert ckpt.exists()
-        assert "checkpoint saved" in capsys.readouterr().out
+        # Diagnostics go through the structured logger on stderr; stdout
+        # stays reserved for the stream summary.
+        captured = capsys.readouterr()
+        assert "checkpoint saved" in captured.err
+        assert "checkpoint saved" not in captured.out
         assert main(self.ARGS + ["--resume", str(ckpt)]) == 0
-        out = capsys.readouterr().out
-        assert "resumed from" in out
+        captured = capsys.readouterr()
+        assert "resumed from" in captured.err
+        assert "streamed" in captured.out
 
     def test_bad_split_rejected(self, capsys):
         code = main(
             ["stream", "houseA", "--hours", "10", "--train-hours", "20"]
         )
         assert code == 2
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import SNAPSHOT_SCHEMA
+
+        out = tmp_path / "metrics.json"
+        assert main(self.ARGS + ["--metrics-out", str(out)]) == 0
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        snap = json.loads(out.read_text())
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        windows = snap["metrics"]["dice_windows_total"]["series"][0]["value"]
+        assert windows > 0
+
+    def test_json_log_format(self, tmp_path, capsys):
+        import json
+
+        ckpt = tmp_path / "gateway.json"
+        code = main(
+            ["--log-format", "json"]
+            + self.ARGS
+            + ["--save-checkpoint", str(ckpt)]
+        )
+        assert code == 0
+        err_lines = capsys.readouterr().err.splitlines()
+        records = [json.loads(line) for line in err_lines if line.strip()]
+        assert any(r["event"] == "checkpoint_saved" for r in records)
+
+
+class TestMetrics:
+    def _snapshot(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(TestStream.ARGS + ["--metrics-out", str(out)]) == 0
+        return out
+
+    def test_table_format(self, tmp_path, capsys):
+        path = self._snapshot(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dice_windows_total" in out
+        assert "dice_stage_seconds" in out
+
+    def test_prom_format_is_valid_exposition(self, tmp_path, capsys):
+        from repro.telemetry.prometheus import validate_prometheus_text
+
+        path = self._snapshot(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(path), "--format", "prom"]) == 0
+        text = capsys.readouterr().out
+        assert validate_prometheus_text(text) > 0
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        import json
+
+        path = self._snapshot(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(path), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(path.read_text())
+
+    def test_bad_snapshot_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{not json")
+        assert main(["metrics", str(bad)]) == 2
+        assert main(["metrics", str(tmp_path / "missing.json")]) == 2
 
 
 class TestExperiment:
