@@ -3,6 +3,7 @@
 from .perf import (
     BENCH_SCHEMA,
     DEFAULT_OUTPUT,
+    bench_fleet,
     bench_telemetry,
     run_benchmarks,
     validate_document,
@@ -11,6 +12,7 @@ from .perf import (
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_OUTPUT",
+    "bench_fleet",
     "bench_telemetry",
     "run_benchmarks",
     "validate_document",

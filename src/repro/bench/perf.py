@@ -16,7 +16,9 @@ regress against:
   cost stays visible (budget: ≤ 5 % overhead);
 * **eval** — the end-to-end Ch. V protocol with the process-parallel
   ``EvaluationRunner``, checking that worker counts do not change the
-  aggregate results.
+  aggregate results;
+* **fleet** — the sharded multi-home gateway over a homes x shards grid,
+  asserting per-home alerts stay byte-identical across shard counts.
 
 All workloads are seeded and synthetic — the harness needs no dataset
 files and produces no timing *assertions* (CI runs it as a smoke test;
@@ -40,8 +42,9 @@ from ..core.encoding import BitLayout, WindowedTrace
 from ..core.groups import GroupRegistry
 from ..model import DeviceRegistry, SensorType, binary_sensor
 
-#: /2 added the ``telemetry`` overhead section.
-BENCH_SCHEMA = "dice-bench-perf/2"
+#: /2 added the ``telemetry`` overhead section; /3 added the ``fleet``
+#: homes x shards scaling section.
+BENCH_SCHEMA = "dice-bench-perf/3"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -377,6 +380,77 @@ def bench_telemetry(
     }
 
 
+def bench_fleet(
+    homes_list: Sequence[int],
+    shards_list: Sequence[int],
+    hours: float,
+    train_hours: float,
+    seed: int,
+) -> Dict:
+    """Sharded multi-home gateway scaling: homes x shards wall clock.
+
+    The fleet layer's contract is that sharding is *invisible* — per-home
+    alert sequences are byte-identical for any shard count — so besides
+    the scaling curve this section re-asserts parity on every cell and
+    records the result (CI fails the document if it ever goes false).
+    """
+    from ..fleet import FleetGateway, build_fleet_homes, replay_fleet
+
+    runs = []
+    parity = True
+    for num_homes in homes_list:
+        homes = build_fleet_homes(
+            num_homes, seed=seed, hours=hours, train_hours=train_hours
+        )
+        detectors = {
+            home.home_id: home.fit_detector(metrics=telemetry.NULL_REGISTRY)
+            for home in homes
+        }
+        events = sum(len(home.live) for home in homes)
+        baseline: Optional[Dict[str, str]] = None
+        for num_shards in shards_list:
+            gateway = FleetGateway(num_shards, metrics=telemetry.NULL_REGISTRY)
+            for home in homes:
+                detector = detectors[home.home_id]
+                detector._correlation_checker.clear_cache()
+                gateway.add_home(home.home_id, detector, start=home.split)
+            t0 = time.perf_counter()
+            replay_fleet(gateway, homes)
+            seconds = time.perf_counter() - t0
+            canon = {
+                home.home_id: repr(
+                    [
+                        (a.kind, a.time, a.check, a.cases,
+                         tuple(sorted(a.devices)), a.converged)
+                        for a in gateway.alerts_of(home.home_id)
+                    ]
+                )
+                for home in homes
+            }
+            if baseline is None:
+                baseline = canon
+            elif canon != baseline:
+                parity = False
+            alerts = sum(len(gateway.alerts_of(h.home_id)) for h in homes)
+            runs.append(
+                {
+                    "homes": int(num_homes),
+                    "shards": int(num_shards),
+                    "events": int(events),
+                    "alerts": int(alerts),
+                    "seconds": seconds,
+                    "events_per_s": events / seconds if seconds > 0 else 0.0,
+                    "alerts_per_s": alerts / seconds if seconds > 0 else 0.0,
+                }
+            )
+    return {
+        "hours": float(hours),
+        "train_hours": float(train_hours),
+        "runs": runs,
+        "alerts_identical_across_shards": parity,
+    }
+
+
 # --------------------------------------------------------------------- #
 # Driver
 # --------------------------------------------------------------------- #
@@ -397,11 +471,15 @@ def run_benchmarks(
         windows = windows or 800
         fit_sizes = [500, 2000]
         eval_hours, eval_precompute, eval_pairs = 100.0, 72.0, 4
+        fleet_homes, fleet_shards = [2, 4], [1, 2, 4]
+        fleet_hours, fleet_train = 30.0, 24.0
     else:
         groups = groups or 500
         windows = windows or 5000
         fit_sizes = [2000, 8000, 16000]
         eval_hours, eval_precompute, eval_pairs = 120.0, 72.0, 12
+        fleet_homes, fleet_shards = [4, 8, 16], [1, 2, 4, 8]
+        fleet_hours, fleet_train = 48.0, 36.0
     cpus = os.cpu_count() or 1
     if workers_list is None:
         workers_list = [1, 2] if cpus == 1 else sorted({1, 2, cpus})
@@ -420,6 +498,9 @@ def run_benchmarks(
         "telemetry": bench_telemetry(groups, windows, num_bits, seed),
         "eval": bench_eval(
             dataset, eval_hours, eval_precompute, eval_pairs, seed, workers_list
+        ),
+        "fleet": bench_fleet(
+            fleet_homes, fleet_shards, fleet_hours, fleet_train, seed
         ),
     }
     validate_document(doc)
@@ -551,5 +632,39 @@ def validate_document(doc: Dict) -> Dict:
     _require(
         ev.get("aggregates_identical") is True,
         "eval.aggregates_identical must be true (worker counts changed results)",
+    )
+
+    fleet = doc.get("fleet")
+    _require(isinstance(fleet, dict), "fleet must be an object")
+    for key in ("hours", "train_hours"):
+        _require(
+            isinstance(fleet.get(key), (int, float)) and fleet[key] > 0,
+            f"fleet.{key} must be a positive number",
+        )
+    fleet_runs = fleet.get("runs")
+    _require(
+        isinstance(fleet_runs, list) and fleet_runs,
+        "fleet.runs must be a non-empty list",
+    )
+    for run in fleet_runs:
+        for key in ("homes", "shards"):
+            _require(
+                isinstance(run.get(key), int) and run[key] >= 1,
+                f"fleet.runs[].{key} must be >= 1",
+            )
+        for key in ("events", "alerts"):
+            _require(
+                isinstance(run.get(key), int) and run[key] >= 0,
+                f"fleet.runs[].{key} must be a non-negative int",
+            )
+        for key in ("seconds", "events_per_s", "alerts_per_s"):
+            _require(
+                isinstance(run.get(key), (int, float)) and run[key] >= 0,
+                f"fleet.runs[].{key} must be a non-negative number",
+            )
+    _require(
+        fleet.get("alerts_identical_across_shards") is True,
+        "fleet.alerts_identical_across_shards must be true "
+        "(sharding changed per-home alerts)",
     )
     return doc

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the everyday workflows:
+The subcommands cover the everyday workflows:
 
 * ``list`` — the Table 4.1 dataset registry;
 * ``generate`` — render a dataset to CSV (plus its device registry);
@@ -12,11 +12,15 @@ Six commands cover the everyday workflows:
   optional pipe faults on the delivery channel, ingest-guard drop
   accounting, device supervision, checkpoint save/resume, and a
   ``--metrics-out`` telemetry snapshot;
+* ``fleet`` — run the sharded multi-home gateway over a generated fleet:
+  ``--homes`` deterministic homes hashed onto ``--shards`` workers, with
+  fleet-wide checkpoint/restore (``--save-checkpoint``/``--resume``) and
+  merged telemetry (``--metrics-out``);
 * ``metrics`` — render a telemetry snapshot as a table, Prometheus text
   exposition, or JSON;
 * ``bench`` — time the detection hot paths (fit, scalar vs memoised vs
-  batched correlation scan, parallel evaluation, telemetry overhead) and
-  write ``BENCH_perf.json``.
+  batched correlation scan, parallel evaluation, telemetry overhead, fleet
+  homes x shards scaling) and write ``BENCH_perf.json``.
 
 Primary results go to **stdout**; diagnostics (resume/checkpoint notices,
 errors, state changes) go through the structured logger on stderr —
@@ -156,6 +160,52 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the end-of-run telemetry snapshot to PATH as JSON",
+    )
+
+    fleet = sub.add_parser(
+        "fleet", help="run the sharded multi-home gateway over a generated fleet"
+    )
+    fleet.add_argument(
+        "--homes", type=int, default=8, help="number of generated homes"
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=None,
+        help="worker shard count (default 4; on --resume the manifest's count)",
+    )
+    fleet.add_argument(
+        "--hours", type=float, default=48.0, help="per-home recording length"
+    )
+    fleet.add_argument(
+        "--train-hours", type=float, default=36.0, help="precomputation prefix"
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="fleet seed")
+    fleet.add_argument(
+        "--tick", type=float, default=300.0,
+        help="dispatch tick width in seconds",
+    )
+    fleet.add_argument(
+        "--lateness", type=float, default=120.0,
+        help="per-home reorder-buffer lateness budget in seconds",
+    )
+    fleet.add_argument(
+        "--silence", type=float, default=900.0,
+        help="supervisor: silence before a device degrades (seconds)",
+    )
+    fleet.add_argument(
+        "--quarantine", type=float, default=1800.0,
+        help="supervisor: silence before a device is quarantined (seconds)",
+    )
+    fleet.add_argument(
+        "--save-checkpoint", default=None, metavar="DIR",
+        help="write the fleet checkpoint (manifest + per-home snapshots) to DIR",
+    )
+    fleet.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="restore the fleet from a checkpoint directory instead of fresh",
+    )
+    fleet.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the merged fleet telemetry snapshot to PATH as JSON",
     )
 
     metrics = sub.add_parser(
@@ -381,6 +431,98 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from .fleet import FleetGateway, build_fleet_homes, replay_fleet, restore_fleet
+    from .streaming import CheckpointError, SupervisorPolicy
+
+    if args.homes < 1:
+        _log.error("bad_fleet", reason="--homes must be at least 1")
+        return 2
+    if args.shards is not None and args.shards < 1:
+        _log.error("bad_fleet", reason="--shards must be at least 1")
+        return 2
+    try:
+        homes = build_fleet_homes(
+            args.homes, seed=args.seed, hours=args.hours,
+            train_hours=args.train_hours,
+        )
+    except ValueError as exc:
+        _log.error("bad_fleet", reason=str(exc))
+        return 2
+    detectors = {home.home_id: home.fit_detector() for home in homes}
+    policy = SupervisorPolicy(
+        silence_seconds=args.silence, quarantine_seconds=args.quarantine
+    )
+
+    if args.resume:
+        try:
+            gateway = restore_fleet(
+                detectors, args.resume, num_shards=args.shards,
+                lateness_seconds=args.lateness, policy=policy,
+            )
+        except (OSError, ValueError, KeyError, CheckpointError) as exc:
+            _log.error("resume_failed", path=args.resume, error=str(exc))
+            return 2
+        _log.info(
+            "resumed fleet checkpoint", path=args.resume,
+            homes=len(gateway), shards=gateway.num_shards,
+        )
+    else:
+        gateway = FleetGateway(4 if args.shards is None else args.shards)
+        for home in homes:
+            gateway.add_home(
+                home.home_id, detectors[home.home_id], start=home.split,
+                lateness_seconds=args.lateness, policy=policy,
+            )
+
+    alerts = replay_fleet(
+        gateway, homes, tick_seconds=args.tick,
+        finish=not args.save_checkpoint,
+    )
+    if args.save_checkpoint:
+        gateway.save_checkpoint(args.save_checkpoint)
+        _log.info(
+            "fleet checkpoint saved, streams left open", path=args.save_checkpoint
+        )
+
+    entry = gateway.metrics_snapshot()["metrics"].get("dice_fleet_events_total")
+    events = int(sum(row["value"] for row in entry["series"])) if entry else 0
+    print(
+        f"fleet: {len(gateway)} homes on {gateway.num_shards} shards "
+        f"({args.hours:.0f} h each, {args.train_hours:.0f} h training)"
+    )
+    print(f"dispatched {events} events in {args.tick:.0f} s ticks")
+    kinds: dict = {}
+    for fleet_alert in alerts:
+        kind = fleet_alert.alert.kind
+        kinds[kind] = kinds.get(kind, 0) + 1
+    for kind in ("detection", "identification", "device_silence",
+                 "device_errors", "device_recovered"):
+        if kind in kinds:
+            print(f"alerts[{kind}]: {kinds[kind]}")
+    per_shard = gateway.health()["homes_per_shard"]
+    print(
+        "homes per shard: "
+        + ", ".join(
+            f"{index}:{count}"
+            for index, count in sorted(
+                per_shard.items(), key=lambda item: int(item[0])
+            )
+        )
+    )
+    if gateway.unrouted:
+        print(f"unrouted events: {gateway.unrouted}")
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                gateway.metrics_snapshot(), handle, indent=2, sort_keys=True
+            )
+        print(f"wrote merged metrics snapshot to {args.metrics_out}")
+    return 0
+
+
 def _cmd_metrics(args) -> int:
     import json
 
@@ -456,6 +598,16 @@ def _cmd_bench(args) -> int:
         "eval aggregates identical across worker counts: "
         f"{doc['eval']['aggregates_identical']}"
     )
+    for run in doc["fleet"]["runs"]:
+        print(
+            f"fleet: homes={run['homes']} shards={run['shards']} "
+            f"{run['seconds']:.2f}s  {run['events_per_s']:.0f} events/s  "
+            f"{run['alerts_per_s']:.0f} alerts/s"
+        )
+    print(
+        "fleet alerts identical across shard counts: "
+        f"{doc['fleet']['alerts_identical_across_shards']}"
+    )
     print(f"wrote {args.output}")
     return 0
 
@@ -474,6 +626,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_experiment(args)
         if args.command == "stream":
             return _cmd_stream(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
         if args.command == "bench":

@@ -274,7 +274,11 @@ class StateSetEncoder:
 
         # Third central moment: E[(x-mu)^3] = (s3 - 3 mu s2 + 2 n mu^3) / n.
         # Its sign equals the sign of the skewness in Eq. 3.2 (sigma > 0).
-        m3 = (s3 - 3.0 * mean * s2 + 2.0 * count * mean**3) / count
+        # mu^3 is spelled out as multiplies: numpy's vectorised pow can be
+        # an ulp off libm's, and after the cancellation above that ulp is
+        # enough to flip the bit relative to the streaming windower, which
+        # must reproduce this computation exactly with scalar arithmetic.
+        m3 = (s3 - 3.0 * mean * s2 + 2.0 * count * (mean * mean * mean)) / count
         variance = s2 / count - mean**2
         # Single-sample windows have no spread: skewness must read False by
         # construction, not by trusting s2/n - mu^2 to cancel to exactly 0.

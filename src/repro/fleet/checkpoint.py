@@ -1,0 +1,160 @@
+"""Fleet-wide checkpoint/restore: one manifest plus per-home snapshots.
+
+A fleet checkpoint is a *directory*::
+
+    <dir>/manifest.json          the fleet layout (schema dice-fleet-manifest/1)
+    <dir>/<home-file>.json       one schema-v2 gateway snapshot per home
+
+Each per-home file is exactly the versioned snapshot
+:func:`repro.streaming.checkpoint.checkpoint_state` produces — the fleet
+layer adds no per-home state of its own, so a home's snapshot can equally
+be restored standalone with :func:`~repro.streaming.restore_runtime`, and
+a standalone gateway's snapshot can be adopted into a fleet.
+
+The manifest records the shard count the checkpoint was taken with, but a
+restore may override it: the home → shard map is a pure hash of the home
+id, so resharding moves homes between shards without touching any
+detection state.
+
+As with the single-gateway checkpoint, fitted detector models are *not*
+serialized (large, immutable; the fleet's homes are refit or loaded from
+their own artefacts) — the caller hands ``restore_fleet`` one fitted
+detector per home, and every snapshot's ``model`` fingerprint is verified
+against it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Union
+
+from .. import telemetry
+from ..core import DiceDetector
+from ..streaming import (
+    CheckpointError,
+    load_checkpoint,
+    model_fingerprint,
+    restore_runtime,
+    save_checkpoint,
+)
+from .gateway import FleetGateway
+
+MANIFEST_SCHEMA = "dice-fleet-manifest/1"
+MANIFEST_NAME = "manifest.json"
+
+_log = telemetry.get_logger("repro.fleet.checkpoint")
+
+PathLike = Union[str, os.PathLike]
+
+
+def _home_filename(index: int) -> str:
+    return f"home-{index:05d}.json"
+
+
+def save_fleet_checkpoint(gateway: FleetGateway, directory: PathLike) -> None:
+    """Write the manifest and every home's snapshot under *directory*.
+
+    Per-home snapshots are written first (each atomically, via the
+    streaming layer's write-then-rename), the manifest last — a crash
+    mid-save leaves no manifest pointing at missing homes.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    homes: Dict[str, dict] = {}
+    for index, home_id in enumerate(gateway.home_ids):
+        runtime = gateway.runtime_of(home_id)
+        filename = _home_filename(index)
+        save_checkpoint(runtime, os.path.join(directory, filename))
+        homes[home_id] = {
+            "shard": gateway.shard_index_of(home_id),
+            "file": filename,
+            "model": model_fingerprint(runtime.detector),
+        }
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "version": 1,
+        "num_shards": gateway.num_shards,
+        "homes": homes,
+    }
+    # Fleet-level routing counters survive a restart just like the
+    # per-home detection counters do (gauges are point-in-time and restart).
+    if gateway.metrics.enabled:
+        manifest["telemetry"] = gateway.metrics.counters_snapshot()
+    payload = json.dumps(manifest, indent=2, sort_keys=True)
+    path = os.path.join(directory, MANIFEST_NAME)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+    _log.info(
+        "fleet_checkpoint_saved",
+        directory=directory,
+        homes=len(homes),
+        shards=gateway.num_shards,
+    )
+
+
+def load_fleet_manifest(directory: PathLike) -> dict:
+    """Read and structurally validate a fleet manifest."""
+    path = os.path.join(os.fspath(directory), MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if not isinstance(manifest, dict) or manifest.get("schema") != MANIFEST_SCHEMA:
+        raise CheckpointError(f"{path} is not a fleet manifest")
+    homes = manifest.get("homes")
+    if not isinstance(homes, dict):
+        raise CheckpointError("fleet manifest has no homes mapping")
+    if not isinstance(manifest.get("num_shards"), int) or manifest["num_shards"] < 1:
+        raise CheckpointError("fleet manifest num_shards must be a positive int")
+    for home_id, entry in homes.items():
+        if not isinstance(entry, dict) or not isinstance(entry.get("file"), str):
+            raise CheckpointError(f"manifest entry for {home_id!r} is malformed")
+        if os.path.basename(entry["file"]) != entry["file"]:
+            raise CheckpointError(
+                f"manifest entry for {home_id!r} escapes the checkpoint directory"
+            )
+    return manifest
+
+
+def restore_fleet(
+    detectors: Dict[str, DiceDetector],
+    directory: PathLike,
+    *,
+    num_shards: Optional[int] = None,
+    metrics: Optional["telemetry.MetricsRegistry"] = None,
+    **runtime_kwargs,
+) -> FleetGateway:
+    """Rebuild a :class:`FleetGateway` from a checkpoint directory.
+
+    *detectors* maps every manifest home to its fitted detector (extra
+    detectors are ignored; missing ones are an error).  *num_shards*
+    defaults to the manifest's count; ``runtime_kwargs`` configure each
+    restored :class:`~repro.streaming.HardenedOnlineDice` (lateness,
+    supervisor policy, ...) exactly as on the standalone restore path.
+    """
+    directory = os.fspath(directory)
+    manifest = load_fleet_manifest(directory)
+    missing = sorted(set(manifest["homes"]) - set(detectors))
+    if missing:
+        raise CheckpointError(
+            f"no detector supplied for checkpointed homes: {', '.join(missing)}"
+        )
+    gateway = FleetGateway(
+        num_shards=num_shards or manifest["num_shards"], metrics=metrics
+    )
+    for home_id in sorted(manifest["homes"]):
+        entry = manifest["homes"][home_id]
+        state = load_checkpoint(os.path.join(directory, entry["file"]))
+        runtime = restore_runtime(detectors[home_id], state, **runtime_kwargs)
+        gateway.add_runtime(home_id, runtime)
+    fleet_counters = manifest.get("telemetry")
+    if fleet_counters is not None and gateway.metrics.enabled:
+        gateway.metrics.restore_counters(fleet_counters)
+    _log.info(
+        "fleet_resumed",
+        directory=directory,
+        homes=len(manifest["homes"]),
+        shards=gateway.num_shards,
+    )
+    return gateway

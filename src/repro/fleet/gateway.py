@@ -1,0 +1,333 @@
+"""The sharded multi-home gateway: one process hosting a fleet of homes.
+
+:class:`FleetGateway` is the router the ROADMAP's fleet-scale deployments
+put in front of many per-home :class:`~repro.streaming.HardenedOnlineDice`
+instances.  Homes are hashed onto ``N`` worker shards
+(:func:`~repro.fleet.sharding.shard_of`); each shard owns its homes'
+runtimes and nothing else — shards share no mutable state, so the layout
+generalises directly to threads, processes, or machines.
+
+The load-bearing guarantee, pinned by the test suite: **sharding is an
+invisible scaling layer**.  For any event stream, a fleet run with any
+shard count produces, per home, exactly the alert sequence that home's
+runtime would produce standalone.  The router therefore never reorders a
+home's events, never routes across homes, and never injects synthetic
+time: :meth:`dispatch` only feeds events, and :meth:`finish` closes the
+streams the way a standalone ``finish_stream`` would.  (The fleet-level
+*interleaving* of different homes' alerts depends on the shard layout and
+is deliberately unspecified.)
+
+Telemetry stays shared-nothing too: every home's runtime records into its
+own detector's registry, and :meth:`metrics_snapshot` joins them with
+:func:`~repro.telemetry.merge_many` — the same worker-join primitive the
+parallel evaluation runner uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .. import telemetry
+from ..core import DiceDetector
+from ..model import Event
+from ..streaming import Alert, HardenedOnlineDice
+from .sharding import shard_of
+
+#: Fleet-router counters/gauges.
+FLEET_EVENTS_TOTAL = "dice_fleet_events_total"
+FLEET_UNROUTED_TOTAL = "dice_fleet_unrouted_total"
+FLEET_DISPATCHES_TOTAL = "dice_fleet_dispatches_total"
+FLEET_HOMES_GAUGE = "dice_fleet_homes"
+
+_log = telemetry.get_logger("repro.fleet.gateway")
+
+
+@dataclass(frozen=True)
+class FleetAlert:
+    """One alert, attributed to the home whose runtime raised it."""
+
+    home_id: str
+    alert: Alert
+
+
+class FleetShard:
+    """One worker shard: the per-home runtimes hashed onto it.
+
+    A shard is deliberately dumb — it keeps a dict of runtimes and replays
+    batches into them in arrival order.  All routing decisions live in the
+    gateway; all detection state lives in the runtimes.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.homes: Dict[str, HardenedOnlineDice] = {}
+
+    def __len__(self) -> int:
+        return len(self.homes)
+
+    def dispatch(self, batch: Iterable[Tuple[str, Event]]) -> List[FleetAlert]:
+        """Feed already-routed ``(home_id, event)`` pairs in order."""
+        fresh: List[FleetAlert] = []
+        homes = self.homes
+        for home_id, event in batch:
+            for alert in homes[home_id].ingest(event):
+                fresh.append(FleetAlert(home_id, alert))
+        return fresh
+
+    def advance_to(self, timestamp: float) -> List[FleetAlert]:
+        fresh: List[FleetAlert] = []
+        for home_id, runtime in self.homes.items():
+            for alert in runtime.advance_to(timestamp):
+                fresh.append(FleetAlert(home_id, alert))
+        return fresh
+
+    def finish(self, ends: Dict[str, Optional[float]]) -> List[FleetAlert]:
+        fresh: List[FleetAlert] = []
+        for home_id, runtime in self.homes.items():
+            for alert in runtime.finish_stream(ends.get(home_id)):
+                fresh.append(FleetAlert(home_id, alert))
+        return fresh
+
+
+class FleetGateway:
+    """Shard router + per-home runtime registry for one fleet process.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker shard count.  Any positive value is legal for any fleet;
+        the home → shard map is a pure hash, so changing the count between
+        runs (including across a checkpoint/restore cycle) only moves
+        homes between shards.
+    metrics:
+        Registry for the *router's* counters (events routed, unrouted
+        drops, homes per shard).  Defaults to a fresh private registry so
+        fleet-level numbers never mix with any single home's; pass
+        ``telemetry.NULL_REGISTRY`` to disable.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        *,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = int(num_shards)
+        self.shards = [FleetShard(i) for i in range(self.num_shards)]
+        self._runtimes: Dict[str, HardenedOnlineDice] = {}
+        self.alerts: List[FleetAlert] = []
+        self.unrouted = 0
+        self.metrics = (
+            metrics if metrics is not None else telemetry.MetricsRegistry()
+        )
+        self._events_counter = self.metrics.counter(
+            FLEET_EVENTS_TOTAL,
+            "Events routed to a shard, by shard index",
+            labelnames=("shard",),
+        )
+        self._unrouted_counter = self.metrics.counter(
+            FLEET_UNROUTED_TOTAL, "Events addressed to homes this fleet does not host"
+        )
+        self._dispatch_counter = self.metrics.counter(
+            FLEET_DISPATCHES_TOTAL, "dispatch() batches processed"
+        )
+        if self.metrics.enabled:
+            homes_gauge = self.metrics.gauge(
+                FLEET_HOMES_GAUGE, "Homes hosted per shard", labelnames=("shard",)
+            )
+
+            def collect() -> None:
+                for shard in self.shards:
+                    homes_gauge.labels(shard=str(shard.index)).set(len(shard))
+
+            self.metrics.register_collector("fleet", collect)
+
+    # ------------------------------------------------------------------ #
+    # Home management
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._runtimes)
+
+    def __contains__(self, home_id: str) -> bool:
+        return home_id in self._runtimes
+
+    @property
+    def home_ids(self) -> List[str]:
+        """Hosted homes, sorted."""
+        return sorted(self._runtimes)
+
+    def runtime_of(self, home_id: str) -> HardenedOnlineDice:
+        return self._runtimes[home_id]
+
+    def shard_index_of(self, home_id: str) -> int:
+        return shard_of(home_id, self.num_shards)
+
+    def add_home(
+        self,
+        home_id: str,
+        detector: DiceDetector,
+        *,
+        start: float = 0.0,
+        **runtime_kwargs,
+    ) -> HardenedOnlineDice:
+        """Create and register a hardened runtime for *home_id*.
+
+        ``runtime_kwargs`` pass through to :class:`HardenedOnlineDice`
+        (lateness budget, supervisor policy, ...).
+        """
+        runtime = HardenedOnlineDice(detector, start=start, **runtime_kwargs)
+        return self.add_runtime(home_id, runtime)
+
+    def add_runtime(
+        self, home_id: str, runtime: HardenedOnlineDice
+    ) -> HardenedOnlineDice:
+        """Register an existing runtime (checkpoint restore path)."""
+        if home_id in self._runtimes:
+            raise ValueError(f"home {home_id!r} is already hosted")
+        shard = self.shards[shard_of(home_id, self.num_shards)]
+        shard.homes[home_id] = runtime
+        self._runtimes[home_id] = runtime
+        _log.debug("home_added", home=home_id, shard=shard.index)
+        return runtime
+
+    # ------------------------------------------------------------------ #
+    # Event flow
+    # ------------------------------------------------------------------ #
+
+    def dispatch(
+        self, events: Iterable[Tuple[str, Event]]
+    ) -> List[FleetAlert]:
+        """Route one tick's batch of ``(home_id, event)`` pairs.
+
+        Events are grouped per shard **preserving each home's arrival
+        order**, then every shard drains its sub-batch; shards are
+        processed in index order.  Events addressed to homes this fleet
+        does not host are counted (``dice_fleet_unrouted_total``) and
+        dropped — a router must never crash on a stray tenant id.
+        """
+        batches: List[List[Tuple[str, Event]]] = [[] for _ in self.shards]
+        routed = [0] * self.num_shards
+        for home_id, event in events:
+            if home_id not in self._runtimes:
+                self.unrouted += 1
+                self._unrouted_counter.inc()
+                continue
+            index = shard_of(home_id, self.num_shards)
+            batches[index].append((home_id, event))
+            routed[index] += 1
+        fresh: List[FleetAlert] = []
+        for shard, batch in zip(self.shards, batches):
+            if batch:
+                fresh.extend(shard.dispatch(batch))
+        for index, count in enumerate(routed):
+            if count:
+                self._events_counter.labels(shard=str(index)).inc(count)
+        self._dispatch_counter.inc()
+        self.alerts.extend(fresh)
+        return fresh
+
+    def advance_to(self, timestamp: float) -> List[FleetAlert]:
+        """Account for wall-clock time on every home.
+
+        Alert *content* is the same as an event-driven run would produce,
+        but quiet-tail windows and silence verdicts may surface earlier;
+        the parity-pinned drivers (tests, bench, CLI) are therefore purely
+        event-driven and call :meth:`finish` once at end-of-stream.
+        """
+        fresh: List[FleetAlert] = []
+        for shard in self.shards:
+            fresh.extend(shard.advance_to(timestamp))
+        self.alerts.extend(fresh)
+        return fresh
+
+    def finish(
+        self, ends: Union[None, float, Dict[str, float]] = None
+    ) -> List[FleetAlert]:
+        """End-of-stream for every home.
+
+        *ends* is one timestamp for the whole fleet, a per-home mapping,
+        or ``None`` (flush buffers and conclude sessions without closing
+        a quiet tail).
+        """
+        if ends is None or isinstance(ends, (int, float)):
+            per_home = {home_id: ends for home_id in self._runtimes}
+        else:
+            per_home = {home_id: ends.get(home_id) for home_id in self._runtimes}
+        fresh: List[FleetAlert] = []
+        for shard in self.shards:
+            fresh.extend(shard.finish(per_home))
+        self.alerts.extend(fresh)
+        return fresh
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def alerts_of(self, home_id: str) -> List[Alert]:
+        """One home's alert sequence, in emission order."""
+        return [fa.alert for fa in self.alerts if fa.home_id == home_id]
+
+    def metrics_snapshot(self) -> dict:
+        """One fleet-wide snapshot: router registry + every home's, merged.
+
+        Homes sharing a registry object (e.g. all defaulted to the
+        process-global one) are merged exactly once — counters must not be
+        double-counted just because tenants share a sink.
+        """
+        snapshots = [self.metrics.snapshot()]
+        seen = {id(self.metrics)}
+        for home_id in sorted(self._runtimes):
+            registry = self._runtimes[home_id].metrics
+            if id(registry) in seen:
+                continue
+            seen.add(id(registry))
+            snapshots.append(registry.snapshot())
+        return telemetry.merge_many(snapshots)
+
+    def health(self) -> dict:
+        """JSON-serializable fleet health: routing totals plus a per-home
+        rollup of the numbers an operator triages by."""
+        alert_counts: Dict[str, int] = {}
+        for fleet_alert in self.alerts:
+            kind = fleet_alert.alert.kind
+            alert_counts[kind] = alert_counts.get(kind, 0) + 1
+        homes = {}
+        for home_id in sorted(self._runtimes):
+            runtime = self._runtimes[home_id]
+            homes[home_id] = {
+                "shard": shard_of(home_id, self.num_shards),
+                "alerts": len(runtime.alerts),
+                "drops": runtime.drops.total,
+                "quarantined": sorted(runtime.supervisor.quarantined),
+            }
+        return {
+            "num_shards": self.num_shards,
+            "num_homes": len(self._runtimes),
+            "homes_per_shard": {
+                str(shard.index): len(shard) for shard in self.shards
+            },
+            "alerts": alert_counts,
+            "unrouted": self.unrouted,
+            "homes": homes,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint (see repro.fleet.checkpoint)
+    # ------------------------------------------------------------------ #
+
+    def save_checkpoint(self, directory) -> None:
+        from .checkpoint import save_fleet_checkpoint
+
+        save_fleet_checkpoint(self, directory)
+
+    @classmethod
+    def restore(
+        cls, detectors: Dict[str, DiceDetector], directory, **kwargs
+    ) -> "FleetGateway":
+        from .checkpoint import restore_fleet
+
+        return restore_fleet(detectors, directory, **kwargs)

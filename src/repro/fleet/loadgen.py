@@ -1,0 +1,178 @@
+"""Deterministic multi-home load generation for the fleet.
+
+Fleet tests, benchmarks and the ``repro fleet`` CLI all need the same
+thing: *H* distinct homes, each with a seeded, reproducible life, merged
+into one ``(home_id, event)`` stream the router can consume in per-tick
+batches.  This module builds that on :mod:`repro.smarthome.simulator` —
+every home is a real :class:`~repro.smarthome.HomeSpec` (the ISLA house
+family, cycled), renamed per home and simulated with a seed derived only
+from ``(fleet seed, home index)``, so the whole fleet is a pure function
+of its parameters.
+
+Determinism contract (pinned by tests): two calls with equal parameters
+produce byte-identical traces, and the merged stream's ordering is a pure
+``(timestamp, home order)`` stable sort — no set iteration, no process
+hash seed, no wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..core import DiceDetector
+from ..model import Event, Trace
+from ..smarthome import HomeSimulator, HomeSpec
+from .gateway import FleetAlert, FleetGateway
+
+#: The home families a fleet cycles through (binary-sensor ISLA houses:
+#: cheap to simulate, quick to fit, yet real multi-room deployments).
+def _builders() -> Sequence[Callable[[], HomeSpec]]:
+    from ..datasets import isla
+
+    return (isla.build_house_a, isla.build_house_b, isla.build_house_c)
+
+
+def home_seed(fleet_seed: int, index: int) -> int:
+    """The simulation seed of home *index* — a pure function, so one home
+    can be regenerated without building the rest of its fleet."""
+    return fleet_seed * 1_000_003 + index
+
+
+@dataclass
+class FleetHome:
+    """One generated home: its spec, full trace, and train/live split."""
+
+    home_id: str
+    spec: HomeSpec
+    trace: Trace
+    split: float  # absolute seconds; training is [start, split), live [split, end)
+
+    @property
+    def training(self) -> Trace:
+        return self.trace.slice(self.trace.start, self.split)
+
+    @property
+    def live(self) -> Trace:
+        return self.trace.slice(self.split, self.trace.end)
+
+    def fit_detector(
+        self, metrics: Optional["telemetry.MetricsRegistry"] = None
+    ) -> DiceDetector:
+        """Fit this home's detector on its training prefix.
+
+        Each home defaults to its **own** metrics registry so fleet
+        telemetry stays shared-nothing and merges cleanly at snapshot
+        time; pass ``telemetry.NULL_REGISTRY`` to disable recording.
+        """
+        if metrics is None:
+            metrics = telemetry.MetricsRegistry()
+        return DiceDetector(self.trace.registry, metrics=metrics).fit(self.training)
+
+
+def build_fleet_homes(
+    num_homes: int,
+    *,
+    seed: int = 0,
+    hours: float = 48.0,
+    train_hours: float = 36.0,
+) -> List[FleetHome]:
+    """Generate *num_homes* deterministic homes.
+
+    Home *i* is the ``i % len(families)``-th ISLA house, renamed
+    ``home-<i>``, simulated for *hours* with :func:`home_seed`.  The first
+    *train_hours* of each trace are the precomputation prefix.
+    """
+    if num_homes < 1:
+        raise ValueError("num_homes must be at least 1")
+    if not 0.0 < train_hours < hours:
+        raise ValueError("train_hours must leave a non-empty live segment")
+    builders = _builders()
+    homes: List[FleetHome] = []
+    for index in range(num_homes):
+        home_id = f"home-{index:04d}"
+        spec = builders[index % len(builders)]().renamed(home_id)
+        trace = HomeSimulator(spec).simulate(
+            hours * 3600.0, seed=home_seed(seed, index)
+        )
+        homes.append(
+            FleetHome(
+                home_id=home_id,
+                spec=spec,
+                trace=trace,
+                split=trace.start + train_hours * 3600.0,
+            )
+        )
+    return homes
+
+
+def merged_ticks(
+    homes: Sequence[FleetHome],
+    tick_seconds: float = 300.0,
+) -> Iterator[Tuple[float, List[Tuple[str, Event]]]]:
+    """The fleet's live streams merged into per-tick dispatch batches.
+
+    Yields ``(tick_start, batch)`` for every tick from the earliest live
+    event to the latest, where *batch* holds the tick's ``(home_id,
+    event)`` pairs sorted by timestamp (stable, so each home's order is
+    its trace order and cross-home ties resolve by home order in
+    *homes*).  Empty ticks are skipped — the event-driven router has
+    nothing to do for them.
+    """
+    if tick_seconds <= 0:
+        raise ValueError("tick_seconds must be positive")
+    merged: List[Tuple[float, int, str, Event]] = []
+    for order, home in enumerate(homes):
+        for event in home.live:
+            merged.append((event.timestamp, order, home.home_id, event))
+    if not merged:
+        return
+    merged.sort(key=lambda item: item[0])  # stable: per-home order survives
+    first = merged[0][0]
+    tick_start = first - (first % tick_seconds)
+    batch: List[Tuple[str, Event]] = []
+    for timestamp, _, home_id, event in merged:
+        while timestamp >= tick_start + tick_seconds:
+            if batch:
+                yield tick_start, batch
+                batch = []
+            tick_start += tick_seconds
+        batch.append((home_id, event))
+    if batch:
+        yield tick_start, batch
+
+
+def replay_fleet(
+    gateway: FleetGateway,
+    homes: Sequence[FleetHome],
+    *,
+    tick_seconds: float = 300.0,
+    finish: bool = True,
+) -> List[FleetAlert]:
+    """Drive *gateway* over the homes' live streams, tick by tick.
+
+    Events at or before a home's restore watermark are skipped, so the
+    same call resumes a checkpointed fleet mid-stream.  With ``finish``
+    (default) every home's stream is closed at its trace end — matching a
+    standalone ``replay``; pass ``finish=False`` to leave streams open
+    (e.g. before taking a checkpoint).
+    """
+    watermarks: Dict[str, float] = {
+        home.home_id: gateway.runtime_of(home.home_id).reorder.watermark
+        for home in homes
+        if home.home_id in gateway
+    }
+    alerts: List[FleetAlert] = []
+    for _, batch in merged_ticks(homes, tick_seconds):
+        live = [
+            (home_id, event)
+            for home_id, event in batch
+            if event.timestamp > watermarks.get(home_id, float("-inf"))
+        ]
+        if live:
+            alerts.extend(gateway.dispatch(live))
+    if finish:
+        ends = {home.home_id: home.trace.end for home in homes}
+        alerts.extend(gateway.finish(ends))
+    return alerts

@@ -1,0 +1,38 @@
+"""Stable home → shard assignment.
+
+The fleet's routing layer is a pure function: ``shard_of(home_id, N)``
+depends only on the home id and the shard count, never on arrival order,
+process hash seed, or platform.  That stability is load-bearing — a fleet
+checkpoint taken with one process must restore in another with every home
+landing on a shard deterministically, and a resharded restore (``N`` is
+allowed to change between runs) must only *move* homes, never lose them.
+
+``blake2b`` (stdlib, keyed to nothing) provides the avalanche; Python's
+builtin ``hash`` is explicitly unusable here because string hashing is
+randomized per process (PYTHONHASHSEED).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+
+def shard_of(home_id: str, num_shards: int) -> int:
+    """The shard index owning *home_id* in a fleet of *num_shards* shards."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if not home_id:
+        raise ValueError("home_id must be non-empty")
+    digest = hashlib.blake2b(home_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def shard_assignments(
+    home_ids: Iterable[str], num_shards: int
+) -> Dict[int, List[str]]:
+    """Every shard's home list (shards with no homes are present, empty)."""
+    assignments: Dict[int, List[str]] = {shard: [] for shard in range(num_shards)}
+    for home_id in home_ids:
+        assignments[shard_of(home_id, num_shards)].append(home_id)
+    return assignments

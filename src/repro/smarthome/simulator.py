@@ -19,7 +19,7 @@ number of hours of its life as a :class:`~repro.model.trace.Trace`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -87,6 +87,15 @@ class HomeSpec:
         if device_id in self.profile_overrides:
             return self.profile_overrides[device_id]
         return profile_for(self.registry[device_id].sensor_type)
+
+    def renamed(self, name: str) -> "HomeSpec":
+        """A copy of this spec under a new name.
+
+        Fleets instantiate the same house family many times over; the
+        name is the only per-instance field (device ids stay per-home
+        local — every home has its own registry and detector).
+        """
+        return replace(self, name=name)
 
     @property
     def num_residents(self) -> int:

@@ -71,8 +71,15 @@ def checkpoint_state(runtime) -> dict:
     return state
 
 
-def restore_runtime(detector: DiceDetector, state: dict):
-    """Rebuild a :class:`HardenedOnlineDice` from a snapshot."""
+def restore_runtime(detector: DiceDetector, state: dict, **runtime_kwargs):
+    """Rebuild a :class:`HardenedOnlineDice` from a snapshot.
+
+    ``runtime_kwargs`` pass through to the :class:`HardenedOnlineDice`
+    constructor.  The snapshot itself restores the reorder buffer's
+    lateness/capacity, but the supervisor *policy* is not serialized —
+    a caller that ran with a non-default policy must supply it again here
+    (the CLI's resume path does).
+    """
     from .runtime import HardenedOnlineDice
 
     if not isinstance(state, dict) or "version" not in state:
@@ -88,7 +95,7 @@ def restore_runtime(detector: DiceDetector, state: dict):
             f"checkpoint was taken against a different model: "
             f"{state.get('model')} != {expected}"
         )
-    runtime = HardenedOnlineDice(detector)
+    runtime = HardenedOnlineDice(detector, **runtime_kwargs)
     runtime.load_state(state["runtime"])
     telemetry_state = state.get("telemetry")
     if telemetry_state is not None:
@@ -112,6 +119,8 @@ def load_checkpoint(path: Union[str, os.PathLike]) -> dict:
         return json.load(handle)
 
 
-def restore_from_file(detector: DiceDetector, path: Union[str, os.PathLike]):
+def restore_from_file(
+    detector: DiceDetector, path: Union[str, os.PathLike], **runtime_kwargs
+):
     """``restore_runtime(load_checkpoint(path))`` convenience."""
-    return restore_runtime(detector, load_checkpoint(path))
+    return restore_runtime(detector, load_checkpoint(path), **runtime_kwargs)

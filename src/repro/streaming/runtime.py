@@ -145,14 +145,29 @@ class OnlineDice:
         """
         fresh = self.push_many(trace)
         fresh.extend(self.advance_to(trace.end))
-        fresh.extend(self.finish())
+        fresh.extend(self.finish(trace.end))
         return fresh
 
-    def finish(self) -> List[Alert]:
+    def finish(self, end: Optional[float] = None) -> List[Alert]:
         """End-of-stream: report any identification session still open
-        (mirrors the batch driver's segment-end flush)."""
+        (mirrors the batch driver's segment-end flush).
+
+        With *end*, the trailing **partial** window is force-closed first,
+        exactly when the batch encoder would emit one: ``encode`` rounds a
+        segment up to ``ceil(span / window - 1e-9)`` windows, so a stream
+        ending mid-window owes one more (shortened) window before the
+        session flush.  Without *end* (the default) no window is closed —
+        a caller that only wants to conclude the session keeps the old
+        behaviour.
+        """
+        fresh: List[Alert] = []
+        if end is not None:
+            windower = self.windower
+            tail = end - windower.current_window_start
+            if tail > 1e-9 * windower.window_seconds:
+                fresh.extend(self._handle_window(windower.flush()))
         if self._session is None:
-            return []
+            return fresh
         alert = Alert(
             "identification",
             self.windower.current_window_start,
@@ -163,7 +178,8 @@ class OnlineDice:
         self._session = None
         self.alerts.append(alert)
         self._note_alerts([alert])
-        return [alert]
+        fresh.append(alert)
+        return fresh
 
     def _note_alerts(self, fresh: List[Alert]) -> None:
         for alert in fresh:
@@ -458,7 +474,7 @@ class HardenedOnlineDice(OnlineDice):
             for snapshot in self.windower.advance_to(end):
                 fresh.extend(self._handle_window(snapshot))
             fresh.extend(self._health_alerts(self.supervisor.check_silence(end)))
-        fresh.extend(self.finish())
+        fresh.extend(self.finish(end))
         return fresh
 
     def replay(self, trace: Trace) -> List[Alert]:

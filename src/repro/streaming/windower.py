@@ -59,7 +59,14 @@ class _NumericAccumulator:
             return False, False, self.s1 > threshold
         mean = self.s1 / self.count
         variance = self.s2 / self.count - mean * mean
-        m3 = (self.s3 - 3.0 * mean * self.s2 + 2.0 * self.count * mean**3) / self.count
+        # mu^3 as explicit multiplies, mirroring the batch encoder op for
+        # op: pow() can differ from the multiply chain in the last ulp,
+        # which the cancellation in m3 then amplifies past the threshold.
+        m3 = (
+            self.s3
+            - 3.0 * mean * self.s2
+            + 2.0 * self.count * (mean * mean * mean)
+        ) / self.count
         skew = m3 > 1e-12 and variance > 1e-12
         trend = self.last - self.first > 0
         above = mean > threshold

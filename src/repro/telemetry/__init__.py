@@ -28,6 +28,7 @@ from .registry import (
     NULL_REGISTRY,
     SNAPSHOT_SCHEMA,
     MetricsRegistry,
+    merge_many,
     merge_snapshots,
 )
 from .spans import NULL_TRACER, SPAN_HISTOGRAM, Span, Tracer
@@ -70,6 +71,7 @@ __all__ = [
     "get_logger",
     "get_registry",
     "get_tracer",
+    "merge_many",
     "merge_snapshots",
     "resolve",
     "to_prometheus",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 SNAPSHOT_SCHEMA = "dice-metrics/1"
 
@@ -404,6 +404,19 @@ def merge_snapshots(base: dict, other: dict) -> dict:
                 mine["value"] = row["value"]
         entry["series"] = [series[k] for k in sorted(series)]
         merged["metrics"][name] = entry
+    return merged
+
+
+def merge_many(snapshots: Sequence[dict]) -> dict:
+    """Fold any number of snapshots with :func:`merge_snapshots`.
+
+    The fleet-join convenience: a gateway hosting hundreds of homes (one
+    registry each) produces one fleet-wide snapshot.  An empty sequence
+    yields an empty snapshot, one snapshot is copied unchanged.
+    """
+    merged = {"schema": SNAPSHOT_SCHEMA, "metrics": {}}
+    for snapshot in snapshots:
+        merged = merge_snapshots(merged, snapshot)
     return merged
 
 

@@ -1,0 +1,84 @@
+"""The fleet load generator must be a pure function of its parameters."""
+
+import pytest
+
+from repro.fleet import build_fleet_homes, home_seed, merged_ticks
+
+
+def _event_key(event):
+    return (event.timestamp, event.device_id, event.value)
+
+
+def test_build_is_deterministic():
+    first = build_fleet_homes(3, seed=9, hours=26.0, train_hours=24.0)
+    second = build_fleet_homes(3, seed=9, hours=26.0, train_hours=24.0)
+    for a, b in zip(first, second):
+        assert a.home_id == b.home_id
+        assert a.split == b.split
+        assert [_event_key(e) for e in a.trace] == [_event_key(e) for e in b.trace]
+
+
+def test_homes_are_distinct():
+    homes = build_fleet_homes(3, seed=9, hours=26.0, train_hours=24.0)
+    assert len({h.home_id for h in homes}) == 3
+    keys = [tuple(_event_key(e) for e in h.trace) for h in homes]
+    assert len(set(keys)) == 3  # different seeds => different lives
+
+
+def test_home_seed_is_injective_over_small_fleets():
+    seeds = {home_seed(fleet, index) for fleet in range(4) for index in range(64)}
+    assert len(seeds) == 4 * 64
+
+
+def test_split_partitions_the_trace():
+    # 24 -> 36 h live segment: spans a full day, so it cannot be empty for
+    # any seed (a 2 h overnight tail can be).
+    (home,) = build_fleet_homes(1, seed=2, hours=36.0, train_hours=24.0)
+    training = list(home.training)
+    live = list(home.live)
+    assert len(training) + len(live) == len(home.trace)
+    assert all(e.timestamp < home.split for e in training)
+    assert all(e.timestamp >= home.split for e in live)
+    assert live, "the live segment must be non-empty"
+
+
+def test_build_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        build_fleet_homes(0)
+    with pytest.raises(ValueError):
+        build_fleet_homes(2, hours=10.0, train_hours=10.0)
+    with pytest.raises(ValueError):
+        build_fleet_homes(2, hours=10.0, train_hours=0.0)
+
+
+def test_merged_ticks_ordering_and_coverage():
+    homes = build_fleet_homes(3, seed=9, hours=26.0, train_hours=24.0)
+    tick_seconds = 300.0
+    per_home = {h.home_id: [] for h in homes}
+    previous_tick = None
+    total = 0
+    for tick_start, batch in merged_ticks(homes, tick_seconds):
+        assert batch, "empty ticks must be skipped"
+        if previous_tick is not None:
+            assert tick_start > previous_tick
+        previous_tick = tick_start
+        last_ts = None
+        for home_id, event in batch:
+            assert tick_start <= event.timestamp < tick_start + tick_seconds
+            if last_ts is not None:
+                assert event.timestamp >= last_ts  # sorted within the tick
+            last_ts = event.timestamp
+            per_home[home_id].append(event)
+            total += 1
+    # Every home's subsequence is exactly its live stream, in order.
+    for home in homes:
+        assert [_event_key(e) for e in per_home[home.home_id]] == [
+            _event_key(e) for e in home.live
+        ]
+    assert total == sum(len(h.live) for h in homes)
+
+
+def test_merged_ticks_rejects_bad_tick():
+    homes = build_fleet_homes(1, seed=2, hours=26.0, train_hours=24.0)
+    with pytest.raises(ValueError):
+        list(merged_ticks(homes, 0.0))

@@ -1,0 +1,111 @@
+"""Regenerate the committed golden fixture.
+
+Run from the repository root:
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+The fixture is a complete end-to-end scenario pinned into version
+control: a 36 h houseA simulation (seed 7) with a fail-stop fault
+injected into the ``fridge`` sensor at hour 26, serialized as
+``trace.csv`` + ``trace.devices.csv``, and the exact alerts the batch
+pipeline derives from it (fit on hours 0-24, process hours 24-36) in
+``expected_alerts.json``.
+
+Regenerating is only legitimate when the detection semantics change on
+purpose; the diff of ``expected_alerts.json`` then documents precisely
+what moved, and the reviewer signs off on it like any other behavioural
+change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core import DiceDetector
+from repro.datasets import load_dataset
+from repro.datasets.io import write_trace
+from repro.faults import inject_fail_stop
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TRACE_CSV = os.path.join(HERE, "trace.csv")
+EXPECTED_JSON = os.path.join(HERE, "expected_alerts.json")
+
+DATASET = "houseA"
+SEED = 7
+HOURS = 36.0
+TRAIN_HOURS = 24.0
+FAULT_DEVICE = "fridge"
+FAULT_ONSET_HOURS = 26.0
+
+
+def build_trace():
+    """The scenario: simulated houseA with a live-phase fail-stop."""
+    dataset = load_dataset(DATASET, seed=SEED, hours=HOURS)
+    return inject_fail_stop(
+        dataset.trace, FAULT_DEVICE, FAULT_ONSET_HOURS * 3600.0
+    )
+
+
+def run_pipeline(trace):
+    """Fit on the training prefix, process the live suffix."""
+    split = TRAIN_HOURS * 3600.0
+    detector = DiceDetector(trace.registry).fit(trace.slice(0.0, split))
+    return detector.process(trace.slice(split, trace.end))
+
+
+def report_as_json(report) -> dict:
+    return {
+        "scenario": {
+            "dataset": DATASET,
+            "seed": SEED,
+            "hours": HOURS,
+            "train_hours": TRAIN_HOURS,
+            "fault": {
+                "type": "fail_stop",
+                "device": FAULT_DEVICE,
+                "onset_hours": FAULT_ONSET_HOURS,
+            },
+        },
+        "n_windows": report.n_windows,
+        "window_seconds": report.window_seconds,
+        "detections": [
+            {
+                "window": r.window,
+                "time": r.time,
+                "check": r.check,
+                "cases": [case.value for case in r.cases],
+            }
+            for r in report.detections
+        ],
+        "identifications": [
+            {
+                "window": r.window,
+                "time": r.time,
+                "devices": sorted(r.devices),
+                "windows_used": r.windows_used,
+                "converged": r.converged,
+                "weighted_early": r.weighted_early,
+                "triggered_by": r.triggered_by,
+            }
+            for r in report.identifications
+        ],
+    }
+
+
+def main() -> None:
+    trace = build_trace()
+    write_trace(trace, TRACE_CSV)
+    document = report_as_json(run_pipeline(trace))
+    with open(EXPECTED_JSON, "w") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"wrote {len(trace)} events, "
+        f"{len(document['detections'])} detections, "
+        f"{len(document['identifications'])} identifications"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Golden end-to-end fixture: committed trace in, committed alerts out.
+
+The fixture under ``tests/golden/`` pins the full pipeline — simulator,
+fault injector, CSV round-trip, detector fit, batch processing — to an
+exact, reviewed output.  Any semantic drift anywhere in that chain shows
+up here as a diff against ``expected_alerts.json``.
+
+Regenerate (deliberately!) with ``PYTHONPATH=src python -m tests.golden.regen``.
+"""
+
+import json
+import os
+
+from repro.datasets.io import read_trace
+
+from tests.golden import regen
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _expected():
+    with open(os.path.join(HERE, "expected_alerts.json")) as fh:
+        return json.load(fh)
+
+
+def test_pipeline_reproduces_committed_alerts():
+    trace = read_trace(regen.TRACE_CSV)
+    report = regen.run_pipeline(trace)
+    assert regen.report_as_json(report) == _expected()
+
+
+def test_simulator_reproduces_committed_trace():
+    # The committed CSV is itself a pinned artifact: the seeded simulator
+    # plus the fault injector must rebuild it event for event, and the CSV
+    # round-trip must be lossless (repr-exact floats).
+    rebuilt = regen.build_trace()
+    committed = read_trace(regen.TRACE_CSV)
+    assert committed.registry.device_ids == rebuilt.registry.device_ids
+    assert (committed.start, committed.end) == (rebuilt.start, rebuilt.end)
+    assert len(committed) == len(rebuilt)
+    assert [
+        (e.timestamp, e.device_id, e.value) for e in committed
+    ] == [(e.timestamp, e.device_id, e.value) for e in rebuilt]
+
+
+def test_expected_alerts_identify_the_faulted_device():
+    # Sanity on the fixture itself: the scenario documents a fridge
+    # fail-stop, and the committed alerts must actually say so.
+    expected = _expected()
+    assert expected["detections"], "fixture must contain detections"
+    assert expected["identifications"], "fixture must contain identifications"
+    fault_device = expected["scenario"]["fault"]["device"]
+    onset = expected["scenario"]["fault"]["onset_hours"] * 3600.0
+    for record in expected["identifications"]:
+        assert record["devices"] == [fault_device]
+        assert record["time"] >= onset

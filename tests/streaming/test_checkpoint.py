@@ -8,6 +8,7 @@ at the moment of the crash.
 """
 
 import json
+import random
 
 import numpy as np
 import pytest
@@ -91,6 +92,66 @@ class TestRoundTripDeterminism:
         assert head + tail == expected
         assert _canon(head + tail) == _canon(expected)
         assert resumed.drops.summary() == uninterrupted.drops.summary()
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_resume_equals_uninterrupted_at_random_cuts(
+        self, detector, live_events, cyclic_trace, seed
+    ):
+        # Same property as above, but the crash lands at a seeded-random
+        # event index rather than the midpoint: the cut may fall inside a
+        # window, inside the reorder buffer's lateness horizon, or right
+        # before a duplicate — none of which may show in the alerts.
+        events = _adversarial(live_events, seed)
+        cut = random.Random(seed).randrange(1, len(events))
+        start, end = 3.0 * HOUR, cyclic_trace.end
+
+        uninterrupted = _runtime(detector, start)
+        expected = uninterrupted.ingest_many(events)
+        expected += uninterrupted.finish_stream(end)
+
+        first = _runtime(detector, start)
+        head = first.ingest_many(events[:cut])
+        snapshot = json.loads(json.dumps(first.checkpoint()))
+        resumed = restore_runtime(detector, snapshot)
+        tail = resumed.ingest_many(events[cut:])
+        tail += resumed.finish_stream(end)
+
+        assert _canon(head + tail) == _canon(expected), f"cut at {cut}"
+        assert resumed.drops.summary() == uninterrupted.drops.summary()
+
+    def test_counter_totals_survive_restart(self, registry, cyclic_trace):
+        # Monotone telemetry totals are part of the checkpoint (schema v2):
+        # after a crash/restore cycle the counters must continue from where
+        # they left off, not restart at the tail's contribution.  Each
+        # scenario gets its own detector + registry so totals are isolated.
+        from repro import telemetry
+        from repro.streaming.runtime import ALERTS_TOTAL
+
+        def fresh_runtime():
+            det = DiceDetector(
+                registry, metrics=telemetry.MetricsRegistry()
+            ).fit(cyclic_trace.slice(0.0, 3.0 * HOUR))
+            return _runtime(det, 3.0 * HOUR), det
+
+        def alerts_total(runtime):
+            families = runtime.metrics.snapshot()["metrics"]
+            entry = families.get(ALERTS_TOTAL)
+            return sum(row["value"] for row in entry["series"]) if entry else 0.0
+
+        events = _adversarial(list(cyclic_trace.slice(3.0 * HOUR, 4.0 * HOUR)), 7)
+        full, _ = fresh_runtime()
+        expected = full.ingest_many(events)
+        expected += full.finish_stream(cyclic_trace.end)
+        assert alerts_total(full) == float(len(full.alerts))
+
+        cut = random.Random(7).randrange(1, len(events))
+        first, det = fresh_runtime()
+        first.ingest_many(events[:cut])
+        snapshot = json.loads(json.dumps(first.checkpoint()))
+        resumed = restore_runtime(det, snapshot)
+        resumed.ingest_many(events[cut:])
+        resumed.finish_stream(cyclic_trace.end)
+        assert alerts_total(resumed) == alerts_total(full)
 
     def test_checkpoint_preserves_open_session(self, small_house):
         """Cut the stream while an identification session is open and check

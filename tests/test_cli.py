@@ -116,6 +116,54 @@ class TestStream:
         assert any(r["event"] == "checkpoint_saved" for r in records)
 
 
+class TestFleet:
+    ARGS = [
+        "fleet", "--homes", "2",
+        "--hours", "28", "--train-hours", "24", "--seed", "5",
+    ]
+
+    def test_fleet_prints_summary(self, capsys):
+        assert main(self.ARGS + ["--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 homes on 2 shards" in out
+        assert "dispatched" in out
+        assert "homes per shard:" in out
+        assert "unrouted" not in out  # only printed when non-zero
+
+    def test_checkpoint_save_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "fleet-ckpt"
+        assert main(self.ARGS + ["--save-checkpoint", str(ckpt)]) == 0
+        assert (ckpt / "manifest.json").exists()
+        # Resume onto a different shard count: sharding is a scaling knob,
+        # not part of the checkpointed state.
+        assert main(self.ARGS + ["--shards", "3", "--resume", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "2 homes on 3 shards" in out
+
+    def test_metrics_out_writes_merged_snapshot(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert main(self.ARGS + ["--metrics-out", str(out)]) == 0
+        snap = json.loads(out.read_text())
+        assert "dice_fleet_events_total" in snap["metrics"]
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fleet", "--homes", "0"],
+            ["fleet", "--homes", "2", "--shards", "0"],
+            ["fleet", "--homes", "2", "--shards", "-3"],
+            ["fleet", "--homes", "2", "--hours", "10", "--train-hours", "10"],
+        ],
+    )
+    def test_bad_parameters_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+
+    def test_resume_garbage_exit_2(self, tmp_path):
+        assert main(self.ARGS + ["--resume", str(tmp_path / "nope")]) == 2
+
+
 class TestMetrics:
     def _snapshot(self, tmp_path):
         out = tmp_path / "metrics.json"

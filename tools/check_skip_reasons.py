@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Fail CI when a test is skipped without saying why.
+
+A bare ``@pytest.mark.skip`` (or a ``pytest.skip()`` call with no
+message) silently removes coverage: six months later nobody remembers
+whether the test was flaky, blocked on a dependency, or just in the
+way.  This walks every test file's AST and demands a non-empty reason
+string on each skip:
+
+* ``@pytest.mark.skip`` / ``@pytest.mark.skipif`` decorators need a
+  ``reason="..."`` keyword (skipif may pass it positionally as the
+  second argument).
+* ``pytest.skip(...)`` / ``pytest.importorskip(...)`` calls need a
+  non-empty message / ``reason=``.
+
+Usage::
+
+    python tools/check_skip_reasons.py [tests/ ...]
+
+Exits non-zero listing every offender as ``path:line: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+Offence = Tuple[str, int, str]
+
+
+def _is_attr_chain(node: ast.AST, chain: str) -> bool:
+    """True if *node* spells exactly ``a.b.c`` given ``chain='a.b.c'``."""
+    parts = chain.split(".")
+    for part in reversed(parts[1:]):
+        if not (isinstance(node, ast.Attribute) and node.attr == part):
+            return False
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == parts[0]
+
+
+def _has_reason(call: ast.Call, positional_index: int = -1) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "reason":
+            return _non_empty_string(keyword.value)
+    if 0 <= positional_index < len(call.args):
+        return _non_empty_string(call.args[positional_index])
+    return False
+
+
+def _non_empty_string(node: ast.AST) -> bool:
+    # Any non-literal expression is accepted: it presumably computes a
+    # message.  Only literal empty/missing strings are offences.
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, str) and bool(node.value.strip())
+    return True
+
+
+def _check_decorator(dec: ast.AST) -> Iterator[str]:
+    if isinstance(dec, ast.Call):
+        func = dec.func
+        if _is_attr_chain(func, "pytest.mark.skip"):
+            if not _has_reason(dec, positional_index=0):
+                yield "@pytest.mark.skip without a reason"
+        elif _is_attr_chain(func, "pytest.mark.skipif"):
+            # skipif(condition, reason=...) — reason may be 2nd positional.
+            if not _has_reason(dec, positional_index=1):
+                yield "@pytest.mark.skipif without a reason"
+    elif isinstance(dec, ast.Attribute) and _is_attr_chain(dec, "pytest.mark.skip"):
+        yield "bare @pytest.mark.skip without a reason"
+
+
+def _check_call(call: ast.Call) -> Iterator[str]:
+    if _is_attr_chain(call.func, "pytest.skip"):
+        if not (call.args and _non_empty_string(call.args[0])) and not _has_reason(call):
+            yield "pytest.skip() without a message"
+    elif _is_attr_chain(call.func, "pytest.importorskip"):
+        if not _has_reason(call):
+            yield "pytest.importorskip() without a reason"
+
+
+def check_file(path: str) -> List[Offence]:
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    offences: List[Offence] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for dec in node.decorator_list:
+                for message in _check_decorator(dec):
+                    offences.append((path, dec.lineno, message))
+        elif isinstance(node, ast.Call):
+            for message in _check_call(node):
+                offences.append((path, node.lineno, message))
+    return offences
+
+
+def iter_test_files(roots: List[str]) -> Iterator[str]:
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def main(argv: List[str]) -> int:
+    roots = argv or ["tests"]
+    offences: List[Offence] = []
+    checked = 0
+    for path in iter_test_files(roots):
+        checked += 1
+        offences.extend(check_file(path))
+    for path, line, message in offences:
+        print(f"{path}:{line}: {message}")
+    if offences:
+        print(f"{len(offences)} unexplained skip(s) in {checked} file(s)")
+        return 1
+    print(f"OK: no unexplained skips in {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
