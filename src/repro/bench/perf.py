@@ -18,7 +18,10 @@ regress against:
   ``EvaluationRunner``, checking that worker counts do not change the
   aggregate results;
 * **fleet** — the sharded multi-home gateway over a homes x shards grid,
-  asserting per-home alerts stay byte-identical across shard counts.
+  asserting per-home alerts stay byte-identical across shard counts;
+* **journal** — the durable gateway's write-ahead journal cost: the same
+  live stream through a plain hardened runtime vs a journaled one under
+  each fsync policy (budget: ≤ 1.5x under ``fsync=never``).
 
 All workloads are seeded and synthetic — the harness needs no dataset
 files and produces no timing *assertions* (CI runs it as a smoke test;
@@ -43,8 +46,9 @@ from ..core.groups import GroupRegistry
 from ..model import DeviceRegistry, SensorType, binary_sensor
 
 #: /2 added the ``telemetry`` overhead section; /3 added the ``fleet``
-#: homes x shards scaling section.
-BENCH_SCHEMA = "dice-bench-perf/3"
+#: homes x shards scaling section; /4 added the ``journal`` write-ahead
+#: journal overhead section.
+BENCH_SCHEMA = "dice-bench-perf/4"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -451,6 +455,89 @@ def bench_fleet(
     }
 
 
+def bench_journal(seed: int, hours: float = 4.5, repeats: int = 3) -> Dict:
+    """Write-ahead journal overhead on the durable gateway.
+
+    Streams one seeded chaos deployment's live events through a plain
+    :class:`~repro.streaming.HardenedOnlineDice` and through
+    :class:`~repro.durability.DurableOnlineDice` under every fsync policy.
+    Baseline and journaled runs are interleaved (like
+    :func:`bench_telemetry`) so machine-load drift hits all arms equally,
+    and every arm's alert stream is asserted identical to the baseline's.
+    The acceptance budget: ``fsync=never`` stays within 1.5x of no journal.
+    """
+    import tempfile
+
+    from ..durability import DurableOnlineDice, FSYNC_POLICIES
+    from ..faults.crash import (
+        LATENESS_SECONDS,
+        POLICY,
+        build_chaos_deployment,
+        canonical_alerts,
+    )
+    from ..streaming import HardenedOnlineDice
+
+    deployment = build_chaos_deployment(seed, hours=hours)
+    events = deployment.events
+
+    def _timed_plain():
+        detector = deployment.fit_detector(metrics=telemetry.NULL_REGISTRY)
+        runtime = HardenedOnlineDice(
+            detector, start=deployment.split,
+            lateness_seconds=LATENESS_SECONDS, policy=POLICY,
+        )
+        t0 = time.perf_counter()
+        alerts = runtime.ingest_many(events)
+        alerts += runtime.finish_stream(deployment.end)
+        return time.perf_counter() - t0, alerts
+
+    def _timed_journal(fsync: str, journal_dir: str):
+        detector = deployment.fit_detector(metrics=telemetry.NULL_REGISTRY)
+        durable = DurableOnlineDice(
+            detector, journal_dir, start=deployment.split, fsync=fsync,
+            lateness_seconds=LATENESS_SECONDS, policy=POLICY,
+        )
+        t0 = time.perf_counter()
+        alerts = durable.ingest_many(events)
+        alerts += durable.finish_stream(deployment.end)
+        seconds = time.perf_counter() - t0
+        durable.close()
+        return seconds, alerts
+
+    baseline_s = float("inf")
+    journal_s = {policy: float("inf") for policy in FSYNC_POLICIES}
+    baseline_canon: Optional[str] = None
+    identical = True
+    with tempfile.TemporaryDirectory(prefix="dice-bench-journal-") as base:
+        for i in range(repeats):
+            seconds, alerts = _timed_plain()
+            baseline_s = min(baseline_s, seconds)
+            if baseline_canon is None:
+                baseline_canon = canonical_alerts(alerts)
+            for policy in FSYNC_POLICIES:
+                seconds, alerts = _timed_journal(
+                    policy, os.path.join(base, f"{policy}-{i}")
+                )
+                journal_s[policy] = min(journal_s[policy], seconds)
+                if canonical_alerts(alerts) != baseline_canon:
+                    identical = False
+    if not identical:
+        raise AssertionError("journaling changed the alert stream")
+
+    def _ratio(seconds: float) -> float:
+        return seconds / baseline_s if baseline_s > 0 else float("inf")
+
+    return {
+        "events": len(events),
+        "alerts": len(alerts),
+        "baseline_s": baseline_s,
+        "journal_s": dict(journal_s),
+        "overhead_ratio": {p: _ratio(s) for p, s in journal_s.items()},
+        "overhead_pct_never": (_ratio(journal_s["never"]) - 1.0) * 100.0,
+        "alerts_identical": identical,
+    }
+
+
 # --------------------------------------------------------------------- #
 # Driver
 # --------------------------------------------------------------------- #
@@ -473,6 +560,7 @@ def run_benchmarks(
         eval_hours, eval_precompute, eval_pairs = 100.0, 72.0, 4
         fleet_homes, fleet_shards = [2, 4], [1, 2, 4]
         fleet_hours, fleet_train = 30.0, 24.0
+        journal_hours = 4.5
     else:
         groups = groups or 500
         windows = windows or 5000
@@ -480,6 +568,7 @@ def run_benchmarks(
         eval_hours, eval_precompute, eval_pairs = 120.0, 72.0, 12
         fleet_homes, fleet_shards = [4, 8, 16], [1, 2, 4, 8]
         fleet_hours, fleet_train = 48.0, 36.0
+        journal_hours = 8.0
     cpus = os.cpu_count() or 1
     if workers_list is None:
         workers_list = [1, 2] if cpus == 1 else sorted({1, 2, cpus})
@@ -502,6 +591,7 @@ def run_benchmarks(
         "fleet": bench_fleet(
             fleet_homes, fleet_shards, fleet_hours, fleet_train, seed
         ),
+        "journal": bench_journal(seed, hours=journal_hours),
     }
     validate_document(doc)
     return doc
@@ -666,5 +756,35 @@ def validate_document(doc: Dict) -> Dict:
         fleet.get("alerts_identical_across_shards") is True,
         "fleet.alerts_identical_across_shards must be true "
         "(sharding changed per-home alerts)",
+    )
+
+    journal = doc.get("journal")
+    _require(isinstance(journal, dict), "journal must be an object")
+    for key in ("events", "alerts"):
+        _require(
+            isinstance(journal.get(key), int) and journal[key] >= 0,
+            f"journal.{key} must be a non-negative int",
+        )
+    _require(journal.get("events", 0) > 0, "journal.events must be positive")
+    _require(
+        isinstance(journal.get("baseline_s"), (int, float))
+        and journal["baseline_s"] >= 0,
+        "journal.baseline_s must be a non-negative number",
+    )
+    for section in ("journal_s", "overhead_ratio"):
+        block = journal.get(section)
+        _require(isinstance(block, dict), f"journal.{section} must be an object")
+        for policy in ("never", "interval", "always"):
+            _require(
+                isinstance(block.get(policy), (int, float)) and block[policy] >= 0,
+                f"journal.{section}.{policy} must be a non-negative number",
+            )
+    _require(
+        isinstance(journal.get("overhead_pct_never"), (int, float)),
+        "journal.overhead_pct_never must be a number",
+    )
+    _require(
+        journal.get("alerts_identical") is True,
+        "journal.alerts_identical must be true (journaling changed alerts)",
     )
     return doc

@@ -16,11 +16,16 @@ The subcommands cover the everyday workflows:
   ``--homes`` deterministic homes hashed onto ``--shards`` workers, with
   fleet-wide checkpoint/restore (``--save-checkpoint``/``--resume``) and
   merged telemetry (``--metrics-out``);
+* ``chaos`` — crash-injection harness: run seeded deployments, kill the
+  runtime at randomized points (including mid-journal-write), recover
+  from checkpoint + journal tail, and verify the alert stream matches an
+  uninterrupted run, standalone and fleet (exit 1 on any mismatch);
 * ``metrics`` — render a telemetry snapshot as a table, Prometheus text
   exposition, or JSON;
 * ``bench`` — time the detection hot paths (fit, scalar vs memoised vs
   batched correlation scan, parallel evaluation, telemetry overhead, fleet
-  homes x shards scaling) and write ``BENCH_perf.json``.
+  homes x shards scaling, write-ahead journal overhead) and write
+  ``BENCH_perf.json``.
 
 Primary results go to **stdout**; diagnostics (resume/checkpoint notices,
 errors, state changes) go through the structured logger on stderr —
@@ -155,7 +160,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--resume", default=None, metavar="PATH",
-        help="restore the runtime from a snapshot instead of starting fresh",
+        help="restore the runtime from a snapshot instead of starting fresh "
+        "(with --journal-dir, also replay the journal tail past the snapshot)",
+    )
+    stream.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="write-ahead journal directory: every event is journaled before "
+        "processing, so a crashed run resumes exactly via --resume",
+    )
+    stream.add_argument(
+        "--fsync", choices=["never", "interval", "always"], default="never",
+        help="journal fsync policy (with --journal-dir)",
+    )
+    stream.add_argument(
+        "--alerts-out", default=None, metavar="PATH",
+        help="deliver alerts at-least-once to PATH as JSON lines via the "
+        "outbox (requires --journal-dir)",
     )
     stream.add_argument(
         "--metrics-out", default=None, metavar="PATH",
@@ -201,11 +221,56 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--resume", default=None, metavar="DIR",
-        help="restore the fleet from a checkpoint directory instead of fresh",
+        help="restore the fleet from a checkpoint directory instead of fresh "
+        "(with --journal-dir, also replay each home's journal tail)",
+    )
+    fleet.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="per-home write-ahead journal root: routed events are journaled "
+        "before dispatch, so a crashed fleet resumes exactly via --resume",
+    )
+    fleet.add_argument(
+        "--fsync", choices=["never", "interval", "always"], default="never",
+        help="journal fsync policy (with --journal-dir)",
+    )
+    fleet.add_argument(
+        "--alerts-out", default=None, metavar="PATH",
+        help="deliver alerts at-least-once to PATH as JSON lines via the "
+        "outbox (requires --journal-dir)",
     )
     fleet.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the merged fleet telemetry snapshot to PATH as JSON",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash-injection harness: kill seeded runs at random points, "
+        "recover, and verify alert-stream parity",
+    )
+    chaos.add_argument(
+        "--mode", choices=["standalone", "fleet", "both"], default="both"
+    )
+    chaos.add_argument(
+        "--deployments", type=int, default=5, help="standalone chaos homes"
+    )
+    chaos.add_argument(
+        "--kills", type=int, default=5, help="kill points per standalone home"
+    )
+    chaos.add_argument("--fleets", type=int, default=2, help="chaos fleets")
+    chaos.add_argument(
+        "--fleet-kills", type=int, default=4, help="kill points per fleet"
+    )
+    chaos.add_argument(
+        "--homes", type=int, default=3, help="homes per chaos fleet"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--fsync", choices=["never", "interval", "always"], default="never"
+    )
+    chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep trial artifacts under DIR (default: a temp dir)",
     )
 
     metrics = sub.add_parser(
@@ -352,8 +417,49 @@ def _cmd_stream(args) -> int:
 
     detector = DiceDetector(trace.registry).fit(trace.slice(trace.start, split))
     live = trace.slice(split, trace.end)
+    policy = SupervisorPolicy(
+        silence_seconds=args.silence, quarantine_seconds=args.quarantine
+    )
+    if args.alerts_out and not args.journal_dir:
+        _log.error("bad_stream", reason="--alerts-out requires --journal-dir")
+        return 2
 
-    if args.resume:
+    durable = None
+    if args.journal_dir:
+        import os
+
+        from .durability import AlertOutbox, DurableOnlineDice, FileSink, JournalError
+        from .streaming import CheckpointError
+
+        outbox = None
+        if args.alerts_out:
+            outbox = AlertOutbox(
+                os.path.join(args.journal_dir, "outbox"), FileSink(args.alerts_out)
+            )
+        try:
+            if args.resume:
+                durable, replayed = DurableOnlineDice.recover(
+                    detector, args.journal_dir, checkpoint_path=args.resume,
+                    home_id=args.dataset, start=live.start, fsync=args.fsync,
+                    outbox=outbox, lateness_seconds=args.lateness, policy=policy,
+                )
+                _log.info(
+                    "resumed from checkpoint + journal tail",
+                    path=args.resume, journal=args.journal_dir,
+                    replayed_alerts=len(replayed),
+                    watermark=durable.runtime.reorder.watermark,
+                )
+            else:
+                durable = DurableOnlineDice(
+                    detector, args.journal_dir, home_id=args.dataset,
+                    start=live.start, fsync=args.fsync, outbox=outbox,
+                    lateness_seconds=args.lateness, policy=policy,
+                )
+        except (OSError, ValueError, KeyError, JournalError, CheckpointError) as exc:
+            _log.error("resume_failed", path=args.resume, error=str(exc))
+            return 2
+        runtime = durable.runtime
+    elif args.resume:
         from .streaming import CheckpointError
 
         try:
@@ -371,9 +477,7 @@ def _cmd_stream(args) -> int:
             detector,
             start=live.start,
             lateness_seconds=args.lateness,
-            policy=SupervisorPolicy(
-                silence_seconds=args.silence, quarantine_seconds=args.quarantine
-            ),
+            policy=policy,
         )
 
     events = [e for e in live if e.timestamp > runtime.reorder.watermark]
@@ -398,12 +502,16 @@ def _cmd_stream(args) -> int:
         injector = PipeFaultInjector(np.random.default_rng(args.seed), specs)
         events = injector.apply(events)
 
-    alerts = runtime.ingest_many(events)
+    driver = durable if durable is not None else runtime
+    alerts = driver.ingest_many(events)
     if args.save_checkpoint:
-        save_checkpoint(runtime, args.save_checkpoint)
+        if durable is not None:
+            durable.save_checkpoint(args.save_checkpoint)
+        else:
+            save_checkpoint(runtime, args.save_checkpoint)
         _log.info("checkpoint saved, stream left open", path=args.save_checkpoint)
     else:
-        alerts += runtime.finish_stream(live.end)
+        alerts += driver.finish_stream(live.end)
 
     print(
         f"streamed {len(events)} events "
@@ -422,6 +530,14 @@ def _cmd_stream(args) -> int:
     quarantined = sorted(runtime.supervisor.quarantined)
     if quarantined:
         print(f"quarantined devices: {', '.join(quarantined)}")
+    if durable is not None:
+        if durable.outbox is not None:
+            delivery = durable.deliver_pending()
+            print(
+                f"alerts delivered: {delivery['delivered']} "
+                f"(dead-lettered {delivery['dead']}) to {args.alerts_out}"
+            )
+        durable.close()
     if args.metrics_out:
         import json
 
@@ -449,12 +565,53 @@ def _cmd_fleet(args) -> int:
     except ValueError as exc:
         _log.error("bad_fleet", reason=str(exc))
         return 2
+    if args.alerts_out and not args.journal_dir:
+        _log.error("bad_fleet", reason="--alerts-out requires --journal-dir")
+        return 2
     detectors = {home.home_id: home.fit_detector() for home in homes}
     policy = SupervisorPolicy(
         silence_seconds=args.silence, quarantine_seconds=args.quarantine
     )
 
-    if args.resume:
+    def fresh_gateway() -> FleetGateway:
+        fresh = FleetGateway(4 if args.shards is None else args.shards)
+        for home in homes:
+            fresh.add_home(
+                home.home_id, detectors[home.home_id], start=home.split,
+                lateness_seconds=args.lateness, policy=policy,
+            )
+        return fresh
+
+    durable = None
+    if args.journal_dir:
+        import os
+
+        from .durability import AlertOutbox, DurableFleetGateway, FileSink
+
+        outbox = None
+        if args.alerts_out:
+            outbox = AlertOutbox(
+                os.path.join(args.journal_dir, "outbox"), FileSink(args.alerts_out)
+            )
+        try:
+            durable, replayed = DurableFleetGateway.recover(
+                detectors, args.journal_dir,
+                checkpoint_dir=args.resume,
+                gateway=None if args.resume else fresh_gateway(),
+                num_shards=args.shards, fsync=args.fsync, outbox=outbox,
+                lateness_seconds=args.lateness, policy=policy,
+            )
+        except (OSError, ValueError, KeyError, CheckpointError) as exc:
+            _log.error("resume_failed", path=args.resume, error=str(exc))
+            return 2
+        if args.resume:
+            _log.info(
+                "resumed fleet checkpoint + journal tails", path=args.resume,
+                journal=args.journal_dir, replayed_alerts=len(replayed),
+                homes=len(durable), shards=durable.num_shards,
+            )
+        gateway = durable
+    elif args.resume:
         try:
             gateway = restore_fleet(
                 detectors, args.resume, num_shards=args.shards,
@@ -468,12 +625,7 @@ def _cmd_fleet(args) -> int:
             homes=len(gateway), shards=gateway.num_shards,
         )
     else:
-        gateway = FleetGateway(4 if args.shards is None else args.shards)
-        for home in homes:
-            gateway.add_home(
-                home.home_id, detectors[home.home_id], start=home.split,
-                lateness_seconds=args.lateness, policy=policy,
-            )
+        gateway = fresh_gateway()
 
     alerts = replay_fleet(
         gateway, homes, tick_seconds=args.tick,
@@ -512,6 +664,14 @@ def _cmd_fleet(args) -> int:
     )
     if gateway.unrouted:
         print(f"unrouted events: {gateway.unrouted}")
+    if durable is not None:
+        if durable.outbox is not None:
+            delivery = durable.deliver_pending()
+            print(
+                f"alerts delivered: {delivery['delivered']} "
+                f"(dead-lettered {delivery['dead']}) to {args.alerts_out}"
+            )
+        durable.close()
     if args.metrics_out:
         import json
 
@@ -521,6 +681,79 @@ def _cmd_fleet(args) -> int:
             )
         print(f"wrote merged metrics snapshot to {args.metrics_out}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import os
+    import tempfile
+
+    from .faults.crash import run_chaos_fleet, run_chaos_standalone
+
+    def run(base: str) -> int:
+        failed = 0
+        if args.mode in ("standalone", "both"):
+            report = run_chaos_standalone(
+                os.path.join(base, "standalone"),
+                deployments=args.deployments,
+                kills_per_deployment=args.kills,
+                seed=args.seed,
+                fsync=args.fsync,
+            )
+            summary = report.summary()
+            print(
+                f"standalone: {summary['trials']} trials "
+                f"({summary['torn_trials']} torn, "
+                f"{summary['checkpointed_trials']} checkpointed), "
+                f"{summary['delivered']} alerts delivered, "
+                f"{summary['dead_letters']} dead-lettered -> "
+                f"{'OK' if report.ok else 'FAIL'}"
+            )
+            for trial in report.trials:
+                if not trial.ok:
+                    failed += 1
+                    print(
+                        f"  FAIL standalone seed={trial.deploy_seed} "
+                        f"kill={trial.kill_index}/{trial.total_events} "
+                        f"torn={trial.torn} checkpointed={trial.checkpointed} "
+                        f"parity={trial.parity} counters={trial.counters_monotone} "
+                        f"delivery={trial.delivery_ok}"
+                    )
+        if args.mode in ("fleet", "both"):
+            report = run_chaos_fleet(
+                os.path.join(base, "fleet"),
+                fleets=args.fleets,
+                kills_per_fleet=args.fleet_kills,
+                num_homes=args.homes,
+                seed=args.seed,
+                fsync=args.fsync,
+            )
+            summary = report.summary()
+            print(
+                f"fleet: {summary['trials']} trials "
+                f"({summary['torn_trials']} torn, "
+                f"{summary['checkpointed_trials']} checkpointed), "
+                f"{summary['delivered']} alerts delivered, "
+                f"{summary['dead_letters']} dead-lettered -> "
+                f"{'OK' if report.ok else 'FAIL'}"
+            )
+            for trial in report.trials:
+                if not trial.ok:
+                    failed += 1
+                    print(
+                        f"  FAIL fleet seed={trial.deploy_seed} "
+                        f"kill={trial.kill_index}/{trial.total_events} "
+                        f"shards={trial.shards_before}->{trial.shards_after} "
+                        f"torn={trial.torn} checkpointed={trial.checkpointed} "
+                        f"parity={trial.parity} counters={trial.counters_monotone} "
+                        f"delivery={trial.delivery_ok}"
+                    )
+        return 1 if failed else 0
+
+    if args.workdir:
+        os.makedirs(args.workdir, exist_ok=True)
+        return run(args.workdir)
+    with tempfile.TemporaryDirectory(prefix="dice-chaos-") as base:
+        return run(base)
 
 
 def _cmd_metrics(args) -> int:
@@ -608,6 +841,13 @@ def _cmd_bench(args) -> int:
         "fleet alerts identical across shard counts: "
         f"{doc['fleet']['alerts_identical_across_shards']}"
     )
+    journal = doc["journal"]
+    print(
+        f"journal: {journal['events']} events  "
+        f"overhead never {journal['overhead_pct_never']:+.1f}%  "
+        f"(interval {journal['overhead_ratio']['interval']:.2f}x, "
+        f"always {journal['overhead_ratio']['always']:.2f}x)"
+    )
     print(f"wrote {args.output}")
     return 0
 
@@ -628,6 +868,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_stream(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
         if args.command == "bench":

@@ -38,6 +38,7 @@ from ..streaming import (
     restore_runtime,
     save_checkpoint,
 )
+from ..streaming.checkpoint import write_json_atomic
 from .gateway import FleetGateway
 
 MANIFEST_SCHEMA = "dice-fleet-manifest/1"
@@ -81,12 +82,7 @@ def save_fleet_checkpoint(gateway: FleetGateway, directory: PathLike) -> None:
     # per-home detection counters do (gauges are point-in-time and restart).
     if gateway.metrics.enabled:
         manifest["telemetry"] = gateway.metrics.counters_snapshot()
-    payload = json.dumps(manifest, indent=2, sort_keys=True)
-    path = os.path.join(directory, MANIFEST_NAME)
-    tmp = f"{path}.tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(payload)
-    os.replace(tmp, path)
+    write_json_atomic(manifest, os.path.join(directory, MANIFEST_NAME))
     _log.info(
         "fleet_checkpoint_saved",
         directory=directory,
@@ -96,10 +92,19 @@ def save_fleet_checkpoint(gateway: FleetGateway, directory: PathLike) -> None:
 
 
 def load_fleet_manifest(directory: PathLike) -> dict:
-    """Read and structurally validate a fleet manifest."""
+    """Read and structurally validate a fleet manifest.
+
+    Unreadable or non-JSON manifests raise :class:`CheckpointError` naming
+    the path, matching the streaming layer's :func:`load_checkpoint`.
+    """
     path = os.path.join(os.fspath(directory), MANIFEST_NAME)
-    with open(path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read fleet manifest {path}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt fleet manifest {path}: {exc}") from exc
     if not isinstance(manifest, dict) or manifest.get("schema") != MANIFEST_SCHEMA:
         raise CheckpointError(f"{path} is not a fleet manifest")
     homes = manifest.get("homes")
@@ -140,12 +145,34 @@ def restore_fleet(
         raise CheckpointError(
             f"no detector supplied for checkpointed homes: {', '.join(missing)}"
         )
+    # Validate the whole manifest against the filesystem and the supplied
+    # detectors *before* restoring anything: a missing snapshot file or a
+    # fingerprint mismatch should name its home up front, not explode
+    # halfway through a partially-built gateway.
+    for home_id in sorted(manifest["homes"]):
+        entry = manifest["homes"][home_id]
+        snapshot_path = os.path.join(directory, entry["file"])
+        if not os.path.exists(snapshot_path):
+            raise CheckpointError(
+                f"fleet manifest references a missing snapshot for home "
+                f"{home_id!r}: {snapshot_path}"
+            )
+        expected = model_fingerprint(detectors[home_id])
+        recorded = entry.get("model")
+        if recorded is not None and recorded != expected:
+            raise CheckpointError(
+                f"snapshot for home {home_id!r} was taken against a different "
+                f"model: {recorded} != {expected}"
+            )
     gateway = FleetGateway(
         num_shards=num_shards or manifest["num_shards"], metrics=metrics
     )
     for home_id in sorted(manifest["homes"]):
         entry = manifest["homes"][home_id]
-        state = load_checkpoint(os.path.join(directory, entry["file"]))
+        try:
+            state = load_checkpoint(os.path.join(directory, entry["file"]))
+        except CheckpointError as exc:
+            raise CheckpointError(f"home {home_id!r}: {exc}") from exc
         runtime = restore_runtime(detectors[home_id], state, **runtime_kwargs)
         gateway.add_runtime(home_id, runtime)
     fleet_counters = manifest.get("telemetry")

@@ -103,10 +103,10 @@ def restore_runtime(detector: DiceDetector, state: dict, **runtime_kwargs):
     return runtime
 
 
-def save_checkpoint(runtime, path: Union[str, os.PathLike]) -> None:
-    """Atomically write the snapshot as JSON (write-then-rename, so a crash
-    mid-save leaves the previous checkpoint intact)."""
-    payload = json.dumps(checkpoint_state(runtime), indent=2, sort_keys=True)
+def write_json_atomic(state: dict, path: Union[str, os.PathLike]) -> None:
+    """Write *state* as JSON via write-then-rename, so a crash mid-save
+    leaves the previous file intact."""
+    payload = json.dumps(state, indent=2, sort_keys=True)
     tmp = f"{os.fspath(path)}.tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(payload)
@@ -114,9 +114,30 @@ def save_checkpoint(runtime, path: Union[str, os.PathLike]) -> None:
     _log.info("checkpoint_saved", path=os.fspath(path), bytes=len(payload))
 
 
+def save_checkpoint(runtime, path: Union[str, os.PathLike]) -> None:
+    """Atomically write the snapshot as JSON."""
+    write_json_atomic(checkpoint_state(runtime), path)
+
+
 def load_checkpoint(path: Union[str, os.PathLike]) -> dict:
-    with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+    """Read a snapshot file.
+
+    A missing, unreadable, truncated or non-JSON file raises
+    :class:`CheckpointError` naming the offending path — callers (and the
+    CLI) get one actionable line instead of a raw ``JSONDecodeError``
+    traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {os.fspath(path)}: {exc}"
+        ) from exc
+    except ValueError as exc:  # json.JSONDecodeError: corrupt or truncated
+        raise CheckpointError(
+            f"corrupt checkpoint {os.fspath(path)}: {exc}"
+        ) from exc
 
 
 def restore_from_file(

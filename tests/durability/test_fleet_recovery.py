@@ -1,0 +1,130 @@
+"""Fleet crash recovery: per-home journals, resharding, at-least-once.
+
+Journals are keyed by home, not shard, so a fleet may come back with a
+different shard count and still replay every home's tail exactly —
+the chaos batch randomizes shard layouts across the crash to prove it.
+"""
+
+import pytest
+
+from repro.durability import DURABILITY_SIDECAR, DurableFleetGateway
+from repro.streaming import CheckpointError
+from repro.faults import (
+    baseline_fleet,
+    build_chaos_fleet,
+    run_chaos_fleet,
+    run_fleet_trial,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    deployments, merged = build_chaos_fleet(7, num_homes=3)
+    return deployments, merged, baseline_fleet(deployments, merged)
+
+
+class TestChaosBatch:
+    def test_randomized_kills_across_shard_layouts(self, tmp_path):
+        report = run_chaos_fleet(
+            str(tmp_path),
+            fleets=2,
+            kills_per_fleet=4,
+            num_homes=3,
+            seed=0,
+            shard_choices=(1, 2, 4),
+        )
+        summary = report.summary()
+        assert summary["trials"] == 8
+        assert report.ok, summary
+        # At least one trial must have actually changed shard layout
+        # across the crash (reshard-on-restore).
+        assert any(t.shards_before != t.shards_after for t in report.trials)
+
+
+class TestTargetedTrials:
+    @pytest.mark.parametrize("shards_after", [1, 2, 4])
+    def test_reshard_on_restore(self, fleet, tmp_path, shards_after):
+        deployments, merged, expected = fleet
+        result = run_fleet_trial(
+            deployments,
+            merged,
+            expected,
+            str(tmp_path),
+            kill_index=len(merged) // 2,
+            checkpoint_index=len(merged) // 4,
+            shards_before=2,
+            shards_after=shards_after,
+        )
+        assert result.ok, result
+        assert result.checkpointed
+
+    def test_torn_home_journal(self, fleet, tmp_path):
+        deployments, merged, expected = fleet
+        result = run_fleet_trial(
+            deployments,
+            merged,
+            expected,
+            str(tmp_path),
+            kill_index=len(merged) // 2,
+            torn=True,
+        )
+        assert result.ok, result
+        assert result.torn
+
+    def test_dead_letters_account_for_every_alert(self, fleet, tmp_path):
+        deployments, merged, expected = fleet
+        result = run_fleet_trial(
+            deployments,
+            merged,
+            expected,
+            str(tmp_path),
+            kill_index=len(merged) // 2,
+            flaky_failures=99,
+            max_attempts=2,
+        )
+        assert result.parity
+        assert result.delivery_ok
+        assert result.delivered == 0
+        assert result.dead_letters == sum(len(a) for a in expected.values())
+
+
+class TestRecoverGuards:
+    def test_recover_without_checkpoint_or_gateway_fails(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no fleet checkpoint"):
+            DurableFleetGateway.recover({}, tmp_path / "journals")
+
+    def test_sidecar_written_with_checkpoint(self, fleet, tmp_path):
+        import json
+        import os
+
+        from repro.durability import DURABILITY_SCHEMA
+        from repro.faults.crash import _fresh_fleet
+
+        deployments, merged, _ = fleet
+        detectors = {dep.home_id: dep.fit_detector() for dep in deployments}
+        durable = DurableFleetGateway(
+            _fresh_fleet(deployments, detectors, 2), tmp_path / "journals"
+        )
+        durable.dispatch(merged[: len(merged) // 4])
+        durable.save_checkpoint(tmp_path / "ckpt")
+        durable.close()
+        sidecar_path = os.path.join(tmp_path, "ckpt", DURABILITY_SIDECAR)
+        with open(sidecar_path, "r", encoding="utf-8") as handle:
+            sidecar = json.load(handle)
+        assert sidecar["schema"] == DURABILITY_SCHEMA
+        assert set(sidecar["journal_epochs"]) == {d.home_id for d in deployments}
+
+    def test_health_reports_per_home_epochs(self, fleet, tmp_path):
+        from repro.faults.crash import _fresh_fleet
+
+        deployments, merged, _ = fleet
+        detectors = {dep.home_id: dep.fit_detector() for dep in deployments}
+        durable = DurableFleetGateway(
+            _fresh_fleet(deployments, detectors, 2), tmp_path / "journals"
+        )
+        durable.dispatch(merged[:50])
+        report = durable.health()
+        assert set(report["durability"]["journal_epochs"]) == {
+            d.home_id for d in deployments
+        }
+        durable.close()

@@ -1,0 +1,206 @@
+"""Standalone crash recovery: checkpoint + journal tail == uninterrupted.
+
+The chaos harness is the test: seeded deployments, randomized kill
+points (some mid-journal-write), recovery, byte-level alert-stream
+comparison.  The targeted tests underneath pin the individual failure
+modes — torn tails, crash-before-first-checkpoint, counter exactness —
+so a chaos regression localizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.durability import DurableOnlineDice
+from repro.faults import (
+    baseline_standalone,
+    build_chaos_deployment,
+    canonical_alerts,
+    run_chaos_standalone,
+    run_standalone_trial,
+    tear_final_record,
+)
+from repro.faults.crash import ALERTS_TOTAL, LATENESS_SECONDS, POLICY, _counter_total
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return build_chaos_deployment(42)
+
+
+@pytest.fixture(scope="module")
+def expected(deployment):
+    return baseline_standalone(deployment)
+
+
+class TestChaosBatch:
+    def test_25_seeded_kill_points_all_recover(self, tmp_path):
+        report = run_chaos_standalone(
+            str(tmp_path), deployments=5, kills_per_deployment=5, seed=0
+        )
+        summary = report.summary()
+        assert summary["trials"] == 25
+        assert report.ok, summary
+        # The batch must actually exercise the interesting regimes.
+        assert summary["torn_trials"] >= 3
+        assert summary["checkpointed_trials"] >= 5
+        assert summary["delivered"] > 0
+        assert summary["dead_letters"] == 0
+
+
+class TestTargetedTrials:
+    def test_crash_without_checkpoint(self, deployment, expected, tmp_path):
+        result = run_standalone_trial(
+            deployment,
+            expected,
+            str(tmp_path),
+            kill_index=len(deployment.events) // 2,
+        )
+        assert result.ok
+        assert not result.checkpointed
+
+    def test_crash_after_checkpoint(self, deployment, expected, tmp_path):
+        n = len(deployment.events)
+        result = run_standalone_trial(
+            deployment,
+            expected,
+            str(tmp_path),
+            kill_index=(3 * n) // 4,
+            checkpoint_index=n // 2,
+        )
+        assert result.ok
+        assert result.checkpointed
+
+    def test_torn_final_record_is_discarded_and_refed(self, deployment, expected, tmp_path):
+        result = run_standalone_trial(
+            deployment,
+            expected,
+            str(tmp_path),
+            kill_index=len(deployment.events) // 2,
+            torn=True,
+        )
+        assert result.ok
+        assert result.torn
+
+    @pytest.mark.parametrize("fsync", ["interval", "always"])
+    def test_stricter_fsync_policies_recover_too(
+        self, deployment, expected, tmp_path, fsync
+    ):
+        result = run_standalone_trial(
+            deployment,
+            expected,
+            str(tmp_path),
+            kill_index=len(deployment.events) // 3,
+            fsync=fsync,
+        )
+        assert result.ok
+
+    def test_retry_exhaustion_dead_letters_instead_of_losing(
+        self, deployment, expected, tmp_path
+    ):
+        # Sink worse than the attempt budget: nothing is delivered, but
+        # every expected alert is accounted for in the dead-letter file.
+        result = run_standalone_trial(
+            deployment,
+            expected,
+            str(tmp_path),
+            kill_index=len(deployment.events) // 2,
+            flaky_failures=99,
+            max_attempts=2,
+        )
+        assert result.parity
+        assert result.delivery_ok
+        assert result.delivered == 0
+        assert result.dead_letters == len(expected)
+
+
+class TestDurableRuntime:
+    def test_recover_counters_match_uninterrupted(self, deployment, expected, tmp_path):
+        events = deployment.events
+        cut = len(events) // 2
+        durable = DurableOnlineDice(
+            deployment.fit_detector(),
+            tmp_path / "journal",
+            start=deployment.split,
+            lateness_seconds=LATENESS_SECONDS,
+            policy=POLICY,
+        )
+        durable.ingest_many(events[:cut])
+        durable.save_checkpoint(tmp_path / "ckpt.json")
+        at_ckpt = _counter_total(durable.metrics, ALERTS_TOTAL)
+        prefix = list(durable.alerts)
+        durable.ingest_many(events[cut : cut + 5])
+        durable.close()
+
+        recovered, replayed = DurableOnlineDice.recover(
+            deployment.fit_detector(),
+            tmp_path / "journal",
+            checkpoint_path=tmp_path / "ckpt.json",
+            start=deployment.split,
+            lateness_seconds=LATENESS_SECONDS,
+            policy=POLICY,
+        )
+        assert _counter_total(recovered.metrics, ALERTS_TOTAL) >= at_ckpt
+        recovered.ingest_many(events[cut + 5 :])
+        recovered.finish_stream(deployment.end)
+        recovered.close()
+        assert canonical_alerts(prefix + recovered.alerts) == canonical_alerts(expected)
+        assert _counter_total(recovered.metrics, ALERTS_TOTAL) == float(len(expected))
+
+    def test_fresh_runtime_over_dirty_journal_rotates(self, deployment, tmp_path):
+        first = DurableOnlineDice(
+            deployment.fit_detector(),
+            tmp_path / "journal",
+            start=deployment.split,
+        )
+        first.ingest_many(deployment.events[:10])
+        first.close()
+        epoch_before = first.journal.epoch
+        # A *fresh* (non-recovery) runtime must never extend a segment
+        # from an earlier life.
+        second = DurableOnlineDice(
+            deployment.fit_detector(),
+            tmp_path / "journal",
+            start=deployment.split,
+        )
+        assert second.journal.epoch == epoch_before + 1
+        second.close()
+
+    def test_tear_helper_cuts_partial_frame(self, deployment, tmp_path):
+        durable = DurableOnlineDice(
+            deployment.fit_detector(),
+            tmp_path / "journal",
+            start=deployment.split,
+        )
+        durable.ingest_many(deployment.events[:10])
+        durable.close()
+        cut = tear_final_record(
+            str(tmp_path / "journal"),
+            deployment.events[9],
+            np.random.default_rng(0),
+        )
+        assert cut > 0
+        # Recovery discards exactly the torn record and replays the rest.
+        recovered, _ = DurableOnlineDice.recover(
+            deployment.fit_detector(),
+            tmp_path / "journal",
+            start=deployment.split,
+        )
+        replayed = _counter_total(
+            recovered.metrics, "dice_journal_replayed_total"
+        )
+        torn = _counter_total(recovered.metrics, "dice_journal_torn_records_total")
+        assert replayed == 9.0
+        assert torn == 1.0
+        recovered.close()
+
+    def test_health_reports_durability_section(self, deployment, tmp_path):
+        durable = DurableOnlineDice(
+            deployment.fit_detector(),
+            tmp_path / "journal",
+            start=deployment.split,
+        )
+        durable.ingest_many(deployment.events[:5])
+        report = durable.health()
+        assert report["durability"]["journal_epoch"] == durable.journal.epoch
+        assert report["durability"]["alert_seq"] == durable.alert_seq
+        durable.close()

@@ -140,6 +140,33 @@ def test_restore_requires_every_detector(
         restore_fleet(partial, tmp_path)
 
 
+def test_restore_names_home_with_missing_snapshot(
+    fleet_homes, fleet_detectors, tmp_path
+):
+    gateway = _fresh_gateway(fleet_homes, fleet_detectors)
+    replay_fleet(gateway, fleet_homes, finish=False)
+    gateway.save_checkpoint(tmp_path)
+    manifest = load_fleet_manifest(tmp_path)
+    victim = sorted(manifest["homes"])[0]
+    os.remove(tmp_path / manifest["homes"][victim]["file"])
+    with pytest.raises(CheckpointError, match=f"missing snapshot.*{victim}"):
+        restore_fleet(fleet_detectors, tmp_path)
+
+
+def test_restore_names_home_with_fingerprint_mismatch(
+    fleet_homes, fleet_detectors, tmp_path
+):
+    gateway = _fresh_gateway(fleet_homes, fleet_detectors)
+    replay_fleet(gateway, fleet_homes, finish=False)
+    gateway.save_checkpoint(tmp_path)
+    manifest = load_fleet_manifest(tmp_path)
+    victim = sorted(manifest["homes"])[1]
+    manifest["homes"][victim]["model"]["num_groups"] += 1
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(CheckpointError, match=f"{victim}.*different\\s+model"):
+        restore_fleet(fleet_detectors, tmp_path)
+
+
 def test_manifest_validation_rejects_garbage(tmp_path):
     path = tmp_path / MANIFEST_NAME
     path.write_text(json.dumps({"schema": "something-else/9"}))

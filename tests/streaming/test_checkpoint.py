@@ -230,3 +230,31 @@ class TestCheckpointFile:
     def test_not_a_checkpoint_rejected(self, detector):
         with pytest.raises(CheckpointError):
             restore_runtime(detector, {"hello": "world"})
+
+    def test_missing_file_raises_checkpoint_error_naming_path(self, tmp_path):
+        path = tmp_path / "nowhere.ckpt.json"
+        with pytest.raises(CheckpointError, match="cannot read checkpoint") as exc:
+            load_checkpoint(path)
+        assert str(path) in str(exc.value)
+
+    def test_corrupt_file_raises_checkpoint_error_naming_path(self, tmp_path):
+        path = tmp_path / "gateway.ckpt.json"
+        path.write_text("{this is not json")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint") as exc:
+            load_checkpoint(path)
+        assert str(path) in str(exc.value)
+
+    def test_truncated_file_raises_checkpoint_error(
+        self, detector, live_events, tmp_path
+    ):
+        # A crash mid-write without the atomic rename would leave half a
+        # JSON document; loading it must be one actionable error, not a
+        # JSONDecodeError traceback.
+        runtime = _runtime(detector, 3.0 * HOUR)
+        runtime.ingest_many(live_events[: len(live_events) // 3])
+        path = tmp_path / "gateway.ckpt.json"
+        save_checkpoint(runtime, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            load_checkpoint(path)

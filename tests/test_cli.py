@@ -88,6 +88,53 @@ class TestStream:
         )
         assert code == 2
 
+    def test_journal_and_alert_delivery(self, tmp_path, capsys):
+        import json
+
+        journal = tmp_path / "journal"
+        alerts_out = tmp_path / "alerts.jsonl"
+        code = main(
+            self.ARGS
+            + ["--journal-dir", str(journal), "--alerts-out", str(alerts_out)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alerts delivered:" in out
+        assert journal.is_dir()
+        if alerts_out.exists():  # only created when alerts actually fired
+            for line in alerts_out.read_text().splitlines():
+                assert "id" in json.loads(line)
+
+    def test_alerts_out_requires_journal_dir(self, tmp_path):
+        assert (
+            main(self.ARGS + ["--alerts-out", str(tmp_path / "alerts.jsonl")]) == 2
+        )
+
+    def test_journal_checkpoint_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "journal"
+        ckpt = tmp_path / "gateway.json"
+        args = self.ARGS + ["--journal-dir", str(journal)]
+        assert main(args + ["--save-checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume", str(ckpt)]) == 0
+        captured = capsys.readouterr()
+        assert "resumed from checkpoint + journal tail" in captured.err
+        assert "streamed" in captured.out
+
+    def test_corrupt_checkpoint_is_one_actionable_line(self, tmp_path, capsys):
+        ckpt = tmp_path / "bad.json"
+        ckpt.write_text("{torn mid-write")
+        journal = tmp_path / "journal"
+        code = main(
+            self.ARGS
+            + ["--journal-dir", str(journal), "--resume", str(ckpt)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "resume_failed" in err
+        assert "corrupt checkpoint" in err
+        assert str(ckpt) in err
+
     def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
         import json
 
@@ -162,6 +209,35 @@ class TestFleet:
 
     def test_resume_garbage_exit_2(self, tmp_path):
         assert main(self.ARGS + ["--resume", str(tmp_path / "nope")]) == 2
+
+
+class TestChaos:
+    def test_standalone_smoke(self, tmp_path, capsys):
+        code = main(
+            [
+                "chaos", "--mode", "standalone",
+                "--deployments", "1", "--kills", "2", "--seed", "0",
+                "--workdir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "standalone: 2 trials" in out
+        assert "OK" in out
+        assert "FAIL" not in out
+
+    def test_fleet_smoke(self, tmp_path, capsys):
+        code = main(
+            [
+                "chaos", "--mode", "fleet",
+                "--fleets", "1", "--fleet-kills", "2", "--homes", "2",
+                "--seed", "0", "--workdir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 trials" in out
+        assert "OK" in out
 
 
 class TestMetrics:
@@ -244,6 +320,10 @@ class TestBench:
         assert doc["scan"][0]["groups"] == 40
         assert doc["eval"]["aggregates_identical"] is True
         assert [run["workers"] for run in doc["eval"]["runs"]] == [1, 2]
+        assert doc["journal"]["alerts_identical"] is True
+        assert set(doc["journal"]["overhead_ratio"]) == {
+            "never", "interval", "always",
+        }
 
         # The validator is what CI gates on: it must reject mutations.
         bad = dict(doc, schema="nope")
