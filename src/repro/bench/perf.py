@@ -21,7 +21,10 @@ regress against:
   asserting per-home alerts stay byte-identical across shard counts;
 * **journal** — the durable gateway's write-ahead journal cost: the same
   live stream through a plain hardened runtime vs a journaled one under
-  each fsync policy (budget: ≤ 1.5x under ``fsync=never``).
+  each fsync policy (budget: ≤ 1.5x under ``fsync=never``);
+* **scenarios** — the scenario-matrix harness (``repro scenarios``) over
+  the drift refresh A/B cells, so the cost of a robustness sweep and the
+  graceful-degradation delta both stay on the trajectory.
 
 All workloads are seeded and synthetic — the harness needs no dataset
 files and produces no timing *assertions* (CI runs it as a smoke test;
@@ -47,8 +50,8 @@ from ..model import DeviceRegistry, SensorType, binary_sensor
 
 #: /2 added the ``telemetry`` overhead section; /3 added the ``fleet``
 #: homes x shards scaling section; /4 added the ``journal`` write-ahead
-#: journal overhead section.
-BENCH_SCHEMA = "dice-bench-perf/4"
+#: journal overhead section; /5 added the ``scenarios`` matrix section.
+BENCH_SCHEMA = "dice-bench-perf/5"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -538,6 +541,45 @@ def bench_journal(seed: int, hours: float = 4.5, repeats: int = 3) -> Dict:
     }
 
 
+def bench_scenarios(seed: int, trials: int = 1) -> Dict:
+    """Scenario-matrix wall clock over the drift refresh A/B cells.
+
+    Runs the graceful-degradation pair(s) through the full harness —
+    seeded injection, streaming runtime, report assembly, schema
+    validation — and records both the cost and the sustained-alert-rate
+    delta the refresh buys, so a regression in either shows up on the
+    trajectory."""
+    from ..scenarios import (
+        ScenarioCell,
+        ScenarioSettings,
+        build_report,
+        refresh_pairs,
+        run_matrix,
+        validate_report,
+    )
+
+    cells = [
+        ScenarioCell("drift", variant, "synthetic", refresh=refresh)
+        for variant in ("seasonal_shift", "device_replacement")
+        for refresh in (False, True)
+    ]
+    settings = ScenarioSettings(trials=trials)
+    t0 = time.perf_counter()
+    results = run_matrix(cells, seed=seed, settings=settings)
+    seconds = time.perf_counter() - t0
+    doc = validate_report(
+        build_report(results, seed=seed, settings=settings)
+    )
+    return {
+        "cells": len(cells),
+        "trials": int(trials),
+        "seconds": seconds,
+        "cells_per_s": len(cells) / seconds if seconds > 0 else 0.0,
+        "report_valid": True,
+        "refresh_pairs": refresh_pairs(doc),
+    }
+
+
 # --------------------------------------------------------------------- #
 # Driver
 # --------------------------------------------------------------------- #
@@ -561,6 +603,7 @@ def run_benchmarks(
         fleet_homes, fleet_shards = [2, 4], [1, 2, 4]
         fleet_hours, fleet_train = 30.0, 24.0
         journal_hours = 4.5
+        scenario_trials = 1
     else:
         groups = groups or 500
         windows = windows or 5000
@@ -569,6 +612,7 @@ def run_benchmarks(
         fleet_homes, fleet_shards = [4, 8, 16], [1, 2, 4, 8]
         fleet_hours, fleet_train = 48.0, 36.0
         journal_hours = 8.0
+        scenario_trials = 3
     cpus = os.cpu_count() or 1
     if workers_list is None:
         workers_list = [1, 2] if cpus == 1 else sorted({1, 2, cpus})
@@ -592,6 +636,7 @@ def run_benchmarks(
             fleet_homes, fleet_shards, fleet_hours, fleet_train, seed
         ),
         "journal": bench_journal(seed, hours=journal_hours),
+        "scenarios": bench_scenarios(seed, trials=scenario_trials),
     }
     validate_document(doc)
     return doc
@@ -787,4 +832,38 @@ def validate_document(doc: Dict) -> Dict:
         journal.get("alerts_identical") is True,
         "journal.alerts_identical must be true (journaling changed alerts)",
     )
+
+    scenarios = doc.get("scenarios")
+    _require(isinstance(scenarios, dict), "scenarios must be an object")
+    for key in ("cells", "trials"):
+        _require(
+            isinstance(scenarios.get(key), int) and scenarios[key] >= 1,
+            f"scenarios.{key} must be a positive int",
+        )
+    for key in ("seconds", "cells_per_s"):
+        _require(
+            isinstance(scenarios.get(key), (int, float)) and scenarios[key] >= 0,
+            f"scenarios.{key} must be a non-negative number",
+        )
+    _require(
+        scenarios.get("report_valid") is True,
+        "scenarios.report_valid must be true (scenario report failed validation)",
+    )
+    pairs = scenarios.get("refresh_pairs")
+    _require(
+        isinstance(pairs, list) and pairs,
+        "scenarios.refresh_pairs must be a non-empty list",
+    )
+    for pair in pairs:
+        _require(
+            isinstance(pair, dict) and isinstance(pair.get("variant"), str),
+            "scenarios.refresh_pairs[].variant must be a string",
+        )
+        for key in ("plain", "refresh"):
+            _require(
+                pair.get(key) is None
+                or (isinstance(pair[key], (int, float)) and pair[key] >= 0),
+                f"scenarios.refresh_pairs[].{key} must be a "
+                "non-negative number or null",
+            )
     return doc

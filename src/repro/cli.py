@@ -22,10 +22,14 @@ The subcommands cover the everyday workflows:
   uninterrupted run, standalone and fleet (exit 1 on any mismatch);
 * ``metrics`` — render a telemetry snapshot as a table, Prometheus text
   exposition, or JSON;
+* ``scenarios`` — the robustness matrix: sweep fault class x dataset x
+  arity x attacks x drift x refresh stance through the streaming runtime
+  and print per-cell precision/recall/detection-time (``-o`` writes the
+  schema-validated deterministic report JSON);
 * ``bench`` — time the detection hot paths (fit, scalar vs memoised vs
   batched correlation scan, parallel evaluation, telemetry overhead, fleet
-  homes x shards scaling, write-ahead journal overhead) and write
-  ``BENCH_perf.json``.
+  homes x shards scaling, write-ahead journal overhead, the scenario
+  matrix) and write ``BENCH_perf.json``.
 
 Primary results go to **stdout**; diagnostics (resume/checkpoint notices,
 errors, state changes) go through the structured logger on stderr —
@@ -52,6 +56,8 @@ def _worker_count(text: str) -> int:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from .faults import models as fault_models
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DICE reproduction: faulty-IoT-device detection in smart homes",
@@ -266,11 +272,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument(
+        "--fault-class",
+        choices=[t.value for t in fault_models.ALL_FAULT_TYPES],
+        default=fault_models.FaultType.FAIL_STOP.value,
+        help="device fault injected into every chaos victim "
+        "(default: fail_stop, the original harness behaviour)",
+    )
+    chaos.add_argument(
         "--fsync", choices=["never", "interval", "always"], default="never"
     )
     chaos.add_argument(
         "--workdir", default=None, metavar="DIR",
         help="keep trial artifacts under DIR (default: a temp dir)",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="scenario-matrix robustness sweep: fault classes, attacks and "
+        "concept drift through the streaming runtime",
+    )
+    scenarios.add_argument("--seed", type=int, default=7)
+    scenarios.add_argument(
+        "--trials", type=int, default=3, help="trials per cell"
+    )
+    scenarios.add_argument(
+        "--cells", default=None, metavar="FILTERS",
+        help="comma-separated substrings matched against cell ids "
+        "(e.g. 'drift,attack:temperature'); default: the full matrix",
+    )
+    scenarios.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="write the validated report JSON to PATH",
+    )
+    scenarios.add_argument(
+        "--list", action="store_true", dest="list_cells",
+        help="print the cell ids of the (filtered) matrix and exit",
     )
 
     metrics = sub.add_parser(
@@ -688,6 +724,9 @@ def _cmd_chaos(args) -> int:
     import tempfile
 
     from .faults.crash import run_chaos_fleet, run_chaos_standalone
+    from .faults.models import FaultType
+
+    fault_class = FaultType(args.fault_class)
 
     def run(base: str) -> int:
         failed = 0
@@ -698,6 +737,7 @@ def _cmd_chaos(args) -> int:
                 kills_per_deployment=args.kills,
                 seed=args.seed,
                 fsync=args.fsync,
+                fault_class=fault_class,
             )
             summary = report.summary()
             print(
@@ -726,6 +766,7 @@ def _cmd_chaos(args) -> int:
                 num_homes=args.homes,
                 seed=args.seed,
                 fsync=args.fsync,
+                fault_class=fault_class,
             )
             summary = report.summary()
             print(
@@ -754,6 +795,43 @@ def _cmd_chaos(args) -> int:
         return run(args.workdir)
     with tempfile.TemporaryDirectory(prefix="dice-chaos-") as base:
         return run(base)
+
+
+def _cmd_scenarios(args) -> int:
+    from .scenarios import (
+        ScenarioSettings,
+        build_report,
+        default_matrix,
+        refresh_pairs,
+        render_table,
+        run_matrix,
+        select_cells,
+        write_report,
+    )
+
+    filters = args.cells.split(",") if args.cells else None
+    try:
+        cells = select_cells(default_matrix(), filters)
+    except ValueError as exc:
+        _log.error("bad_cell_filter", error=str(exc))
+        return 2
+    if args.list_cells:
+        for cell in cells:
+            print(cell.cell_id)
+        return 0
+    settings = ScenarioSettings(trials=args.trials)
+    results = run_matrix(cells, seed=args.seed, settings=settings)
+    doc = build_report(results, seed=args.seed, settings=settings)
+    print(render_table(doc))
+    for pair in refresh_pairs(doc):
+        print(
+            f"drift {pair['variant']}: sustained alerts/h "
+            f"{pair['plain']} (plain) -> {pair['refresh']} (refresh)"
+        )
+    if args.out:
+        write_report(doc, args.out)
+        print(f"wrote scenario report to {args.out}")
+    return 0
 
 
 def _cmd_metrics(args) -> int:
@@ -848,6 +926,16 @@ def _cmd_bench(args) -> int:
         f"(interval {journal['overhead_ratio']['interval']:.2f}x, "
         f"always {journal['overhead_ratio']['always']:.2f}x)"
     )
+    scenarios = doc["scenarios"]
+    print(
+        f"scenarios: {scenarios['cells']} cells x {scenarios['trials']} trials "
+        f"in {scenarios['seconds']:.2f}s"
+    )
+    for pair in scenarios["refresh_pairs"]:
+        print(
+            f"scenarios drift {pair['variant']}: sustained alerts/h "
+            f"{pair['plain']} (plain) -> {pair['refresh']} (refresh)"
+        )
     print(f"wrote {args.output}")
     return 0
 
@@ -870,6 +958,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_fleet(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
         if args.command == "bench":

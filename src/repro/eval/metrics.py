@@ -112,3 +112,39 @@ class TimingStats:
 def mean_or_none(values: Iterable[float]) -> Optional[float]:
     values = list(values)
     return float(np.mean(values)) if values else None
+
+
+def detection_as_dict(counts: DetectionCounts) -> dict:
+    """Per-cell JSON rendering of the confusion counts (scenario report)."""
+    return {
+        "tp": counts.true_positives,
+        "fn": counts.false_negatives,
+        "fp": counts.false_positives,
+        "tn": counts.true_negatives,
+        "precision": counts.precision,
+        "recall": counts.recall,
+    }
+
+
+def identification_as_dict(counts: IdentificationCounts) -> dict:
+    """Per-cell JSON rendering of the identification tallies."""
+    return {
+        "correct": counts.correct,
+        "named": counts.named,
+        "actual": counts.actual,
+        "precision": counts.precision,
+        "recall": counts.recall,
+    }
+
+
+def alerts_per_hour(
+    alert_times: Iterable[float], window_start: float, window_end: float
+) -> Optional[float]:
+    """Sustained alert rate over ``[window_start, window_end)`` in events
+    per hour — the graceful-degradation metric the drift cells compare
+    across the refresh A/B.  ``None`` when the window is empty."""
+    span = window_end - window_start
+    if span <= 0:
+        return None
+    count = sum(1 for t in alert_times if window_start <= t < window_end)
+    return count / (span / 3600.0)

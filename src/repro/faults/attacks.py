@@ -11,16 +11,32 @@ testbed:
 
 Both are rendered as value-injection on the victim sensor: spoofed
 readings at a steady reporting cadence, starting at the attack onset.
+Beyond the paper, :func:`coordinated_attack` spoofs several sensors at
+once (an Aegis-style multi-sensor campaign) — the attacker tries to forge
+a *consistent* context rather than one anomalous reading.
+
+Streaming composition
+---------------------
+An attack window does not stop at the trace boundary: when spoofed frames
+are injected into a *live* hardened runtime, some of them may carry
+timestamps at or behind the reorder buffer's watermark (a replaying
+attacker, or frames delayed past the lateness budget).  Those events must
+never vanish silently — the ingest path records each one as a structured
+``DroppedEvent`` (``too_late`` behind the watermark, ``before_start``
+behind the stream start).  :func:`attack_events` exposes the exact list of
+injected frames, and :attr:`Attack.injected_events` carries their count,
+so a runner can reconcile *injected == windowed + dropped* event for
+event; the test suite pins that invariant at the watermark boundary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..model import Trace
+from ..model import Event, Trace
 from .models import InjectedFault, FaultType, _add_events, _scale_of
 
 
@@ -31,11 +47,44 @@ class Attack:
     victim_device_id: str
     onset: float
     spoof_value: float
-    kind: str  # "temperature" or "light"
+    kind: str  # "temperature", "light", "coordinated", or "generic"
+    #: Number of spoofed frames actually injected inside the trace
+    #: interval — the accounting anchor for drop reconciliation.
+    injected_events: int = 0
+    #: Spoofed reporting cadence in seconds.
+    report_period: float = 30.0
 
     def as_fault(self) -> InjectedFault:
         """Attacks look like stuck-at-a-wrong-value faults to a detector."""
         return InjectedFault(self.victim_device_id, FaultType.STUCK_AT, self.onset)
+
+
+def attack_events(trace: Trace, attack: Attack) -> List[Event]:
+    """The spoofed frames an attack injects, as loose events.
+
+    This is the stream-level rendering of the same attack window: a runner
+    that feeds a hardened runtime event-by-event merges these into the
+    live feed instead of rebuilding the trace, and every frame that falls
+    at or behind the runtime's watermark is *ingested anyway* so the drop
+    log records it — silent pre-filtering is exactly the hole the ingest
+    guard exists to close.
+    """
+    times = _attack_times(trace, attack.onset, attack.report_period)
+    return [
+        Event(float(t), attack.victim_device_id, attack.spoof_value)
+        for t in times
+    ]
+
+
+def _attack_times(trace: Trace, onset: float, report_period: float) -> np.ndarray:
+    """Spoof timestamps clipped to the trace interval.
+
+    The clip is explicit (rather than relying on downstream silent
+    filtering) so ``injected_events`` always equals the number of frames
+    that really exist in the attacked trace.
+    """
+    times = np.arange(onset, trace.end, report_period)
+    return times[(times >= trace.start) & (times < trace.end)]
 
 
 def spoof_sensor_high(
@@ -54,11 +103,18 @@ def spoof_sensor_high(
     if spoof_value is None:
         scale = _scale_of(trace, device_id)
         spoof_value = scale.high + 1.5 * scale.span
-    times = np.arange(onset, trace.end, report_period)
+    times = _attack_times(trace, onset, report_period)
     attacked = _add_events(
         trace, device_id, times, np.full(len(times), spoof_value)
     )
-    return attacked, Attack(device_id, onset, float(spoof_value), kind)
+    return attacked, Attack(
+        device_id,
+        onset,
+        float(spoof_value),
+        kind,
+        injected_events=len(times),
+        report_period=float(report_period),
+    )
 
 
 def temperature_attack(
@@ -79,3 +135,32 @@ def light_attack(
     return spoof_sensor_high(
         trace, device_id, onset, spoof_value=lux, kind="light"
     )
+
+
+def coordinated_attack(
+    trace: Trace,
+    device_ids: Sequence[str],
+    onset: float,
+    report_period: float = 30.0,
+) -> "tuple[Trace, Tuple[Attack, ...]]":
+    """Spoof several sensors high at once, starting at the same onset.
+
+    The victims report at slightly staggered cadences (``report_period``
+    plus one second per victim) so the spoofed frames interleave instead
+    of colliding on identical timestamps — real campaign traffic, and it
+    keeps every frame distinct for the reorder buffer's duplicate check.
+    """
+    if not device_ids:
+        raise ValueError("coordinated attack needs at least one victim")
+    attacked = trace
+    attacks: List[Attack] = []
+    for i, device_id in enumerate(sorted(device_ids)):
+        attacked, attack = spoof_sensor_high(
+            attacked,
+            device_id,
+            onset,
+            report_period=report_period + float(i),
+            kind="coordinated",
+        )
+        attacks.append(attack)
+    return attacked, tuple(attacks)

@@ -48,6 +48,7 @@ from ..durability import (
 from ..fleet import FleetGateway
 from ..model import DeviceRegistry, Event, SensorType, Trace, actuator, binary_sensor, numeric_sensor
 from ..streaming import Alert, HardenedOnlineDice, SupervisorPolicy
+from .models import FaultType, InjectedFault, apply_fault
 from .pipe import PipeFaultInjector, PipeFaultSpec, PipeFaultType
 
 _log = telemetry.get_logger("repro.faults.crash")
@@ -126,6 +127,7 @@ class ChaosDeployment:
     events: List[Event]  # live arrival sequence, pipe faults applied
     fault_device: str
     fault_time: float
+    fault_class: FaultType = FaultType.FAIL_STOP
 
     @property
     def end(self) -> float:
@@ -144,14 +146,19 @@ class ChaosDeployment:
 
 
 def build_chaos_deployment(
-    seed: int, home_id: str = "home-0000", *, hours: float = 4.5
+    seed: int,
+    home_id: str = "home-0000",
+    *,
+    hours: float = 4.5,
+    fault_class: FaultType = FaultType.FAIL_STOP,
 ) -> ChaosDeployment:
-    """A pure function of ``(seed, home_id, hours)``.
+    """A pure function of ``(seed, home_id, hours, fault_class)``.
 
-    The live segment carries a seeded fail-stop (one motion sensor goes
-    silent) plus reorder/duplicate/corrupt pipe faults, so crash points
-    land among detections, open identification sessions, quarantines and
-    guarded drops — the states a recovery must reproduce.
+    The live segment carries a seeded device fault — fail-stop by default
+    (one motion sensor goes silent), or any Ch. IV.2 class via
+    *fault_class* — plus reorder/duplicate/corrupt pipe faults, so crash
+    points land among detections, open identification sessions,
+    quarantines and guarded drops — the states a recovery must reproduce.
     """
     rng = np.random.default_rng(seed)
     phase = float(rng.choice([480.0, 600.0, 720.0]))
@@ -162,9 +169,21 @@ def build_chaos_deployment(
     sensors = [d.device_id for d in registry if not d.is_actuator][:2]
     victim = sensors[int(rng.integers(len(sensors)))]
     fault_time = split + (0.3 + 0.4 * float(rng.random())) * (trace.end - split)
-    live = [
-        e for e in live if not (e.device_id == victim and e.timestamp >= fault_time)
-    ]
+    if fault_class is FaultType.FAIL_STOP:
+        # Kept as the original event-list filter so pre-existing seeds
+        # reproduce byte-identical deployments.
+        live = [
+            e
+            for e in live
+            if not (e.device_id == victim and e.timestamp >= fault_time)
+        ]
+    else:
+        faulty = apply_fault(
+            trace,
+            InjectedFault(victim, fault_class, fault_time),
+            np.random.default_rng(seed + 2),
+        )
+        live = list(faulty.slice(split, faulty.end))
     injector = PipeFaultInjector(
         np.random.default_rng(seed + 1),
         [
@@ -181,6 +200,7 @@ def build_chaos_deployment(
         events=injector.apply(live),
         fault_device=victim,
         fault_time=fault_time,
+        fault_class=fault_class,
     )
 
 
@@ -439,13 +459,14 @@ def run_chaos_standalone(
     kills_per_deployment: int = 5,
     seed: int = 0,
     fsync: str = "never",
+    fault_class: FaultType = FaultType.FAIL_STOP,
 ) -> ChaosReport:
     """The standalone chaos batch: seeded deployments × random kill points."""
     report = ChaosReport()
     rng = np.random.default_rng(seed)
     for d in range(deployments):
         deploy_seed = seed * 1000 + d
-        deployment = build_chaos_deployment(deploy_seed)
+        deployment = build_chaos_deployment(deploy_seed, fault_class=fault_class)
         expected = baseline_standalone(deployment)
         for k in range(kills_per_deployment):
             n = len(deployment.events)
@@ -485,11 +506,15 @@ def run_chaos_standalone(
 
 
 def build_chaos_fleet(
-    seed: int, num_homes: int = 3
+    seed: int,
+    num_homes: int = 3,
+    fault_class: FaultType = FaultType.FAIL_STOP,
 ) -> Tuple[List[ChaosDeployment], List[Tuple[str, Event]]]:
     """*num_homes* chaos deployments plus their merged arrival stream."""
     deployments = [
-        build_chaos_deployment(seed * 100 + i, home_id=f"home-{i:04d}")
+        build_chaos_deployment(
+            seed * 100 + i, home_id=f"home-{i:04d}", fault_class=fault_class
+        )
         for i in range(num_homes)
     ]
     merged: List[Tuple[float, int, str, Event]] = []
@@ -677,13 +702,16 @@ def run_chaos_fleet(
     seed: int = 0,
     fsync: str = "never",
     shard_choices: Sequence[int] = (1, 2, 4),
+    fault_class: FaultType = FaultType.FAIL_STOP,
 ) -> ChaosReport:
     """The fleet chaos batch, resharding on roughly half the restores."""
     report = ChaosReport()
     rng = np.random.default_rng(seed + 7)
     for f in range(fleets):
         fleet_seed = seed * 1000 + f
-        deployments, merged = build_chaos_fleet(fleet_seed, num_homes=num_homes)
+        deployments, merged = build_chaos_fleet(
+            fleet_seed, num_homes=num_homes, fault_class=fault_class
+        )
         expected = baseline_fleet(deployments, merged)
         for k in range(kills_per_fleet):
             kill_index = int(rng.integers(2, len(merged)))

@@ -1,0 +1,165 @@
+"""Concept-drift generators (beyond the paper).
+
+DICE's precomputation assumes the home's context is stationary: the group
+registry and transition matrices learned during training stay valid for
+the whole live phase.  Real homes drift — residents change routines with
+the seasons, and a dead sensor gets replaced by a unit with different
+timing and calibration.  Unlike the Ch. IV.2 faults, drift is *not* a
+device failure: the post-onset behaviour is perfectly healthy, just
+different, so a detector without any adaptation path alerts forever.
+
+Two renderings, both pure transformations of a trace:
+
+* **seasonal shift** — a subset of the home's sensors moves its activity
+  by a fixed offset (dinner an hour later, blinds on a winter schedule).
+  Co-activation windows now mix phases that never co-occurred in
+  training, so the learned groups stop matching — sustained correlation
+  violations until the context is refreshed.
+* **device replacement** — one device is swapped mid-stream: the
+  replacement reports on a lagged schedule and (numeric) with a
+  calibration bias.  A single-device, permanent version of the same
+  stationarity break.
+
+Both are stationary *after* the onset: the drifted behaviour repeats, so
+an online context refresh (``repro.streaming.refresh``) can re-learn it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..model import Trace
+
+
+class DriftType(enum.Enum):
+    SEASONAL_SHIFT = "seasonal_shift"
+    DEVICE_REPLACEMENT = "device_replacement"
+
+
+#: Every drift rendering, in reporting order.
+ALL_DRIFT_TYPES = (DriftType.SEASONAL_SHIFT, DriftType.DEVICE_REPLACEMENT)
+
+
+@dataclass(frozen=True)
+class InjectedDrift:
+    """Ground truth describing one concept-drift episode."""
+
+    drift_type: DriftType
+    onset: float  # absolute seconds within the (drifted) trace
+    devices: Tuple[str, ...]  # the devices whose behaviour changed
+    shift_seconds: float  # timing offset applied to post-onset events
+
+
+def _shift_devices(
+    trace: Trace,
+    device_ids: Tuple[str, ...],
+    onset: float,
+    shift_seconds: float,
+    value_bias: float = 0.0,
+) -> Trace:
+    """Move the post-onset events of *device_ids* by *shift_seconds*.
+
+    Events shifted past the end of the trace are discarded (the recording
+    simply ends); events are never shifted before the onset, so the drift
+    cannot leak into the training prefix.
+    """
+    indices = {trace.registry.index_of(d) for d in device_ids}
+    drifting = np.isin(trace.device_indices, list(indices)) & (
+        trace.timestamps >= onset
+    )
+    times = trace.timestamps.copy()
+    times[drifting] += shift_seconds
+    values = trace.values
+    if value_bias:
+        values = values.copy()
+        values[drifting] += value_bias
+    keep = (times >= trace.start) & (times < trace.end)
+    return trace.replace_arrays(
+        times[keep], trace.device_indices[keep], values[keep]
+    )
+
+
+def inject_seasonal_shift(
+    trace: Trace,
+    onset: float,
+    rng: np.random.Generator,
+    shift_seconds: float = 300.0,
+    fraction: float = 0.5,
+) -> "tuple[Trace, InjectedDrift]":
+    """Shift a seeded subset of the home's sensors by *shift_seconds*.
+
+    Roughly *fraction* of the (non-actuator) devices move together — a
+    coherent routine change, not independent jitter — so windows after the
+    onset mix shifted and unshifted activity into state sets the training
+    phase never produced.
+    """
+    if not trace.start <= onset < trace.end:
+        raise ValueError("drift onset must fall inside the trace interval")
+    sensors = sorted(
+        d.device_id for d in trace.registry if not d.is_actuator
+    )
+    if not sensors:
+        raise ValueError("trace has no sensors to drift")
+    count = max(1, int(round(fraction * len(sensors))))
+    chosen = tuple(
+        sorted(
+            str(d)
+            for d in rng.choice(sensors, size=min(count, len(sensors)), replace=False)
+        )
+    )
+    drifted = _shift_devices(trace, chosen, onset, shift_seconds)
+    return drifted, InjectedDrift(
+        DriftType.SEASONAL_SHIFT, onset, chosen, float(shift_seconds)
+    )
+
+
+def inject_device_replacement(
+    trace: Trace,
+    device_id: str,
+    onset: float,
+    rng: np.random.Generator,
+    lag_seconds: float = 240.0,
+    calibration_bias: float = 2.0,
+) -> "tuple[Trace, InjectedDrift]":
+    """Swap *device_id* for a replacement unit at *onset*.
+
+    The replacement follows the same household activity but reports
+    *lag_seconds* later (different debounce/reporting firmware) and, for
+    numeric sensors, with a constant calibration offset.  ``rng`` jitters
+    the lag by up to ±20% so two replacements never behave identically.
+    """
+    if device_id not in trace.registry:
+        raise KeyError(f"unknown device {device_id!r}")
+    if not trace.start <= onset < trace.end:
+        raise ValueError("drift onset must fall inside the trace interval")
+    device = trace.registry[device_id]
+    lag = float(lag_seconds) * float(1.0 + 0.4 * (rng.random() - 0.5))
+    bias = 0.0 if device.is_binary or device.is_actuator else float(calibration_bias)
+    drifted = _shift_devices(trace, (device_id,), onset, lag, value_bias=bias)
+    return drifted, InjectedDrift(
+        DriftType.DEVICE_REPLACEMENT, onset, (device_id,), lag
+    )
+
+
+def apply_drift(
+    trace: Trace,
+    drift_type: DriftType,
+    onset: float,
+    rng: np.random.Generator,
+) -> "tuple[Trace, InjectedDrift]":
+    """Dispatch on the drift type with seeded device selection."""
+    if drift_type is DriftType.SEASONAL_SHIFT:
+        return inject_seasonal_shift(trace, onset, rng)
+    if drift_type is DriftType.DEVICE_REPLACEMENT:
+        sensors = sorted(
+            d.device_id for d in trace.registry if not d.is_actuator
+        )
+        if not sensors:
+            raise ValueError("trace has no sensors to replace")
+        victim = sensors[int(rng.integers(len(sensors)))]
+        return inject_device_replacement(trace, victim, onset, rng)
+    raise ValueError(f"unhandled drift type {drift_type}")

@@ -1,0 +1,33 @@
+"""Scenario-matrix robustness harness.
+
+Sweeps fault class × dataset × single/multi-fault × detector stance
+through the **streaming** runtime and reports per-cell precision, recall
+and detection time — the living regression counterpart of the paper's
+Ch. V tables, extended with Ch. VI attacks and concept-drift cells.
+"""
+
+from .cells import ScenarioCell, default_matrix, select_cells
+from .report import (
+    SCENARIO_SCHEMA,
+    build_report,
+    refresh_pairs,
+    render_table,
+    validate_report,
+    write_report,
+)
+from .runner import ScenarioSettings, run_cell, run_matrix
+
+__all__ = [
+    "ScenarioCell",
+    "default_matrix",
+    "select_cells",
+    "SCENARIO_SCHEMA",
+    "build_report",
+    "refresh_pairs",
+    "render_table",
+    "validate_report",
+    "write_report",
+    "ScenarioSettings",
+    "run_cell",
+    "run_matrix",
+]

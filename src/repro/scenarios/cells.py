@@ -1,0 +1,114 @@
+"""Scenario-matrix cell definitions.
+
+A *cell* is one point in the sweep: what goes wrong (fault class, attack
+kind, or drift type), where (dataset), how many devices at once, and the
+detector's stance (context refresh on or off).  The default matrix covers
+every Ch. IV.2 fault class of Ni et al. (fail-stop, outlier, stuck-at,
+high-noise, spike), an actuator fault, the Ch. VI spoofing attacks plus a
+coordinated multi-sensor campaign, and both drift renderings with and
+without online context refresh — each drift pair is the graceful-
+degradation A/B the report's sustained-alert-rate column compares.
+
+Datasets: ``houseA`` (ISLA binary-sensor home) carries the sensor fault
+classes; ``D_houseA`` (the testbed, with numeric sensors and actuators)
+carries the actuator fault and the value-spoofing attacks; ``synthetic``
+is the chaos harness's cyclic home, whose stationary post-drift behaviour
+makes the refresh A/B crisp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..faults import ALL_DRIFT_TYPES, ALL_FAULT_TYPES
+
+#: Fault-cell variant for an actuator victim (rendered as fail-stop on an
+#: actuator device; the enum classes all target sensors).
+ACTUATOR_VARIANT = "actuator"
+
+KIND_FAULT = "fault"
+KIND_ATTACK = "attack"
+KIND_DRIFT = "drift"
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One point of the scenario matrix."""
+
+    kind: str  # "fault" | "attack" | "drift"
+    variant: str  # fault class / attack kind / drift type
+    dataset: str  # "houseA" | "D_houseA" | "synthetic"
+    multi: bool = False  # two simultaneous victims
+    refresh: bool = False  # online context refresh enabled
+
+    @property
+    def cell_id(self) -> str:
+        stance = "refresh" if self.refresh else "plain"
+        return f"{self.injection_id}:{stance}"
+
+    @property
+    def injection_id(self) -> str:
+        """The cell id minus the detector stance — the refresh A/B pair
+        shares it, so both sides see the *same* seeded injection."""
+        arity = "multi" if self.multi else "single"
+        return f"{self.kind}:{self.variant}:{self.dataset}:{arity}"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_FAULT, KIND_ATTACK, KIND_DRIFT):
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+
+
+def default_matrix() -> List[ScenarioCell]:
+    """The full sweep; order is the report order."""
+    cells: List[ScenarioCell] = []
+    # Ch. V sensor fault classes on houseA, single-fault.
+    for fault_type in ALL_FAULT_TYPES:
+        cells.append(ScenarioCell(KIND_FAULT, fault_type.value, "houseA"))
+    # Multi-fault variants for the two classes the paper discusses most.
+    cells.append(ScenarioCell(KIND_FAULT, "fail_stop", "houseA", multi=True))
+    cells.append(ScenarioCell(KIND_FAULT, "stuck_at", "houseA", multi=True))
+    # Actuator fault on the testbed (houseA has no actuators).
+    cells.append(ScenarioCell(KIND_FAULT, ACTUATOR_VARIANT, "D_houseA"))
+    # Ch. VI attacks on the testbed's numeric sensors.
+    cells.append(ScenarioCell(KIND_ATTACK, "temperature", "D_houseA"))
+    cells.append(ScenarioCell(KIND_ATTACK, "light", "D_houseA"))
+    cells.append(ScenarioCell(KIND_ATTACK, "coordinated", "D_houseA"))
+    # Concept drift, each rendering with the refresh A/B.
+    for drift_type in ALL_DRIFT_TYPES:
+        for refresh in (False, True):
+            cells.append(
+                ScenarioCell(
+                    KIND_DRIFT, drift_type.value, "synthetic", refresh=refresh
+                )
+            )
+    return cells
+
+
+def select_cells(
+    cells: Sequence[ScenarioCell], filters: Optional[Sequence[str]]
+) -> List[ScenarioCell]:
+    """Keep cells whose id contains any of the (stripped) filter strings.
+
+    ``None`` or an empty filter list keeps everything.  An unmatched
+    filter raises, so a typo in ``--cells`` fails loudly instead of
+    silently shrinking the sweep.
+    """
+    wanted = [f.strip() for f in (filters or []) if f.strip()]
+    if not wanted:
+        return list(cells)
+    selected: List[ScenarioCell] = []
+    matched = set()
+    for cell in cells:
+        for f in wanted:
+            if f in cell.cell_id:
+                matched.add(f)
+                if cell not in selected:
+                    selected.append(cell)
+    unmatched = [f for f in wanted if f not in matched]
+    if unmatched:
+        known = ", ".join(c.cell_id for c in cells)
+        raise ValueError(
+            f"cell filters {unmatched} match no cell; known cells: {known}"
+        )
+    return selected

@@ -1,0 +1,177 @@
+"""Scenario report document: schema, validation, rendering.
+
+The report is the scenario matrix's single artifact — one JSON document,
+written with sorted keys and no wall-clock fields, so two runs with the
+same seed are **byte-identical** (CI diffs them with ``cmp``).  The
+validator checks structure and value domains only, never measured
+numbers, so schema validation cannot flake.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from .cells import KIND_ATTACK, KIND_DRIFT, KIND_FAULT
+
+SCENARIO_SCHEMA = "dice-scenario-report/1"
+
+
+def build_report(
+    results: Sequence[dict], *, seed: int, settings: "object"
+) -> Dict:
+    """Assemble the report document around per-cell rows."""
+    return {
+        "schema": SCENARIO_SCHEMA,
+        "seed": int(seed),
+        "settings": settings.as_dict(),  # type: ignore[attr-defined]
+        "cells": list(results),
+    }
+
+
+def write_report(doc: Dict, path: str) -> None:
+    """Validate, then write deterministically (sorted keys, LF, newline)."""
+    validate_report(doc)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(payload)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(f"scenario report schema violation: {message}")
+
+
+def _check_rate(row: dict, section: str, key: str) -> None:
+    value = row[section][key]
+    _require(
+        isinstance(value, (int, float)) and 0.0 <= float(value) <= 1.0,
+        f"cell {row.get('id')!r}: {section}.{key} must be a rate in [0, 1]",
+    )
+
+
+def validate_report(doc: Dict) -> Dict:
+    """Structurally validate a scenario report document.
+
+    Raises :class:`ValueError` on any shape mismatch; returns *doc* so the
+    call can be chained.
+    """
+    _require(isinstance(doc, dict), "top level must be an object")
+    _require(
+        doc.get("schema") == SCENARIO_SCHEMA, f"schema must be {SCENARIO_SCHEMA!r}"
+    )
+    _require(isinstance(doc.get("seed"), int), "seed must be an integer")
+    _require(isinstance(doc.get("settings"), dict), "settings must be an object")
+    cells = doc.get("cells")
+    _require(isinstance(cells, list) and cells, "cells must be a non-empty list")
+    seen = set()
+    for row in cells:
+        _require(isinstance(row, dict), "each cell must be an object")
+        cell_id = row.get("id")
+        _require(isinstance(cell_id, str) and bool(cell_id), "cell id must be a string")
+        _require(cell_id not in seen, f"duplicate cell id {cell_id!r}")
+        seen.add(cell_id)
+        _require(
+            row.get("kind") in (KIND_FAULT, KIND_ATTACK, KIND_DRIFT),
+            f"cell {cell_id!r}: unknown kind {row.get('kind')!r}",
+        )
+        trials = row.get("trials")
+        _require(
+            isinstance(trials, int) and trials >= 1,
+            f"cell {cell_id!r}: trials must be a positive integer",
+        )
+        for section, keys in (
+            ("detection", ("tp", "fn", "fp", "tn")),
+            ("identification", ("correct", "named", "actual")),
+        ):
+            block = row.get(section)
+            _require(
+                isinstance(block, dict),
+                f"cell {cell_id!r}: {section} must be an object",
+            )
+            for key in keys:
+                value = block.get(key)
+                _require(
+                    isinstance(value, int) and value >= 0,
+                    f"cell {cell_id!r}: {section}.{key} must be a count",
+                )
+            _check_rate(row, section, "precision")
+            _check_rate(row, section, "recall")
+        counts = row["detection"]
+        _require(
+            counts["tp"] + counts["fn"] == trials,
+            f"cell {cell_id!r}: tp + fn must equal trials",
+        )
+        _require(
+            counts["fp"] + counts["tn"] == trials,
+            f"cell {cell_id!r}: fp + tn must equal trials",
+        )
+        minutes = row.get("detection_minutes")
+        _require(
+            isinstance(minutes, dict) and isinstance(minutes.get("samples"), list),
+            f"cell {cell_id!r}: detection_minutes.samples must be a list",
+        )
+        _require(
+            len(minutes["samples"]) == counts["tp"],
+            f"cell {cell_id!r}: one detection-time sample per true positive",
+        )
+        for sample in minutes["samples"]:
+            _require(
+                isinstance(sample, (int, float)) and float(sample) >= 0.0,
+                f"cell {cell_id!r}: detection minutes must be non-negative",
+            )
+        if row.get("kind") == KIND_DRIFT:
+            _require(
+                isinstance(row.get("refresh"), dict),
+                f"cell {cell_id!r}: drift cells must carry refresh stats",
+            )
+        else:
+            _require(
+                row.get("refresh") is None,
+                f"cell {cell_id!r}: only drift cells carry refresh stats",
+            )
+    return doc
+
+
+def render_table(doc: Dict) -> str:
+    """Human-readable per-cell summary for the CLI."""
+    header = (
+        f"{'cell':<52} {'prec':>5} {'rec':>5} {'det-min':>8} {'sust/h':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in doc["cells"]:
+        det = row["detection"]
+        mean = row["detection_minutes"]["mean"]
+        sustained = row.get("sustained_alerts_per_hour")
+        lines.append(
+            f"{row['id']:<52} "
+            f"{det['precision']:>5.2f} {det['recall']:>5.2f} "
+            f"{mean if mean is not None else '-':>8} "
+            f"{sustained if sustained is not None else '-':>7}"
+        )
+    return "\n".join(lines)
+
+
+def refresh_pairs(doc: Dict) -> List[dict]:
+    """Match each refresh-enabled drift cell with its plain twin.
+
+    Returns ``[{"variant", "plain", "refresh"}, ...]`` where the last two
+    are the sustained alert rates — the graceful-degradation comparison
+    the tests assert on.
+    """
+    drift: Dict[str, Dict[str, Optional[float]]] = {}
+    for row in doc["cells"]:
+        if row["kind"] != KIND_DRIFT:
+            continue
+        stance = "refresh" if row["refresh_enabled"] else "plain"
+        drift.setdefault(row["variant"], {})[stance] = row[
+            "sustained_alerts_per_hour"
+        ]
+    return [
+        {"variant": variant, **stances}
+        for variant, stances in sorted(drift.items())
+        if "plain" in stances and "refresh" in stances
+    ]

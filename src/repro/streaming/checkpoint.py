@@ -29,10 +29,11 @@ from ..core import DiceDetector
 
 _log = telemetry.get_logger("repro.streaming.checkpoint")
 
-#: Version 2 added the ``telemetry`` counters payload; v1 snapshots load
-#: fine (counters simply restart from zero).
-CHECKPOINT_VERSION = 2
-COMPATIBLE_VERSIONS = frozenset({1, 2})
+#: Version 2 added the ``telemetry`` counters payload; version 3 added the
+#: context-refresh state (``runtime["refresh"]``).  Older snapshots load
+#: fine — counters restart from zero, refresh state resets to idle.
+CHECKPOINT_VERSION = 3
+COMPATIBLE_VERSIONS = frozenset({1, 2, 3})
 
 
 class CheckpointError(ValueError):
@@ -60,9 +61,16 @@ def checkpoint_state(runtime) -> dict:
     gateway restart); gauges and histograms are point-in-time/process-local
     and restart from zero.
     """
+    # The *base* fingerprint (captured at construction, before any context
+    # refresh added groups): restore fits the model fresh and re-applies
+    # the carried refresh history, so the snapshot must match the
+    # pre-refresh model, not the refreshed one.
+    fingerprint = getattr(runtime, "base_fingerprint", None)
+    if fingerprint is None:
+        fingerprint = model_fingerprint(runtime.detector)
     state = {
         "version": CHECKPOINT_VERSION,
-        "model": model_fingerprint(runtime.detector),
+        "model": fingerprint,
         "runtime": runtime.state_dict(),
     }
     metrics = getattr(runtime, "metrics", None)

@@ -39,6 +39,7 @@ from ..core import (
 from ..core.detector import CACHE_HITS_TOTAL, CACHE_MISSES_TOTAL
 from ..model import Event, Trace
 from .guard import DropLog, IngestGuard
+from .refresh import ContextRefresher, RefreshPolicy
 from .reorder import ReorderBuffer
 from .supervisor import (
     ERRORS,
@@ -294,7 +295,14 @@ class OnlineDice:
             self._anchor_group = corr.main_group
         self._prev_acts = snapshot.actuator_activations
         self.alerts.extend(fresh)
+        self._observe_window(snapshot, corr)
         return fresh
+
+    def _observe_window(
+        self, snapshot: WindowSnapshot, corr: CorrelationResult
+    ) -> None:
+        """Hook: subclasses may watch completed-window outcomes (the
+        hardened runtime feeds its drift monitor here)."""
 
     # ------------------------------------------------------------------ #
     # Checkpoint support
@@ -350,8 +358,15 @@ class HardenedOnlineDice(OnlineDice):
         max_pending: int = 4096,
         policy: SupervisorPolicy = SupervisorPolicy(),
         max_drop_samples: int = 100,
+        refresh: Optional[RefreshPolicy] = None,
     ) -> None:
         super().__init__(detector, start=start)
+        from .checkpoint import model_fingerprint
+
+        # Captured before any refresh mutates the model: checkpoints match
+        # snapshots against the *base* fitted model, then re-apply the
+        # carried refresh history on restore.
+        self.base_fingerprint = model_fingerprint(detector)
         self.drops = DropLog(max_samples=max_drop_samples, metrics=self.metrics)
         self.guard = IngestGuard(detector.registry, self.drops, start=start)
         self.reorder = ReorderBuffer(
@@ -359,6 +374,10 @@ class HardenedOnlineDice(OnlineDice):
         )
         self.supervisor = DeviceSupervisor(
             detector.registry, policy, start=start, metrics=self.metrics
+        )
+        self.refresher = ContextRefresher(
+            detector, refresh if refresh is not None else RefreshPolicy(),
+            metrics=self.metrics,
         )
         self._register_telemetry()
 
@@ -418,6 +437,7 @@ class HardenedOnlineDice(OnlineDice):
                 "total": self.drops.total,
                 "by_reason": self.drops.summary(),
             },
+            "refresh": self.refresher.stats(),
             "alerts": alert_counts,
         }
 
@@ -556,6 +576,18 @@ class HardenedOnlineDice(OnlineDice):
             probable.append((int(g), int(dists[g])))
         return CorrelationResult(mask & visible, main, tuple(probable))
 
+    def _observe_window(
+        self, snapshot: WindowSnapshot, corr: CorrelationResult
+    ) -> None:
+        """Feed the drift monitor; a sustained correlation-violation rate
+        declares drift and eventually refreshes the context in place."""
+        self.refresher.observe(
+            snapshot.mask,
+            snapshot.actuator_activations,
+            corr.is_violation,
+            snapshot.end,
+        )
+
     # ------------------------------------------------------------------ #
     # Checkpoint support (see repro.streaming.checkpoint)
     # ------------------------------------------------------------------ #
@@ -566,6 +598,7 @@ class HardenedOnlineDice(OnlineDice):
         state["drops"] = self.drops.state_dict()
         state["reorder"] = self.reorder.state_dict()
         state["supervisor"] = self.supervisor.state_dict()
+        state["refresh"] = self.refresher.state_dict()
         return state
 
     def load_state(self, state: dict) -> None:
@@ -577,6 +610,8 @@ class HardenedOnlineDice(OnlineDice):
         self.reorder.log = self.drops
         self.reorder.load_state(state["reorder"])
         self.supervisor.load_state(state["supervisor"])
+        # Pre-refresh checkpoints (v1/v2) simply lack the key.
+        self.refresher.load_state(state.get("refresh"))
 
     def checkpoint(self) -> dict:
         """Versioned, JSON-serializable snapshot of the full online state."""

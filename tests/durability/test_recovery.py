@@ -12,6 +12,8 @@ import pytest
 
 from repro.durability import DurableOnlineDice
 from repro.faults import (
+    ALL_FAULT_TYPES,
+    FaultType,
     baseline_standalone,
     build_chaos_deployment,
     canonical_alerts,
@@ -45,6 +47,54 @@ class TestChaosBatch:
         assert summary["checkpointed_trials"] >= 5
         assert summary["delivered"] > 0
         assert summary["dead_letters"] == 0
+
+
+class TestFaultClasses:
+    """Chaos victims can fail in any Ni et al. rendering, not just fail-stop."""
+
+    def _victim_events_after_onset(self, dep):
+        return [
+            e
+            for e in dep.events
+            if e.device_id == dep.fault_device and e.timestamp >= dep.fault_time
+        ]
+
+    def test_fail_stop_victim_goes_silent(self, deployment):
+        assert deployment.fault_class is FaultType.FAIL_STOP
+        assert not self._victim_events_after_onset(deployment)
+
+    @pytest.mark.parametrize(
+        "fault_class",
+        [t for t in ALL_FAULT_TYPES if t is not FaultType.FAIL_STOP],
+        ids=lambda t: t.value,
+    )
+    def test_non_fail_stop_victim_keeps_reporting(self, fault_class):
+        dep = build_chaos_deployment(42, fault_class=fault_class)
+        assert dep.fault_class is fault_class
+        assert self._victim_events_after_onset(dep)
+
+    def test_fail_stop_build_unchanged_by_refactor(self, deployment):
+        # The explicit-kwarg path must reproduce the historical seed-42
+        # deployment byte for byte (golden chaos seeds depend on it).
+        rebuilt = build_chaos_deployment(42, fault_class=FaultType.FAIL_STOP)
+        assert rebuilt.fault_device == deployment.fault_device
+        assert rebuilt.fault_time == deployment.fault_time
+        assert [
+            (e.timestamp, e.device_id, e.value) for e in rebuilt.events
+        ] == [(e.timestamp, e.device_id, e.value) for e in deployment.events]
+
+    def test_stuck_at_deployment_recovers_with_parity(self, tmp_path):
+        dep = build_chaos_deployment(42, fault_class=FaultType.STUCK_AT)
+        expected = baseline_standalone(dep)
+        result = run_standalone_trial(
+            dep,
+            expected,
+            str(tmp_path),
+            kill_index=len(dep.events) // 2,
+            checkpoint_index=len(dep.events) // 3,
+        )
+        assert result.ok
+        assert result.checkpointed
 
 
 class TestTargetedTrials:

@@ -1,8 +1,24 @@
-"""Tests for the Ch. VI security attacks."""
+"""Tests for the Ch. VI security attacks.
 
+Covers the spoofing renderings themselves, their determinism, the
+``injected_events`` accounting, and — the streaming-composition
+contract — that attack frames at or behind the reorder watermark are
+never silently lost: each one either reaches a window or is recorded as
+a structured ``too_late`` drop, so *injected == windowed + dropped*.
+"""
+
+import numpy as np
 import pytest
 
-from repro.faults import light_attack, spoof_sensor_high, temperature_attack
+from repro.core import DiceDetector
+from repro.faults import (
+    attack_events,
+    coordinated_attack,
+    light_attack,
+    spoof_sensor_high,
+    temperature_attack,
+)
+from repro.streaming import HardenedOnlineDice
 from tests.conftest import HOUR, make_cyclic_trace
 
 
@@ -43,3 +59,135 @@ class TestSpoofing:
     def test_onset_outside_rejected(self, segment):
         with pytest.raises(ValueError):
             spoof_sensor_high(segment, "temp_kitchen", segment.end + 1.0)
+
+    def test_deterministic(self, segment):
+        # Attack injection is a pure function: two invocations with the
+        # same inputs must agree event for event and field for field.
+        a1, atk1 = temperature_attack(segment, "temp_kitchen", HOUR)
+        a2, atk2 = temperature_attack(segment, "temp_kitchen", HOUR)
+        assert atk1 == atk2
+        assert np.array_equal(a1.timestamps, a2.timestamps)
+        assert np.array_equal(a1.device_indices, a2.device_indices)
+        assert np.array_equal(a1.values, a2.values)
+
+    def test_injected_events_accounting(self, segment):
+        attacked, attack = spoof_sensor_high(segment, "temp_kitchen", HOUR)
+        assert attack.injected_events == len(attacked) - len(segment)
+        assert attack.injected_events > 0
+
+    def test_attack_events_match_trace_injection(self, segment):
+        # The stream-level rendering must be the *same* frames the
+        # trace-level injection adds: one per count, on-cadence, spoofed.
+        attacked, attack = spoof_sensor_high(segment, "temp_kitchen", HOUR)
+        frames = attack_events(segment, attack)
+        assert len(frames) == attack.injected_events
+        assert all(e.device_id == "temp_kitchen" for e in frames)
+        assert all(e.value == attack.spoof_value for e in frames)
+        expected_times = np.arange(HOUR, segment.end, attack.report_period)
+        assert np.array_equal([e.timestamp for e in frames], expected_times)
+
+
+class TestCoordinated:
+    def test_multiple_victims_staggered(self, segment):
+        victims = ["temp_kitchen", "motion_bedroom"]
+        attacked, attacks = coordinated_attack(segment, victims, HOUR)
+        assert [a.victim_device_id for a in attacks] == sorted(victims)
+        assert len({a.report_period for a in attacks}) == len(attacks)
+        total = sum(a.injected_events for a in attacks)
+        assert total == len(attacked) - len(segment)
+
+    def test_frames_unique_per_device(self, segment):
+        # Staggered cadences keep every (device, timestamp) pair distinct,
+        # so the reorder buffer's duplicate check never eats real frames.
+        _, attacks = coordinated_attack(
+            segment, ["temp_kitchen", "motion_bedroom"], HOUR
+        )
+        for attack in attacks:
+            frames = attack_events(segment, attack)
+            keys = [(e.device_id, e.timestamp) for e in frames]
+            assert len(keys) == len(set(keys))
+
+    def test_deterministic(self, segment):
+        _, a1 = coordinated_attack(segment, ["temp_kitchen", "motion_bedroom"], HOUR)
+        _, a2 = coordinated_attack(segment, ["temp_kitchen", "motion_bedroom"], HOUR)
+        assert a1 == a2
+
+    def test_empty_victims_rejected(self, segment):
+        with pytest.raises(ValueError):
+            coordinated_attack(segment, [], HOUR)
+
+
+class TestWatermarkComposition:
+    """Attack windows composed with the reorder buffer's lateness budget."""
+
+    def _runtime(self, registry, trace, split):
+        detector = DiceDetector(registry).fit(trace.slice(0.0, split))
+        return HardenedOnlineDice(
+            detector, start=split, lateness_seconds=120.0
+        )
+
+    def test_late_frames_recorded_not_silently_dropped(self, registry):
+        trace = make_cyclic_trace(registry, hours=4.0)
+        split = 2.0 * HOUR
+        runtime = self._runtime(registry, trace, split)
+        runtime.ingest_many(list(trace.slice(split, trace.end)))
+        watermark = runtime.reorder.watermark
+        assert watermark > split
+        before = dict(runtime.drops.counts)
+
+        # Onset 90 s behind the watermark: with the 30 s cadence, three
+        # frames fall strictly behind it and one lands exactly *on* it —
+        # the boundary frame must be accepted, not dropped.
+        _, attack = spoof_sensor_high(trace, "temp_kitchen", watermark - 90.0)
+        frames = attack_events(trace, attack)
+        assert len(frames) == attack.injected_events
+        late = [e for e in frames if e.timestamp < watermark]
+        assert len(late) == 3
+        runtime.ingest_many(frames)
+
+        too_late = runtime.drops.counts.get("too_late", 0) - before.get(
+            "too_late", 0
+        )
+        assert too_late == len(late)
+        # Structured records, not a bare counter: each drop names the
+        # victim, the reason, and the frame's timestamp.
+        recorded = [
+            d
+            for d in runtime.drops.samples
+            if d.reason == "too_late" and d.device_id == "temp_kitchen"
+        ]
+        assert len(recorded) == len(late)
+        assert sorted(d.timestamp for d in recorded) == sorted(
+            e.timestamp for e in late
+        )
+        # Zero silent loss: every injected frame is accounted for — the
+        # late ones in the drop log, the rest at/above the watermark where
+        # the reorder buffer must release them into windows.
+        accepted = [e for e in frames if e.timestamp >= watermark]
+        assert attack.injected_events == len(accepted) + too_late
+        total_drops = sum(runtime.drops.counts.values()) - sum(before.values())
+        assert total_drops == too_late
+
+        # And the surviving frames really reach the detector: the spoofed
+        # readings trigger a detection once the stream is flushed.
+        alerts = runtime.finish_stream(trace.end)
+        assert any(a.kind == "detection" for a in alerts)
+
+    def test_fully_expired_attack_is_fully_accounted(self, registry):
+        # An attack window entirely behind the watermark (a replayed
+        # campaign) produces nothing but structured too_late records.
+        trace = make_cyclic_trace(registry, hours=4.0)
+        split = 2.0 * HOUR
+        runtime = self._runtime(registry, trace, split)
+        runtime.ingest_many(list(trace.slice(split, trace.end)))
+        watermark = runtime.reorder.watermark
+
+        onset = split + 60.0
+        assert onset < watermark
+        _, attack = spoof_sensor_high(trace, "temp_kitchen", onset)
+        frames = [
+            e for e in attack_events(trace, attack) if e.timestamp < watermark
+        ]
+        before = runtime.drops.counts.get("too_late", 0)
+        runtime.ingest_many(frames)
+        assert runtime.drops.counts.get("too_late", 0) - before == len(frames)

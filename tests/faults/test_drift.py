@@ -1,0 +1,118 @@
+"""Tests for the concept-drift generators."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ALL_DRIFT_TYPES,
+    DriftType,
+    apply_drift,
+    inject_device_replacement,
+    inject_seasonal_shift,
+)
+from tests.conftest import HOUR, make_cyclic_trace
+
+
+@pytest.fixture
+def segment(registry):
+    return make_cyclic_trace(registry, hours=4.0)
+
+
+class TestSeasonalShift:
+    def test_subset_of_sensors_shifts(self, segment):
+        drifted, drift = inject_seasonal_shift(
+            segment, 2 * HOUR, np.random.default_rng(7)
+        )
+        assert drift.drift_type is DriftType.SEASONAL_SHIFT
+        # Half of the three sensors, rounded: two victims, never the
+        # actuator, plain str ids (JSON-serializable).
+        assert len(drift.devices) == 2
+        assert "hue_kitchen" not in drift.devices
+        assert all(type(d) is str for d in drift.devices)
+        for victim in drift.devices:
+            before_t, _ = segment.events_for(victim)
+            after_t, _ = drifted.events_for(victim)
+            moved = before_t[before_t >= drift.onset] + drift.shift_seconds
+            expected = moved[moved < segment.end]
+            assert np.array_equal(after_t[after_t >= drift.onset], expected)
+
+    def test_training_prefix_untouched(self, segment):
+        drifted, drift = inject_seasonal_shift(
+            segment, 2 * HOUR, np.random.default_rng(7)
+        )
+        pre = segment.slice(segment.start, drift.onset)
+        post = drifted.slice(segment.start, drift.onset)
+        assert len(pre) == len(post)
+        assert np.array_equal(pre.timestamps, post.timestamps)
+
+    def test_unshifted_devices_untouched(self, segment):
+        drifted, drift = inject_seasonal_shift(
+            segment, 2 * HOUR, np.random.default_rng(7)
+        )
+        untouched = [
+            d.device_id
+            for d in segment.registry
+            if d.device_id not in drift.devices
+        ]
+        assert untouched
+        for device_id in untouched:
+            t0, v0 = segment.events_for(device_id)
+            t1, v1 = drifted.events_for(device_id)
+            assert np.array_equal(t0, t1)
+            assert np.array_equal(v0, v1)
+
+    def test_deterministic_per_seed(self, segment):
+        d1, i1 = inject_seasonal_shift(segment, 2 * HOUR, np.random.default_rng(3))
+        d2, i2 = inject_seasonal_shift(segment, 2 * HOUR, np.random.default_rng(3))
+        assert i1 == i2
+        assert np.array_equal(d1.timestamps, d2.timestamps)
+
+    def test_onset_outside_rejected(self, segment):
+        with pytest.raises(ValueError):
+            inject_seasonal_shift(
+                segment, segment.end + 1.0, np.random.default_rng(0)
+            )
+
+
+class TestDeviceReplacement:
+    def test_numeric_replacement_lags_and_biases(self, segment):
+        drifted, drift = inject_device_replacement(
+            segment, "temp_kitchen", 2 * HOUR, np.random.default_rng(7)
+        )
+        assert drift.devices == ("temp_kitchen",)
+        # Lag is jittered within +/-20% of the nominal 240 s.
+        assert 0.8 * 240.0 <= drift.shift_seconds <= 1.2 * 240.0
+        t0, v0 = segment.events_for("temp_kitchen")
+        t1, v1 = drifted.events_for("temp_kitchen")
+        post = t1 >= drift.onset
+        # Post-onset readings carry the calibration bias.
+        kept = t0[t0 >= drift.onset] + drift.shift_seconds < segment.end
+        assert np.allclose(v1[post], v0[t0 >= drift.onset][kept] + 2.0)
+
+    def test_binary_replacement_has_no_bias(self, segment):
+        drifted, drift = inject_device_replacement(
+            segment, "motion_kitchen", 2 * HOUR, np.random.default_rng(7)
+        )
+        _, values = drifted.events_for("motion_kitchen")
+        assert set(np.unique(values)) <= {0.0, 1.0}
+
+    def test_unknown_device_rejected(self, segment):
+        with pytest.raises(KeyError):
+            inject_device_replacement(
+                segment, "ghost", 2 * HOUR, np.random.default_rng(0)
+            )
+
+
+class TestApplyDrift:
+    @pytest.mark.parametrize("drift_type", ALL_DRIFT_TYPES)
+    def test_dispatch(self, segment, drift_type):
+        drifted, drift = apply_drift(
+            segment, drift_type, 2 * HOUR, np.random.default_rng(7)
+        )
+        assert drift.drift_type is drift_type
+        assert drift.devices
+        assert drift.onset == 2 * HOUR
+        # Drift is not a fault: events keep flowing after the onset.
+        for victim in drift.devices:
+            times, _ = drifted.events_for(victim)
+            assert (times >= drift.onset).any()

@@ -1,18 +1,26 @@
-"""Regenerate the committed golden fixture.
+"""Regenerate the committed golden fixtures.
 
 Run from the repository root:
 
     PYTHONPATH=src python -m tests.golden.regen
 
-The fixture is a complete end-to-end scenario pinned into version
-control: a 36 h houseA simulation (seed 7) with a fail-stop fault
-injected into the ``fridge`` sensor at hour 26, serialized as
-``trace.csv`` + ``trace.devices.csv``, and the exact alerts the batch
-pipeline derives from it (fit on hours 0-24, process hours 24-36) in
-``expected_alerts.json``.
+Each fixture is a complete end-to-end scenario pinned into version
+control: a 36 h houseA simulation (seed 7) with one fault injected into
+the ``fridge`` sensor at hour 26, serialized as a trace CSV (plus its
+device registry), and the exact alerts the batch pipeline derives from
+it (fit on hours 0-24, process hours 24-36) in an expected-alerts JSON.
+
+Two fault renderings are pinned:
+
+* **fail_stop** (``trace.csv`` / ``expected_alerts.json``) — the fridge
+  goes silent; the correlation check catches the missing co-activation;
+* **stuck_at** (``trace_stuckat.csv`` / ``expected_alerts_stuckat.json``)
+  — the fridge sticks *active* and fires around the clock, the
+  non-fail-stop footprint the paper needs the transition/correlation
+  interplay for.
 
 Regenerating is only legitimate when the detection semantics change on
-purpose; the diff of ``expected_alerts.json`` then documents precisely
+purpose; the diff of the expected-alerts JSON then documents precisely
 what moved, and the reviewer signs off on it like any other behavioural
 change.
 """
@@ -21,15 +29,16 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core import DiceDetector
 from repro.datasets import load_dataset
 from repro.datasets.io import write_trace
-from repro.faults import inject_fail_stop
+from repro.faults import FaultType, InjectedFault, apply_fault
 
 HERE = os.path.dirname(os.path.abspath(__file__))
-TRACE_CSV = os.path.join(HERE, "trace.csv")
-EXPECTED_JSON = os.path.join(HERE, "expected_alerts.json")
 
 DATASET = "houseA"
 SEED = 7
@@ -39,11 +48,42 @@ FAULT_DEVICE = "fridge"
 FAULT_ONSET_HOURS = 26.0
 
 
-def build_trace():
-    """The scenario: simulated houseA with a live-phase fail-stop."""
+@dataclass(frozen=True)
+class GoldenFixture:
+    """One pinned end-to-end scenario."""
+
+    fault_type: FaultType
+    trace_filename: str
+    expected_filename: str
+
+    @property
+    def trace_csv(self) -> str:
+        return os.path.join(HERE, self.trace_filename)
+
+    @property
+    def expected_json(self) -> str:
+        return os.path.join(HERE, self.expected_filename)
+
+
+FIXTURES = (
+    GoldenFixture(FaultType.FAIL_STOP, "trace.csv", "expected_alerts.json"),
+    GoldenFixture(
+        FaultType.STUCK_AT, "trace_stuckat.csv", "expected_alerts_stuckat.json"
+    ),
+)
+
+# Legacy aliases for the original single-fixture layout.
+TRACE_CSV = FIXTURES[0].trace_csv
+EXPECTED_JSON = FIXTURES[0].expected_json
+
+
+def build_trace(fixture: GoldenFixture = FIXTURES[0]):
+    """The scenario: simulated houseA with a live-phase device fault."""
     dataset = load_dataset(DATASET, seed=SEED, hours=HOURS)
-    return inject_fail_stop(
-        dataset.trace, FAULT_DEVICE, FAULT_ONSET_HOURS * 3600.0
+    return apply_fault(
+        dataset.trace,
+        InjectedFault(FAULT_DEVICE, fixture.fault_type, FAULT_ONSET_HOURS * 3600.0),
+        np.random.default_rng(SEED),
     )
 
 
@@ -54,7 +94,7 @@ def run_pipeline(trace):
     return detector.process(trace.slice(split, trace.end))
 
 
-def report_as_json(report) -> dict:
+def report_as_json(report, fixture: GoldenFixture = FIXTURES[0]) -> dict:
     return {
         "scenario": {
             "dataset": DATASET,
@@ -62,7 +102,7 @@ def report_as_json(report) -> dict:
             "hours": HOURS,
             "train_hours": TRAIN_HOURS,
             "fault": {
-                "type": "fail_stop",
+                "type": fixture.fault_type.value,
                 "device": FAULT_DEVICE,
                 "onset_hours": FAULT_ONSET_HOURS,
             },
@@ -94,17 +134,18 @@ def report_as_json(report) -> dict:
 
 
 def main() -> None:
-    trace = build_trace()
-    write_trace(trace, TRACE_CSV)
-    document = report_as_json(run_pipeline(trace))
-    with open(EXPECTED_JSON, "w") as fh:
-        json.dump(document, fh, indent=2)
-        fh.write("\n")
-    print(
-        f"wrote {len(trace)} events, "
-        f"{len(document['detections'])} detections, "
-        f"{len(document['identifications'])} identifications"
-    )
+    for fixture in FIXTURES:
+        trace = build_trace(fixture)
+        write_trace(trace, fixture.trace_csv)
+        document = report_as_json(run_pipeline(trace), fixture)
+        with open(fixture.expected_json, "w") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        print(
+            f"{fixture.fault_type.value}: wrote {len(trace)} events, "
+            f"{len(document['detections'])} detections, "
+            f"{len(document['identifications'])} identifications"
+        )
 
 
 if __name__ == "__main__":

@@ -1,40 +1,45 @@
-"""Golden end-to-end fixture: committed trace in, committed alerts out.
+"""Golden end-to-end fixtures: committed trace in, committed alerts out.
 
-The fixture under ``tests/golden/`` pins the full pipeline — simulator,
+The fixtures under ``tests/golden/`` pin the full pipeline — simulator,
 fault injector, CSV round-trip, detector fit, batch processing — to an
-exact, reviewed output.  Any semantic drift anywhere in that chain shows
-up here as a diff against ``expected_alerts.json``.
+exact, reviewed output, once per pinned fault rendering (a fail-stop and
+a stuck-at).  Any semantic drift anywhere in that chain shows up here as
+a diff against the expected-alerts JSON.
 
 Regenerate (deliberately!) with ``PYTHONPATH=src python -m tests.golden.regen``.
 """
 
 import json
-import os
+
+import pytest
 
 from repro.datasets.io import read_trace
 
 from tests.golden import regen
 
-HERE = os.path.dirname(os.path.abspath(__file__))
+
+@pytest.fixture(params=regen.FIXTURES, ids=lambda f: f.fault_type.value)
+def fixture(request):
+    return request.param
 
 
-def _expected():
-    with open(os.path.join(HERE, "expected_alerts.json")) as fh:
+def _expected(fixture):
+    with open(fixture.expected_json) as fh:
         return json.load(fh)
 
 
-def test_pipeline_reproduces_committed_alerts():
-    trace = read_trace(regen.TRACE_CSV)
+def test_pipeline_reproduces_committed_alerts(fixture):
+    trace = read_trace(fixture.trace_csv)
     report = regen.run_pipeline(trace)
-    assert regen.report_as_json(report) == _expected()
+    assert regen.report_as_json(report, fixture) == _expected(fixture)
 
 
-def test_simulator_reproduces_committed_trace():
+def test_simulator_reproduces_committed_trace(fixture):
     # The committed CSV is itself a pinned artifact: the seeded simulator
     # plus the fault injector must rebuild it event for event, and the CSV
     # round-trip must be lossless (repr-exact floats).
-    rebuilt = regen.build_trace()
-    committed = read_trace(regen.TRACE_CSV)
+    rebuilt = regen.build_trace(fixture)
+    committed = read_trace(fixture.trace_csv)
     assert committed.registry.device_ids == rebuilt.registry.device_ids
     assert (committed.start, committed.end) == (rebuilt.start, rebuilt.end)
     assert len(committed) == len(rebuilt)
@@ -43,14 +48,25 @@ def test_simulator_reproduces_committed_trace():
     ] == [(e.timestamp, e.device_id, e.value) for e in rebuilt]
 
 
-def test_expected_alerts_identify_the_faulted_device():
-    # Sanity on the fixture itself: the scenario documents a fridge
-    # fail-stop, and the committed alerts must actually say so.
-    expected = _expected()
+def test_expected_alerts_identify_the_faulted_device(fixture):
+    # Sanity on the fixtures themselves: each scenario documents a fridge
+    # fault, and the committed alerts must actually say so.
+    expected = _expected(fixture)
     assert expected["detections"], "fixture must contain detections"
     assert expected["identifications"], "fixture must contain identifications"
+    assert expected["scenario"]["fault"]["type"] == fixture.fault_type.value
     fault_device = expected["scenario"]["fault"]["device"]
     onset = expected["scenario"]["fault"]["onset_hours"] * 3600.0
     for record in expected["identifications"]:
         assert record["devices"] == [fault_device]
         assert record["time"] >= onset
+
+
+def test_fixtures_differ():
+    # The two fixtures must pin *different* behaviour: a stuck-active
+    # fridge keeps reporting (more events than the base trace), a
+    # fail-stopped one goes quiet.
+    fail_stop, stuck_at = regen.FIXTURES
+    assert len(read_trace(stuck_at.trace_csv)) > len(
+        read_trace(fail_stop.trace_csv)
+    )

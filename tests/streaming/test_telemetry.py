@@ -17,6 +17,7 @@ from repro.streaming import (
     SupervisorPolicy,
     restore_runtime,
 )
+from repro.streaming.checkpoint import CHECKPOINT_VERSION
 from repro.streaming.supervisor import TRANSITIONS_TOTAL
 from tests.conftest import HOUR
 
@@ -174,7 +175,7 @@ class TestCheckpointedCounters:
         runtime = self._replayed_runtime(registry, cyclic_trace)
         windows = runtime.metrics.snapshot()["metrics"]["dice_windows_total"]
         state = json.loads(json.dumps(runtime.checkpoint()))
-        assert state["version"] == 2
+        assert state["version"] == CHECKPOINT_VERSION
         assert "telemetry" in state
         # Counters only: gauges/histograms are process-local.
         kinds = {e["type"] for e in state["telemetry"]["metrics"].values()}

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -238,6 +240,53 @@ class TestChaos:
         out = capsys.readouterr().out
         assert "fleet: 2 trials" in out
         assert "OK" in out
+
+    def test_non_fail_stop_fault_class(self, tmp_path, capsys):
+        code = main(
+            [
+                "chaos", "--mode", "standalone",
+                "--deployments", "1", "--kills", "1", "--seed", "0",
+                "--fault-class", "stuck_at", "--workdir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unknown_fault_class_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--fault-class", "gremlins"])
+        assert excinfo.value.code == 2
+
+
+class TestScenarios:
+    def test_list_prints_cell_ids(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fault:fail_stop:houseA:single:plain" in out
+        assert "drift:seasonal_shift:synthetic:single:refresh" in out
+
+    def test_mini_matrix_writes_valid_report(self, tmp_path, capsys):
+        out_path = tmp_path / "scenario-report.json"
+        code = main(
+            [
+                "scenarios", "--seed", "7", "--trials", "1",
+                "--cells", "drift:seasonal_shift", "-o", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift seasonal_shift: sustained alerts/h" in out
+        from repro.scenarios import validate_report
+
+        with open(out_path, encoding="utf-8") as fh:
+            doc = validate_report(json.load(fh))
+        assert {row["id"] for row in doc["cells"]} == {
+            "drift:seasonal_shift:synthetic:single:plain",
+            "drift:seasonal_shift:synthetic:single:refresh",
+        }
+
+    def test_bad_cell_filter_exits_2(self):
+        assert main(["scenarios", "--cells", "no_such_cell"]) == 2
 
 
 class TestMetrics:
