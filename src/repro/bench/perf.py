@@ -24,7 +24,12 @@ regress against:
   each fsync policy (budget: ≤ 1.5x under ``fsync=never``);
 * **scenarios** — the scenario-matrix harness (``repro scenarios``) over
   the drift refresh A/B cells, so the cost of a robustness sweep and the
-  graceful-degradation delta both stay on the trajectory.
+  graceful-degradation delta both stay on the trajectory;
+* **capacity** — the estate-scale question: H homes stamped from K
+  archetypes, run shared+batched (content-addressed contexts, cross-home
+  memo-prewarming tick) vs fully replicated with per-home event loops,
+  with per-home alert parity asserted, trained-state bytes/home from the
+  deterministic estimator, and a memory projection out to 100k homes.
 
 All workloads are seeded and synthetic — the harness needs no dataset
 files and produces no timing *assertions* (CI runs it as a smoke test;
@@ -50,8 +55,10 @@ from ..model import DeviceRegistry, SensorType, binary_sensor
 
 #: /2 added the ``telemetry`` overhead section; /3 added the ``fleet``
 #: homes x shards scaling section; /4 added the ``journal`` write-ahead
-#: journal overhead section; /5 added the ``scenarios`` matrix section.
-BENCH_SCHEMA = "dice-bench-perf/5"
+#: journal overhead section; /5 added the ``scenarios`` matrix section;
+#: /6 added the ``capacity`` shared-context section, per-kernel scan
+#: accounting, and effective worker counts in ``eval``.
+BENCH_SCHEMA = "dice-bench-perf/6"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -198,16 +205,53 @@ def bench_scan(
     )
 
     # Batch + memoised: one (W, G) matrix pass over the cache misses.
+    def _kernel_delta(before: Dict[str, int]) -> Dict[str, int]:
+        calls = groups._bitsets.kernel_calls
+        return {name: calls[name] - before[name] for name in calls}
+
+    def _dominant(delta: Dict[str, int]) -> str:
+        if not any(delta.values()):
+            return "none"
+        return max(delta, key=lambda name: delta[name])
+
     def _batch_cold():
         checker = CorrelationChecker(groups, config)
         return checker, checker.check_many(probes)
 
+    before = dict(groups._bitsets.kernel_calls)
     batch_cold_s, (batch, batch_results) = _best_of(repeats, _batch_cold)
+    cold_calls = _kernel_delta(before)
     cold_info = batch.cache_info()  # counters from the first cold pass only
+    before = dict(groups._bitsets.kernel_calls)
     batch_warm_s, _ = _best_of(repeats, lambda: batch.check_many(probes))
+    warm_calls = _kernel_delta(before)
 
     if not (scalar_results == memo_results == batch_results):
         raise AssertionError("scalar, memoised and batch paths disagree")
+
+    # The DiceConfig crossover knob, both ways: force the GEMM kernel and
+    # the XOR+popcount kernel for the same cold batch pass.  Results must
+    # not move — the kernel choice is a pure performance decision.
+    default_min_rows = groups.gemm_min_rows
+    forced_kernel_s: Dict[str, float] = {}
+    try:
+        for label, min_rows in (("gemm", 0), ("xor", 1 << 30)):
+            forced_config = DiceConfig(
+                max_candidate_distance=2, gemm_min_rows=min_rows
+            )
+
+            def _forced():
+                checker = CorrelationChecker(groups, forced_config)
+                return checker.check_many(probes)
+
+            seconds, forced_results = _best_of(repeats, _forced)
+            if forced_results != batch_results:
+                raise AssertionError(
+                    f"forced {label} kernel changed correlation results"
+                )
+            forced_kernel_s[label] = seconds
+    finally:
+        groups.gemm_min_rows = default_min_rows
 
     def _speedup(base: float, new: float) -> float:
         return base / new if new > 0 else float("inf")
@@ -223,6 +267,10 @@ def bench_scan(
         "batch_warm_s": batch_warm_s,
         "cache_hits": cold_info["hits"],
         "cache_misses": cold_info["misses"],
+        "gemm_min_rows": int(default_min_rows),
+        "kernel": _dominant(cold_calls),
+        "kernel_calls": {"batch_cold": cold_calls, "batch_warm": warm_calls},
+        "forced_kernel_s": forced_kernel_s,
         "per_window_us": {
             "scalar": 1e6 * scalar_s / n_windows,
             "memoized_warm": 1e6 * memo_warm_s / n_windows,
@@ -262,6 +310,10 @@ def bench_eval(
         runs.append(
             {
                 "workers": int(workers),
+                # The runner caps worker pools at os.cpu_count(); record
+                # what actually ran so trajectories on small machines are
+                # honest about it.
+                "effective_workers": int(runner.workers),
                 "seconds": seconds,
                 "fingerprint": fingerprints[-1],
                 "cache_hit_rate": result.timings.correlation_cache_hit_rate,
@@ -580,6 +632,201 @@ def bench_scenarios(seed: int, trials: int = 1) -> Dict:
     }
 
 
+def _capacity_canon(gateway, home_ids: Sequence[str]) -> Dict[str, str]:
+    """Per-home alert canon — kind/time/check/cases/devices/convergence."""
+    return {
+        home_id: repr(
+            [
+                (a.kind, a.time, a.check, a.cases,
+                 tuple(sorted(a.devices)), a.converged)
+                for a in gateway.alerts_of(home_id)
+            ]
+        )
+        for home_id in home_ids
+    }
+
+
+def bench_capacity(
+    num_homes: int,
+    archetypes: int,
+    windows_per_home: int,
+    n_groups: int,
+    num_bits: int = 96,
+    seed: int = 0,
+) -> Dict:
+    """Estate-scale A/B: shared+batched fleet vs fully replicated.
+
+    *num_homes* homes are stamped from *archetypes* canonical fits — the
+    structure :func:`~repro.fleet.build_fleet_homes` models with
+    ``unique_homes``, built synthetically here so ``H`` can be large
+    without simulating ``H`` distinct lives.  Each arm streams the same
+    per-window event batches through a :class:`~repro.fleet.FleetGateway`:
+
+    * **shared** — content-addressed contexts + batched tick (the
+      defaults): ``K`` trained states resident, one memo pre-warm pass
+      per tick across every home on a context;
+    * **replicated** — sharing and batching off: ``H`` private trained
+      states, per-event scalar ingest (the pre-capacity fleet).
+
+    Per-home alert parity across the arms is *asserted*, memory comes
+    from the deterministic estimator via :meth:`FleetGateway.memory_report`,
+    and the measured per-context bytes project the resident footprint out
+    to 1k/10k/100k homes.  Detector construction and interning are
+    untimed setup — the timed region is event flow only.
+    """
+    from ..core.detector import DiceDetector as _Detector, DiceModel
+    from ..core.encoding import StateSetEncoder
+    from ..fleet import FleetGateway
+    from ..streaming import SupervisorPolicy
+
+    rng = np.random.default_rng(seed)
+    layout = _synthetic_layout(num_bits)
+    config = DiceConfig(max_candidate_distance=2)
+    # Effectively-disabled supervision: the A/B measures window flow, not
+    # silence bookkeeping (quick smoke streams would trip real deadlines).
+    policy = SupervisorPolicy(silence_seconds=1e15, quarantine_seconds=1e15)
+
+    # One canonical fit plus one event stream per archetype.  Low mask
+    # density keeps events-per-window realistic (~2-3 active sensors).
+    density = 2.5 / num_bits
+    canonical: List[DiceModel] = []
+    window_events: List[List[List]] = []
+    from ..model import Event
+
+    for _ in range(archetypes):
+        pool = _group_pool(rng, num_bits, n_groups, density=density)
+        training_masks = [
+            pool[int(rng.integers(len(pool)))] for _ in range(n_groups * 3)
+        ]
+        training = WindowedTrace(
+            layout, 60.0, 0.0, training_masks, [frozenset()] * len(training_masks)
+        )
+        encoder = StateSetEncoder(layout.registry)
+        encoder._value_thresholds = np.zeros(len(layout.registry))
+        fitted = _Detector(
+            layout.registry, config, metrics=telemetry.NULL_REGISTRY
+        ).fit_windows(encoder, training)
+        canonical.append(fitted.model)
+        probes = _probe_stream(rng, pool, num_bits, windows_per_home)
+        stream: List[List] = []
+        for w, mask in enumerate(probes):
+            if mask == 0:
+                mask = 1  # a window needs at least one active sensor
+            events = []
+            j = 0
+            while mask:
+                bit = (mask & -mask).bit_length() - 1
+                mask &= mask - 1
+                events.append(
+                    Event(w * 60.0 + 1.0 + 0.5 * j, f"s{bit:03d}", 1.0)
+                )
+                j += 1
+            stream.append(events)
+        window_events.append(stream)
+
+    home_ids = [f"cap-{i:05d}" for i in range(num_homes)]
+
+    def _clone(model: DiceModel) -> _Detector:
+        clone = DiceModel(
+            model.encoder,
+            model.groups.copy(),
+            model.transitions.copy(),
+            model.training_windows,
+        )
+        return _Detector.from_model(
+            layout.registry, clone, config=config,
+            metrics=telemetry.NULL_REGISTRY,
+        )
+
+    def _run_arm(shared: bool):
+        gateway = FleetGateway(
+            1,
+            metrics=telemetry.NULL_REGISTRY,
+            share_contexts=shared,
+            batch_tick=shared,
+        )
+        for i, home_id in enumerate(home_ids):
+            gateway.add_home(
+                home_id,
+                _clone(canonical[i % archetypes]),
+                start=0.0,
+                lateness_seconds=0.0,
+                policy=policy,
+            )
+        events = 0
+        t0 = time.perf_counter()
+        for w in range(windows_per_home):
+            batch = []
+            for i, home_id in enumerate(home_ids):
+                for event in window_events[i % archetypes][w]:
+                    batch.append((home_id, event))
+            events += len(batch)
+            gateway.dispatch(batch)
+        gateway.finish(windows_per_home * 60.0)
+        seconds = time.perf_counter() - t0
+        return gateway, seconds, events
+
+    shared_gw, shared_s, events = _run_arm(shared=True)
+    replicated_gw, replicated_s, _ = _run_arm(shared=False)
+
+    if _capacity_canon(shared_gw, home_ids) != _capacity_canon(
+        replicated_gw, home_ids
+    ):
+        raise AssertionError(
+            "shared+batched fleet changed per-home alerts vs replicated"
+        )
+
+    shared_mem = shared_gw.memory_report()
+    replicated_mem = replicated_gw.memory_report()
+    per_context = (
+        shared_mem["trained_bytes_shared"] / shared_mem["distinct_contexts"]
+    )
+    projection = []
+    for target in (1_000, 10_000, 100_000):
+        shared_bytes = archetypes * per_context
+        projection.append(
+            {
+                "homes": target,
+                "shared_bytes": int(shared_bytes),
+                "replicated_bytes": int(target * per_context),
+                "shared_bytes_per_home": shared_bytes / target,
+                "replicated_bytes_per_home": per_context,
+            }
+        )
+    reduction = (
+        replicated_mem["trained_bytes_per_home"]
+        / shared_mem["trained_bytes_per_home"]
+        if shared_mem["trained_bytes_per_home"]
+        else float("inf")
+    )
+    alerts = sum(len(shared_gw.alerts_of(h)) for h in home_ids)
+    return {
+        "homes": int(num_homes),
+        "archetypes": int(archetypes),
+        "windows_per_home": int(windows_per_home),
+        "groups": int(n_groups),
+        "num_bits": int(num_bits),
+        "events": int(events),
+        "alerts": int(alerts),
+        "shared_s": shared_s,
+        "replicated_s": replicated_s,
+        "events_per_s_shared": events / shared_s if shared_s > 0 else 0.0,
+        "events_per_s_replicated": (
+            events / replicated_s if replicated_s > 0 else 0.0
+        ),
+        "speedup_shared_vs_replicated": (
+            replicated_s / shared_s if shared_s > 0 else float("inf")
+        ),
+        "bytes_per_home_shared": shared_mem["trained_bytes_per_home"],
+        "bytes_per_home_replicated": replicated_mem["trained_bytes_per_home"],
+        "bytes_per_home_reduction": reduction,
+        "dedup": shared_mem["store"],
+        "rss_bytes": shared_mem["rss_bytes"],
+        "projection": projection,
+        "alerts_identical": True,
+    }
+
+
 # --------------------------------------------------------------------- #
 # Driver
 # --------------------------------------------------------------------- #
@@ -593,6 +840,7 @@ def run_benchmarks(
     windows: Optional[int] = None,
     workers_list: Optional[Sequence[int]] = None,
     num_bits: int = 96,
+    capacity_homes: Optional[int] = None,
 ) -> Dict:
     """Run every section; returns the ``BENCH_perf.json`` document."""
     if quick:
@@ -604,6 +852,7 @@ def run_benchmarks(
         fleet_hours, fleet_train = 30.0, 24.0
         journal_hours = 4.5
         scenario_trials = 1
+        cap_homes, cap_archetypes, cap_windows, cap_groups = 200, 3, 12, 1024
     else:
         groups = groups or 500
         windows = windows or 5000
@@ -613,9 +862,14 @@ def run_benchmarks(
         fleet_hours, fleet_train = 48.0, 36.0
         journal_hours = 8.0
         scenario_trials = 3
+        cap_homes, cap_archetypes, cap_windows, cap_groups = 1000, 4, 24, 4096
+    if capacity_homes is not None:
+        cap_homes = int(capacity_homes)
     cpus = os.cpu_count() or 1
     if workers_list is None:
-        workers_list = [1, 2] if cpus == 1 else sorted({1, 2, cpus})
+        # Never request more workers than cores: the runner would cap them
+        # anyway, and duplicate counts would just re-run identical cells.
+        workers_list = sorted({w for w in (1, 2, cpus) if w <= cpus}) or [1]
     doc = {
         "schema": BENCH_SCHEMA,
         "quick": bool(quick),
@@ -637,6 +891,10 @@ def run_benchmarks(
         ),
         "journal": bench_journal(seed, hours=journal_hours),
         "scenarios": bench_scenarios(seed, trials=scenario_trials),
+        "capacity": bench_capacity(
+            cap_homes, cap_archetypes, cap_windows, cap_groups,
+            num_bits=num_bits, seed=seed,
+        ),
     }
     validate_document(doc)
     return doc
@@ -716,6 +974,39 @@ def validate_document(doc: Dict) -> Dict:
                 isinstance(row.get(key), int) and row[key] >= 0,
                 f"scan[].{key} must be a non-negative int",
             )
+        _require(
+            row.get("kernel") in ("gemm", "xor", "none"),
+            "scan[].kernel must be one of gemm/xor/none",
+        )
+        _require(
+            isinstance(row.get("gemm_min_rows"), int)
+            and row["gemm_min_rows"] >= 0,
+            "scan[].gemm_min_rows must be a non-negative int",
+        )
+        calls = row.get("kernel_calls")
+        _require(
+            isinstance(calls, dict)
+            and set(calls) == {"batch_cold", "batch_warm"},
+            "scan[].kernel_calls must map batch_cold/batch_warm",
+        )
+        for pass_name, delta in calls.items():
+            _require(
+                isinstance(delta, dict)
+                and all(
+                    isinstance(n, int) and n >= 0 for n in delta.values()
+                ),
+                f"scan[].kernel_calls.{pass_name} must count kernel calls",
+            )
+        forced = row.get("forced_kernel_s")
+        _require(
+            isinstance(forced, dict) and set(forced) == {"gemm", "xor"},
+            "scan[].forced_kernel_s must time both forced kernels",
+        )
+        for name, seconds in forced.items():
+            _require(
+                isinstance(seconds, (int, float)) and seconds >= 0,
+                f"scan[].forced_kernel_s.{name} must be a non-negative number",
+            )
 
     segment = doc.get("segment")
     _require(isinstance(segment, dict), "segment must be an object")
@@ -755,6 +1046,11 @@ def validate_document(doc: Dict) -> Dict:
         _require(
             isinstance(run.get("workers"), int) and run["workers"] >= 1,
             "eval.runs[].workers must be >= 1",
+        )
+        _require(
+            isinstance(run.get("effective_workers"), int)
+            and 1 <= run["effective_workers"] <= run["workers"],
+            "eval.runs[].effective_workers must be in [1, workers]",
         )
         _require(
             isinstance(run.get("seconds"), (int, float)) and run["seconds"] >= 0,
@@ -866,4 +1162,73 @@ def validate_document(doc: Dict) -> Dict:
                 f"scenarios.refresh_pairs[].{key} must be a "
                 "non-negative number or null",
             )
+
+    cap = doc.get("capacity")
+    _require(isinstance(cap, dict), "capacity must be an object")
+    for key in ("homes", "archetypes", "windows_per_home", "groups",
+                "num_bits", "events"):
+        _require(
+            isinstance(cap.get(key), int) and cap[key] >= 1,
+            f"capacity.{key} must be a positive int",
+        )
+    _require(
+        isinstance(cap.get("alerts"), int) and cap["alerts"] >= 0,
+        "capacity.alerts must be a non-negative int",
+    )
+    for key in (
+        "shared_s",
+        "replicated_s",
+        "events_per_s_shared",
+        "events_per_s_replicated",
+        "speedup_shared_vs_replicated",
+        "bytes_per_home_shared",
+        "bytes_per_home_replicated",
+    ):
+        _require(
+            isinstance(cap.get(key), (int, float)) and cap[key] >= 0,
+            f"capacity.{key} must be a non-negative number",
+        )
+    # The memory claim is deterministic (estimator bytes, not timings), so
+    # it *is* enforced: homes stamped from archetypes must dedup at least
+    # 5x per home, the acceptance floor for the capacity work.
+    _require(
+        isinstance(cap.get("bytes_per_home_reduction"), (int, float))
+        and cap["bytes_per_home_reduction"] >= 5.0,
+        "capacity.bytes_per_home_reduction must be >= 5 "
+        "(shared contexts failed to dedup the fleet)",
+    )
+    dedup = cap.get("dedup")
+    _require(isinstance(dedup, dict), "capacity.dedup must be an object")
+    for key in ("contexts", "holders", "intern_hits", "intern_misses"):
+        _require(
+            isinstance(dedup.get(key), int) and dedup[key] >= 0,
+            f"capacity.dedup.{key} must be a non-negative int",
+        )
+    _require(
+        isinstance(dedup.get("dedup_ratio"), (int, float))
+        and dedup["dedup_ratio"] >= 1.0,
+        "capacity.dedup.dedup_ratio must be >= 1",
+    )
+    projection = cap.get("projection")
+    _require(
+        isinstance(projection, list) and projection,
+        "capacity.projection must be a non-empty list",
+    )
+    for row in projection:
+        _require(isinstance(row, dict), "capacity.projection[] must be objects")
+        for key in ("homes", "shared_bytes", "replicated_bytes"):
+            _require(
+                isinstance(row.get(key), int) and row[key] >= 1,
+                f"capacity.projection[].{key} must be a positive int",
+            )
+        for key in ("shared_bytes_per_home", "replicated_bytes_per_home"):
+            _require(
+                isinstance(row.get(key), (int, float)) and row[key] > 0,
+                f"capacity.projection[].{key} must be a positive number",
+            )
+    _require(
+        cap.get("alerts_identical") is True,
+        "capacity.alerts_identical must be true "
+        "(shared contexts changed per-home alerts)",
+    )
     return doc

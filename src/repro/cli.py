@@ -14,8 +14,11 @@ The subcommands cover the everyday workflows:
   ``--metrics-out`` telemetry snapshot;
 * ``fleet`` — run the sharded multi-home gateway over a generated fleet:
   ``--homes`` deterministic homes hashed onto ``--shards`` workers, with
-  fleet-wide checkpoint/restore (``--save-checkpoint``/``--resume``) and
-  merged telemetry (``--metrics-out``);
+  fleet-wide checkpoint/restore (``--save-checkpoint``/``--resume``),
+  merged telemetry (``--metrics-out``), archetype stamping
+  (``--unique-homes``) and shared-context memory accounting
+  (``--report-memory``; opt out of the capacity layers with
+  ``--no-share-contexts``/``--no-batch-tick``);
 * ``chaos`` — crash-injection harness: run seeded deployments, kill the
   runtime at randomized points (including mid-journal-write), recover
   from checkpoint + journal tail, and verify the alert stream matches an
@@ -29,7 +32,7 @@ The subcommands cover the everyday workflows:
 * ``bench`` — time the detection hot paths (fit, scalar vs memoised vs
   batched correlation scan, parallel evaluation, telemetry overhead, fleet
   homes x shards scaling, write-ahead journal overhead, the scenario
-  matrix) and write ``BENCH_perf.json``.
+  matrix, estate-scale capacity A/B) and write ``BENCH_perf.json``.
 
 Primary results go to **stdout**; diagnostics (resume/checkpoint notices,
 errors, state changes) go through the structured logger on stderr —
@@ -130,6 +133,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=_worker_count, nargs="*", default=None,
         help="worker counts for the end-to-end eval section",
     )
+    bench.add_argument(
+        "--capacity-homes", type=int, default=None, metavar="H",
+        help="capacity section: fleet size for the shared-vs-replicated A/B "
+        "(default 200 quick / 1000 full)",
+    )
 
     stream = sub.add_parser(
         "stream", help="run the hardened gateway runtime over one dataset"
@@ -193,6 +201,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--homes", type=int, default=8, help="number of generated homes"
+    )
+    fleet.add_argument(
+        "--unique-homes", type=int, default=None, metavar="K",
+        help="cap distinct simulated lives at K archetypes; homes beyond K "
+        "reuse an archetype's trace and fit to identical trained state "
+        "(what the shared-context store dedups); default: all unique",
+    )
+    fleet.add_argument(
+        "--no-share-contexts", dest="share_contexts", action="store_false",
+        help="disable content-addressed shared trained contexts "
+        "(every home keeps a private copy)",
+    )
+    fleet.add_argument(
+        "--no-batch-tick", dest="batch_tick", action="store_false",
+        help="disable the cross-home batched tick (per-event ingest)",
+    )
+    fleet.add_argument(
+        "--report-memory", action="store_true",
+        help="print the fleet memory report: trained-state bytes/home "
+        "shared vs replicated, dedup ratio, RSS",
     )
     fleet.add_argument(
         "--shards", type=int, default=None,
@@ -584,7 +612,13 @@ def _cmd_stream(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    from .fleet import FleetGateway, build_fleet_homes, replay_fleet, restore_fleet
+    from .fleet import (
+        FleetGateway,
+        build_fleet_homes,
+        fit_fleet_detectors,
+        replay_fleet,
+        restore_fleet,
+    )
     from .streaming import CheckpointError, SupervisorPolicy
 
     if args.homes < 1:
@@ -596,7 +630,7 @@ def _cmd_fleet(args) -> int:
     try:
         homes = build_fleet_homes(
             args.homes, seed=args.seed, hours=args.hours,
-            train_hours=args.train_hours,
+            train_hours=args.train_hours, unique_homes=args.unique_homes,
         )
     except ValueError as exc:
         _log.error("bad_fleet", reason=str(exc))
@@ -604,13 +638,17 @@ def _cmd_fleet(args) -> int:
     if args.alerts_out and not args.journal_dir:
         _log.error("bad_fleet", reason="--alerts-out requires --journal-dir")
         return 2
-    detectors = {home.home_id: home.fit_detector() for home in homes}
+    detectors = fit_fleet_detectors(homes)
     policy = SupervisorPolicy(
         silence_seconds=args.silence, quarantine_seconds=args.quarantine
     )
 
     def fresh_gateway() -> FleetGateway:
-        fresh = FleetGateway(4 if args.shards is None else args.shards)
+        fresh = FleetGateway(
+            4 if args.shards is None else args.shards,
+            share_contexts=args.share_contexts,
+            batch_tick=args.batch_tick,
+        )
         for home in homes:
             fresh.add_home(
                 home.home_id, detectors[home.home_id], start=home.split,
@@ -651,6 +689,8 @@ def _cmd_fleet(args) -> int:
         try:
             gateway = restore_fleet(
                 detectors, args.resume, num_shards=args.shards,
+                share_contexts=args.share_contexts,
+                batch_tick=args.batch_tick,
                 lateness_seconds=args.lateness, policy=policy,
             )
         except (OSError, ValueError, KeyError, CheckpointError) as exc:
@@ -700,6 +740,22 @@ def _cmd_fleet(args) -> int:
     )
     if gateway.unrouted:
         print(f"unrouted events: {gateway.unrouted}")
+    if args.report_memory:
+        inner = durable.gateway if durable is not None else gateway
+        report = inner.memory_report()
+        print(
+            f"trained contexts: {report['distinct_contexts']} distinct for "
+            f"{report['homes']} homes "
+            f"(dedup {report['store']['dedup_ratio']:.1f}x, "
+            f"intern hits {report['store']['intern_hits']})"
+        )
+        print(
+            f"trained bytes/home: {report['trained_bytes_per_home']:.0f} shared "
+            f"vs {report['replicated_bytes_per_home']:.0f} replicated "
+            f"({report['savings_ratio']:.1f}x saved)"
+        )
+        if report["rss_bytes"] is not None:
+            print(f"process RSS: {report['rss_bytes'] / 2**20:.1f} MiB")
     if durable is not None:
         if durable.outbox is not None:
             delivery = durable.deliver_pending()
@@ -880,6 +936,7 @@ def _cmd_bench(args) -> int:
         groups=args.groups,
         windows=args.windows,
         workers_list=args.workers,
+        capacity_homes=args.capacity_homes,
     )
     write_document(doc, args.output)
     scan = doc["scan"][0]
@@ -903,6 +960,7 @@ def _cmd_bench(args) -> int:
     for run in doc["eval"]["runs"]:
         print(
             f"eval[{doc['eval']['dataset']}]: workers={run['workers']} "
+            f"(effective {run['effective_workers']}) "
             f"{run['seconds']:.2f}s  cache hit rate {100 * run['cache_hit_rate']:.1f}%"
         )
     print(
@@ -935,6 +993,25 @@ def _cmd_bench(args) -> int:
         print(
             f"scenarios drift {pair['variant']}: sustained alerts/h "
             f"{pair['plain']} (plain) -> {pair['refresh']} (refresh)"
+        )
+    cap = doc["capacity"]
+    print(
+        f"capacity: {cap['homes']} homes from {cap['archetypes']} archetypes  "
+        f"shared+batched {cap['events_per_s_shared']:.0f} events/s vs "
+        f"replicated {cap['events_per_s_replicated']:.0f} "
+        f"({cap['speedup_shared_vs_replicated']:.2f}x), "
+        f"parity {cap['alerts_identical']}"
+    )
+    print(
+        f"capacity memory: {cap['bytes_per_home_shared'] / 1024:.1f} KiB/home "
+        f"shared vs {cap['bytes_per_home_replicated'] / 1024:.1f} KiB/home "
+        f"replicated ({cap['bytes_per_home_reduction']:.0f}x)"
+    )
+    for proj in cap["projection"]:
+        print(
+            f"capacity projection: {proj['homes']} homes -> "
+            f"{proj['shared_bytes'] / 2**20:.1f} MiB trained state shared vs "
+            f"{proj['replicated_bytes'] / 2**20:.1f} MiB replicated"
         )
     print(f"wrote {args.output}")
     return 0

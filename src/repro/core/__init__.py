@@ -14,6 +14,12 @@ from .config import (
     DEFAULT_CONFIG,
     DiceConfig,
 )
+from .context import (
+    SharedContext,
+    SharedContextStore,
+    context_hash,
+    trained_context_nbytes,
+)
 from .detector import (
     CORRELATION_CHECK,
     STAGE_SECONDS_HISTOGRAM,
@@ -61,6 +67,10 @@ __all__ = [
     "BITS_PER_NUMERIC_SENSOR",
     "DEFAULT_CONFIG",
     "DiceConfig",
+    "SharedContext",
+    "SharedContextStore",
+    "context_hash",
+    "trained_context_nbytes",
     "CORRELATION_CHECK",
     "STAGE_SECONDS_HISTOGRAM",
     "STAGE_SECONDS_TOTAL",

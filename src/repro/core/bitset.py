@@ -115,7 +115,12 @@ class PackedBitsets:
     batch of probes as one ``(W, n)`` matrix pass.
     """
 
-    def __init__(self, num_bits: int, masks: Sequence[int] = ()) -> None:
+    def __init__(
+        self,
+        num_bits: int,
+        masks: Sequence[int] = (),
+        gemm_min_rows: Optional[int] = None,
+    ) -> None:
         self.num_bits = int(num_bits)
         self.num_words = words_needed(self.num_bits)
         self._masks: List[int] = []
@@ -126,8 +131,20 @@ class PackedBitsets:
         #: Plain-int tallies of which batch kernel ran, read by the
         #: telemetry collector (``dice_bitset_kernel_calls_total``).
         self.kernel_calls: Dict[str, int] = {"gemm": 0, "xor": 0}
+        #: Scalar/GEMM crossover for :meth:`distances_many`; ``None`` keeps
+        #: the module heuristic (overridable via ``DiceConfig``).
+        self.gemm_min_rows = (
+            _GEMM_MIN_ROWS if gemm_min_rows is None else int(gemm_min_rows)
+        )
         if masks:
             self.extend(masks)
+
+    def copy(self) -> "PackedBitsets":
+        """Independent twin with the same rows and fresh kernel tallies."""
+        twin = PackedBitsets(self.num_bits, gemm_min_rows=self.gemm_min_rows)
+        twin._masks = list(self._masks)
+        twin._buf = self._buf[: len(self._masks)].copy()
+        return twin
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
@@ -211,7 +228,7 @@ class PackedBitsets:
         out = np.empty((probes.shape[0], n), dtype=np.int64)
         if probes.shape[0] == 0 or n == 0:
             return out
-        if probes.shape[0] >= _GEMM_MIN_ROWS:
+        if probes.shape[0] >= self.gemm_min_rows:
             self.kernel_calls["gemm"] += 1
             return self._distances_gemm(probes, out)
         self.kernel_calls["xor"] += 1

@@ -85,6 +85,11 @@ class CorrelationChecker:
     ) -> None:
         self.groups = groups
         self.config = config
+        if config.gemm_min_rows is not None:
+            # Kernel crossover is a pure performance knob (identical
+            # distances either way), so applying it to a shared registry is
+            # safe: every holder runs the same config by construction.
+            groups.gemm_min_rows = config.gemm_min_rows
         self.max_distance = config.candidate_distance(groups.layout.has_numeric)
         self._cache_size = (
             config.correlation_cache_size if cache_size is None else cache_size
@@ -197,6 +202,38 @@ class CorrelationChecker:
                 cache.popitem(last=False)
                 self.cache_evictions += 1
         return results  # type: ignore[return-value]
+
+    def warm(self, masks: Sequence[int]) -> int:
+        """Prefill the memo for *masks* without touching hit/miss counters.
+
+        The cross-home batched tick stacks the pending windows of every
+        home sharing this checker into one ``(W, G)`` matrix pass, then
+        each home's in-order drain consults the memo as usual.  Because
+        the memo is a pure cache, warming changes *which kernel* resolves
+        a mask, never the result — per-home alerts are byte-identical to
+        the unwarmed path.  Returns the number of masks actually scanned.
+        """
+        if not self._cache_size:
+            return 0
+        if self.groups.version != self._cache_version:
+            self.clear_cache()
+        cache = self._cache
+        fresh: List[int] = []
+        seen = set()
+        for mask in masks:
+            if mask in cache:
+                cache.move_to_end(mask)
+            elif mask not in seen:
+                seen.add(mask)
+                fresh.append(mask)
+        if not fresh:
+            return 0
+        for mask, result in zip(fresh, self._scan_many(fresh)):
+            cache[mask] = result
+        while len(cache) > self._cache_size:
+            cache.popitem(last=False)
+            self.cache_evictions += 1
+        return len(fresh)
 
     def _scan_many(self, masks: List[int]) -> List[CorrelationResult]:
         """One (W, G) matrix pass; per-row candidate extraction mirrors

@@ -68,6 +68,12 @@ class DiceConfig:
     #: repeats a small working set of masks heavily; a hit skips the group
     #: scan entirely.  0 disables memoisation (every check scans).
     correlation_cache_size: int = 4096
+    #: Batch height at which ``distances_many`` switches from the per-word
+    #: XOR + popcount kernel to the float32 bit-plane GEMM.  ``None`` keeps
+    #: the built-in heuristic (64 rows); 0 forces GEMM on every batch, a
+    #: very large value forces the XOR path.  Kernel choice never changes
+    #: results — only which arithmetic computes the same distances.
+    gemm_min_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -84,6 +90,8 @@ class DiceConfig:
             raise ValueError("min_group_observations must be at least 1")
         if self.correlation_cache_size < 0:
             raise ValueError("correlation_cache_size must be non-negative")
+        if self.gemm_min_rows is not None and self.gemm_min_rows < 0:
+            raise ValueError("gemm_min_rows must be non-negative")
 
     @property
     def num_thre(self) -> int:

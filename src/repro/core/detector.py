@@ -258,6 +258,13 @@ class DiceDetector:
         self._correlation_checker: Optional[CorrelationChecker] = None
         self._transition_checker: Optional[TransitionChecker] = None
         self._identifier: Optional[Identifier] = None
+        #: The interned :class:`~repro.core.context.SharedContext` this
+        #: detector references, if any (``None`` = privately owned state).
+        self._shared = None
+        #: Content hash stamped at interning; cleared on fork.
+        self._interned_hash: Optional[str] = None
+        #: Baselines for the delta-published telemetry counters.
+        self._telemetry_last = {"evictions": 0, "gemm": 0, "xor": 0}
 
     # ------------------------------------------------------------------ #
     # Precomputation phase
@@ -282,14 +289,91 @@ class DiceDetector:
         transitions = TransitionModel.extract(
             sequence, windowed.actuator_activations
         )
-        self.model = DiceModel(encoder, groups, transitions, len(windowed))
-        self._correlation_checker = CorrelationChecker(groups, self.config)
-        self._transition_checker = TransitionChecker(transitions, self.config, groups)
-        self._identifier = Identifier(
-            groups, transitions, self._correlation_checker, self.config
+        self._install_model(
+            DiceModel(encoder, groups, transitions, len(windowed))
         )
         self._register_telemetry()
         return self
+
+    @classmethod
+    def from_model(
+        cls,
+        registry: DeviceRegistry,
+        model: DiceModel,
+        config: DiceConfig = DEFAULT_CONFIG,
+        weights: Optional[DeviceWeights] = None,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
+    ) -> "DiceDetector":
+        """A fitted detector wrapped around an existing precomputed model.
+
+        Used wherever the fit artefacts come from elsewhere — the capacity
+        bench synthesises one archetype model and stamps out detectors per
+        home without re-running the precomputation phase."""
+        detector = cls(registry, config, weights, metrics=metrics)
+        detector._install_model(model)
+        detector._register_telemetry()
+        return detector
+
+    def _install_model(self, model: DiceModel) -> None:
+        """Build the real-time checkers over *model* (privately owned)."""
+        self.model = model
+        self._correlation_checker = CorrelationChecker(model.groups, self.config)
+        self._transition_checker = TransitionChecker(
+            model.transitions, self.config, model.groups
+        )
+        self._identifier = Identifier(
+            model.groups, model.transitions, self._correlation_checker, self.config
+        )
+        self._shared = None
+        self._interned_hash = None
+        self._telemetry_last = {"evictions": 0, "gemm": 0, "xor": 0}
+
+    # ------------------------------------------------------------------ #
+    # Shared contexts (copy-on-write)
+    # ------------------------------------------------------------------ #
+
+    def adopt_context(self, shared) -> None:
+        """Reference an interned :class:`~repro.core.context.SharedContext`.
+
+        Drops this detector's private model/checkers in favour of the
+        shared ones (including the correlation memo, which is keyed only
+        on mask + group set + config, so results are home-independent).
+        Called by :meth:`SharedContextStore.intern`."""
+        self._require_fitted()
+        if self._shared is not None:
+            self._shared.holders -= 1
+            if self._shared.owner is self:
+                self._shared.owner = None
+        self.model = shared.model
+        self._correlation_checker = shared.correlation_checker
+        self._transition_checker = shared.transition_checker
+        self._identifier = shared.identifier
+        self._shared = shared
+        self._interned_hash = shared.hash
+        self._telemetry_last = {"evictions": 0, "gemm": 0, "xor": 0}
+        shared.holders += 1
+
+    def fork_context(self) -> bool:
+        """Copy-on-write: take a private copy of a shared trained context.
+
+        No-op (returns ``False``) when the state is already private.  The
+        copy reproduces group ids, counts and transition counts exactly,
+        so a forked home's subsequent mutations (context refresh) behave
+        byte-identically to a home that never shared.  The other holders
+        keep the canonical objects untouched."""
+        shared = self._shared
+        if shared is None:
+            return False
+        model = self._require_fitted()
+        groups = model.groups.copy()
+        transitions = model.transitions.copy()
+        self._install_model(
+            DiceModel(model.encoder, groups, transitions, model.training_windows)
+        )
+        shared.holders -= 1
+        if shared.owner is self:
+            shared.owner = None
+        return True
 
     def _register_telemetry(self) -> None:
         """Expose memo occupancy/evictions and kernel choices as metrics.
@@ -301,8 +385,6 @@ class DiceDetector:
         metrics = self.metrics
         if not metrics.enabled:
             return
-        checker = self._correlation_checker
-        groups = self.model.groups
         # Created eagerly so every family is present in snapshots even
         # before the first window is processed.
         metrics.counter(CACHE_HITS_TOTAL, "Correlation-memo hits")
@@ -322,11 +404,25 @@ class DiceDetector:
         groups_gauge = metrics.gauge(
             "dice_groups", "Groups in the fitted registry"
         )
-        last = {"evictions": 0, "gemm": 0, "xor": 0}
 
         def collect() -> None:
+            # Read the *current* checker/groups through self: a context
+            # adoption or copy-on-write fork swaps them out from under a
+            # collector registered at fit time.
+            checker = self._correlation_checker
+            if checker is None or self.model is None:
+                return
+            groups = self.model.groups
             cache_size.set(checker.cache_info()["size"])
             groups_gauge.set(len(groups))
+            shared = self._shared
+            if shared is not None and shared.owner is not self:
+                # The shared eviction/kernel tallies are published by
+                # exactly one holder (the context owner); every other
+                # holder repeating the same deltas would double-count
+                # them in merged fleet snapshots.
+                return
+            last = self._telemetry_last
             evictions.inc(checker.cache_evictions - last["evictions"])
             last["evictions"] = checker.cache_evictions
             counts = groups.kernel_call_counts()

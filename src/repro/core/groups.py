@@ -31,6 +31,11 @@ class GroupRegistry:
         self._by_mask: Dict[int, int] = {}
         self._bitsets = PackedBitsets(layout.num_bits)
         self._counts: List[int] = []
+        #: Frozen registries refuse mutation: a registry interned into a
+        #: :class:`~repro.core.context.SharedContextStore` is referenced by
+        #: many homes, so writing to it would corrupt every holder — homes
+        #: must fork a private copy first (``DiceDetector.fork_context``).
+        self._frozen = False
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -48,6 +53,11 @@ class GroupRegistry:
 
     def add(self, mask: int) -> int:
         """Intern *mask*; returns its group id, counting the observation."""
+        if self._frozen:
+            raise RuntimeError(
+                "cannot add to a frozen (shared) GroupRegistry; fork a "
+                "private copy first"
+            )
         group_id = self._by_mask.get(mask)
         if group_id is None:
             group_id = self._bitsets.append(mask)
@@ -56,6 +66,26 @@ class GroupRegistry:
         else:
             self._counts[group_id] += 1
         return group_id
+
+    def freeze(self) -> None:
+        """Make the registry immutable (interned shared contexts)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def copy(self) -> "GroupRegistry":
+        """Unfrozen independent copy — the copy-on-write fork target.
+
+        The copy reproduces group ids, masks and observation counts
+        exactly, so a forked home's future ``add`` calls intern the same
+        ids the unshared run would have."""
+        twin = GroupRegistry(self.layout)
+        twin._by_mask = dict(self._by_mask)
+        twin._bitsets = self._bitsets.copy()
+        twin._counts = list(self._counts)
+        return twin
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -114,6 +144,15 @@ class GroupRegistry:
     def kernel_call_counts(self) -> Dict[str, int]:
         """How often each ``distances_many`` kernel ran (``gemm``/``xor``)."""
         return dict(self._bitsets.kernel_calls)
+
+    @property
+    def gemm_min_rows(self) -> int:
+        """Batch height at which ``distances_many`` switches to GEMM."""
+        return self._bitsets.gemm_min_rows
+
+    @gemm_min_rows.setter
+    def gemm_min_rows(self, value: int) -> None:
+        self._bitsets.gemm_min_rows = int(value)
 
     # ------------------------------------------------------------------ #
     # Statistics

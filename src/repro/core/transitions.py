@@ -36,6 +36,13 @@ class TransitionMatrix(Generic[Row, Col]):
         cols[col] = cols.get(col, 0) + weight
         self._row_totals[row] = self._row_totals.get(row, 0) + weight
 
+    def copy(self) -> "TransitionMatrix[Row, Col]":
+        """Independent copy (rows/cols are immutable keys; counts are ints)."""
+        twin: "TransitionMatrix[Row, Col]" = TransitionMatrix()
+        twin._counts = {row: dict(cols) for row, cols in self._counts.items()}
+        twin._row_totals = dict(self._row_totals)
+        return twin
+
     def count(self, row: Row, col: Col) -> int:
         return self._counts.get(row, {}).get(col, 0)
 
@@ -112,6 +119,10 @@ class TransitionModel:
             for act in actuator_activations[i - 1]:
                 model.a2g.observe(act, cur_g)
         return model
+
+    def copy(self) -> "TransitionModel":
+        """Independent copy of all three matrices (copy-on-write forks)."""
+        return TransitionModel(self.g2g.copy(), self.g2a.copy(), self.a2g.copy())
 
     def merge(self, other: "TransitionModel") -> None:
         """Fold another model's observations into this one (used when

@@ -12,6 +12,7 @@ module simply projects a different view of the same
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -189,7 +190,12 @@ class EvaluationRunner:
         self.segment_hours = segment_hours
         self.pairs = pairs
         self.seed = seed
-        self.workers = workers
+        # Cap at the machine's core count: oversubscribed process pools are
+        # strictly slower (a 2-worker pool on 1 CPU pays pickling plus
+        # context-switching for zero parallelism), and results are
+        # worker-count-invariant anyway.  The effective count is what
+        # ``self.workers`` reports.
+        self.workers = min(workers, os.cpu_count() or workers)
 
     # ------------------------------------------------------------------ #
 

@@ -27,6 +27,7 @@ from .gateway import (
 from .loadgen import (
     FleetHome,
     build_fleet_homes,
+    fit_fleet_detectors,
     home_seed,
     merged_ticks,
     replay_fleet,
@@ -48,6 +49,7 @@ __all__ = [
     "FleetShard",
     "FleetHome",
     "build_fleet_homes",
+    "fit_fleet_detectors",
     "home_seed",
     "merged_ticks",
     "replay_fleet",

@@ -21,6 +21,14 @@ serialized (large, immutable; the fleet's homes are refit or loaded from
 their own artefacts) — the caller hands ``restore_fleet`` one fitted
 detector per home, and every snapshot's ``model`` fingerprint is verified
 against it.
+
+Since manifest schema ``/2``, each home entry also records the
+**content hash** of the base trained context the snapshot was taken
+against (:func:`~repro.core.context_hash`, captured pre-refresh).  A
+restore re-hashes every supplied detector and refuses any home whose
+re-fit does not reproduce the recorded bytes — then re-interns the
+detectors in the restored gateway's shared-context store, so dedup (and
+copy-on-write refresh replay) survives a restart and any reshard.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ import os
 from typing import Dict, Optional, Union
 
 from .. import telemetry
-from ..core import DiceDetector
+from ..core import DiceDetector, SharedContextStore, context_hash
 from ..streaming import (
     CheckpointError,
     load_checkpoint,
@@ -41,7 +49,9 @@ from ..streaming import (
 from ..streaming.checkpoint import write_json_atomic
 from .gateway import FleetGateway
 
-MANIFEST_SCHEMA = "dice-fleet-manifest/1"
+MANIFEST_SCHEMA = "dice-fleet-manifest/2"
+#: Restorable manifest schemas; /1 simply lacks the context hashes.
+COMPATIBLE_SCHEMAS = frozenset({"dice-fleet-manifest/1", MANIFEST_SCHEMA})
 MANIFEST_NAME = "manifest.json"
 
 _log = telemetry.get_logger("repro.fleet.checkpoint")
@@ -71,6 +81,10 @@ def save_fleet_checkpoint(gateway: FleetGateway, directory: PathLike) -> None:
             "shard": gateway.shard_index_of(home_id),
             "file": filename,
             "model": model_fingerprint(runtime.detector),
+            # The content hash of the *base* trained context (pre-refresh),
+            # captured at runtime construction; restore validates the
+            # re-fitted detector against it byte-for-byte.
+            "context": getattr(runtime, "base_context_hash", None),
         }
     manifest = {
         "schema": MANIFEST_SCHEMA,
@@ -105,7 +119,7 @@ def load_fleet_manifest(directory: PathLike) -> dict:
         raise CheckpointError(f"cannot read fleet manifest {path}: {exc}") from exc
     except ValueError as exc:
         raise CheckpointError(f"corrupt fleet manifest {path}: {exc}") from exc
-    if not isinstance(manifest, dict) or manifest.get("schema") != MANIFEST_SCHEMA:
+    if not isinstance(manifest, dict) or manifest.get("schema") not in COMPATIBLE_SCHEMAS:
         raise CheckpointError(f"{path} is not a fleet manifest")
     homes = manifest.get("homes")
     if not isinstance(homes, dict):
@@ -128,6 +142,9 @@ def restore_fleet(
     *,
     num_shards: Optional[int] = None,
     metrics: Optional["telemetry.MetricsRegistry"] = None,
+    share_contexts: bool = True,
+    batch_tick: bool = True,
+    context_store: Optional[SharedContextStore] = None,
     **runtime_kwargs,
 ) -> FleetGateway:
     """Rebuild a :class:`FleetGateway` from a checkpoint directory.
@@ -137,6 +154,12 @@ def restore_fleet(
     defaults to the manifest's count; ``runtime_kwargs`` configure each
     restored :class:`~repro.streaming.HardenedOnlineDice` (lateness,
     supervisor policy, ...) exactly as on the standalone restore path.
+
+    With *share_contexts* (the default, mirroring :class:`FleetGateway`),
+    each validated detector is re-interned **before** its snapshot is
+    replayed, so restored homes dedup exactly like freshly added ones and
+    a carried refresh history forks its private copy on re-apply — even
+    when *num_shards* moved the home to a different shard.
     """
     directory = os.fspath(directory)
     manifest = load_fleet_manifest(directory)
@@ -149,6 +172,7 @@ def restore_fleet(
     # detectors *before* restoring anything: a missing snapshot file or a
     # fingerprint mismatch should name its home up front, not explode
     # halfway through a partially-built gateway.
+    refit_hashes: Dict[str, str] = {}
     for home_id in sorted(manifest["homes"]):
         entry = manifest["homes"][home_id]
         snapshot_path = os.path.join(directory, entry["file"])
@@ -164,8 +188,21 @@ def restore_fleet(
                 f"snapshot for home {home_id!r} was taken against a different "
                 f"model: {recorded} != {expected}"
             )
+        recorded_hash = entry.get("context")
+        if recorded_hash is not None:
+            refit_hashes[home_id] = refit = context_hash(detectors[home_id])
+            if refit != recorded_hash:
+                raise CheckpointError(
+                    f"shared context mismatch for home {home_id!r}: the "
+                    f"checkpoint recorded base context {recorded_hash}, but "
+                    f"the supplied detector re-fit to {refit}"
+                )
     gateway = FleetGateway(
-        num_shards=num_shards or manifest["num_shards"], metrics=metrics
+        num_shards=num_shards or manifest["num_shards"],
+        metrics=metrics,
+        share_contexts=share_contexts,
+        batch_tick=batch_tick,
+        context_store=context_store,
     )
     for home_id in sorted(manifest["homes"]):
         entry = manifest["homes"][home_id]
@@ -173,6 +210,12 @@ def restore_fleet(
             state = load_checkpoint(os.path.join(directory, entry["file"]))
         except CheckpointError as exc:
             raise CheckpointError(f"home {home_id!r}: {exc}") from exc
+        if gateway.share_contexts:
+            # Intern before replaying the snapshot: refresh-history re-apply
+            # must fork off the shared copy exactly as the original run did.
+            gateway.context_store.intern(
+                detectors[home_id], key=refit_hashes.get(home_id)
+            )
         runtime = restore_runtime(detectors[home_id], state, **runtime_kwargs)
         gateway.add_runtime(home_id, runtime)
     fleet_counters = manifest.get("telemetry")

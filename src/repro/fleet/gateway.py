@@ -21,6 +21,20 @@ Telemetry stays shared-nothing too: every home's runtime records into its
 own detector's registry, and :meth:`metrics_snapshot` joins them with
 :func:`~repro.telemetry.merge_many` — the same worker-join primitive the
 parallel evaluation runner uses.
+
+Two capacity layers ride on the invisibility guarantee (both on by
+default, both per-home-parity-preserving):
+
+* **Shared contexts** — :meth:`add_home` interns each fitted detector in
+  a :class:`~repro.core.SharedContextStore`; homes whose trained state is
+  content-identical reference one frozen copy (copy-on-write: the first
+  context refresh forks a private one).  :meth:`memory_report` accounts
+  for the savings.
+* **Batched tick** — :meth:`dispatch` stages every home's events first,
+  pre-warms each shared correlation memo once across all homes in the
+  batch (one vectorised ``distances_many`` pass instead of per-home
+  scalar scans), then drains per home.  Only the fleet-level alert
+  interleaving — unspecified anyway — differs from the per-event path.
 """
 
 from __future__ import annotations
@@ -29,7 +43,12 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .. import telemetry
-from ..core import DiceDetector
+from ..core import (
+    CorrelationChecker,
+    DiceDetector,
+    SharedContextStore,
+    trained_context_nbytes,
+)
 from ..model import Event
 from ..streaming import Alert, HardenedOnlineDice
 from .sharding import shard_of
@@ -41,6 +60,19 @@ FLEET_DISPATCHES_TOTAL = "dice_fleet_dispatches_total"
 FLEET_HOMES_GAUGE = "dice_fleet_homes"
 
 _log = telemetry.get_logger("repro.fleet.gateway")
+
+
+def _rss_bytes() -> Optional[int]:
+    """Process resident set size (Linux), informational only — allocator
+    behaviour makes RSS unfit for CI budgets, unlike the estimator."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
 
 
 @dataclass(frozen=True)
@@ -75,6 +107,50 @@ class FleetShard:
                 fresh.append(FleetAlert(home_id, alert))
         return fresh
 
+    def dispatch_batched(
+        self, batch: Iterable[Tuple[str, Event]]
+    ) -> List[FleetAlert]:
+        """Batched tick: stage every home's events, pre-warm each distinct
+        correlation memo once, then drain per home.
+
+        Per-home alert sequences are byte-identical to :meth:`dispatch` —
+        staging pins quarantine bits per window and the memo warm-up is a
+        pure cache fill.  Only the fleet-level interleaving changes
+        (alerts come out grouped by home, not by event arrival), which
+        the gateway contract deliberately leaves unspecified.  When homes
+        share an interned context they also share the memo, so one
+        vectorised ``distances_many`` pass covers the whole batch's novel
+        masks across every home on the context.
+        """
+        homes = self.homes
+        staged: Dict[str, List[tuple]] = {}
+        order: List[str] = []
+        for home_id, event in batch:
+            items = staged.get(home_id)
+            if items is None:
+                items = staged[home_id] = []
+                order.append(home_id)
+            homes[home_id].stage_event(event, items)
+        warm: Dict[int, Tuple[CorrelationChecker, List[int]]] = {}
+        for home_id in order:
+            runtime = homes[home_id]
+            masks = runtime.staged_window_masks(staged[home_id])
+            if not masks:
+                continue
+            checker = runtime.detector._correlation_checker
+            entry = warm.get(id(checker))
+            if entry is None:
+                warm[id(checker)] = (checker, masks)
+            else:
+                entry[1].extend(masks)
+        for checker, masks in warm.values():
+            checker.warm(masks)
+        fresh: List[FleetAlert] = []
+        for home_id in order:
+            for alert in homes[home_id].drain_staged(staged[home_id]):
+                fresh.append(FleetAlert(home_id, alert))
+        return fresh
+
     def advance_to(self, timestamp: float) -> List[FleetAlert]:
         fresh: List[FleetAlert] = []
         for home_id, runtime in self.homes.items():
@@ -105,6 +181,17 @@ class FleetGateway:
         drops, homes per shard).  Defaults to a fresh private registry so
         fleet-level numbers never mix with any single home's; pass
         ``telemetry.NULL_REGISTRY`` to disable.
+    share_contexts:
+        Intern each :meth:`add_home` detector in the fleet's
+        :class:`~repro.core.SharedContextStore`, so content-identical
+        trained states are stored once (copy-on-write on divergence).
+    batch_tick:
+        Use the staged, memo-prewarming :meth:`FleetShard.dispatch_batched`
+        per tick instead of per-event ingest.  Per-home alert parity is
+        pinned by the test suite; disable only to A/B the paths.
+    context_store:
+        Share an existing store (e.g. across gateways in one process);
+        defaults to a fresh private one.
     """
 
     def __init__(
@@ -112,10 +199,18 @@ class FleetGateway:
         num_shards: int = 4,
         *,
         metrics: Optional["telemetry.MetricsRegistry"] = None,
+        share_contexts: bool = True,
+        batch_tick: bool = True,
+        context_store: Optional[SharedContextStore] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         self.num_shards = int(num_shards)
+        self.share_contexts = bool(share_contexts)
+        self.batch_tick = bool(batch_tick)
+        self.context_store = (
+            context_store if context_store is not None else SharedContextStore()
+        )
         self.shards = [FleetShard(i) for i in range(self.num_shards)]
         self._runtimes: Dict[str, HardenedOnlineDice] = {}
         self.alerts: List[FleetAlert] = []
@@ -177,8 +272,12 @@ class FleetGateway:
         """Create and register a hardened runtime for *home_id*.
 
         ``runtime_kwargs`` pass through to :class:`HardenedOnlineDice`
-        (lateness budget, supervisor policy, ...).
+        (lateness budget, supervisor policy, ...).  With context sharing
+        on, the detector is interned *before* the runtime captures its
+        base hash — an adopted detector reuses the canonical copy's.
         """
+        if self.share_contexts:
+            self.context_store.intern(detector)
         runtime = HardenedOnlineDice(detector, start=start, **runtime_kwargs)
         return self.add_runtime(home_id, runtime)
 
@@ -222,7 +321,10 @@ class FleetGateway:
         fresh: List[FleetAlert] = []
         for shard, batch in zip(self.shards, batches):
             if batch:
-                fresh.extend(shard.dispatch(batch))
+                if self.batch_tick:
+                    fresh.extend(shard.dispatch_batched(batch))
+                else:
+                    fresh.extend(shard.dispatch(batch))
         for index, count in enumerate(routed):
             if count:
                 self._events_counter.labels(shard=str(index)).inc(count)
@@ -271,6 +373,36 @@ class FleetGateway:
         """One home's alert sequence, in emission order."""
         return [fa.alert for fa in self.alerts if fa.home_id == home_id]
 
+    def memory_report(self) -> dict:
+        """Fleet memory accounting: trained-state bytes as hosted (shared)
+        vs what per-home replication would cost, plus store dedup stats.
+
+        The byte numbers come from the deterministic
+        :func:`~repro.core.trained_context_nbytes` estimator — an adopted
+        detector reports the canonical copy's size, so summing over homes
+        *is* the replicated cost.  RSS rides along informationally.
+        """
+        per_context: Dict[int, int] = {}
+        replicated = 0
+        for home_id in sorted(self._runtimes):
+            detector = self._runtimes[home_id].detector
+            nbytes = trained_context_nbytes(detector)
+            replicated += nbytes
+            per_context.setdefault(id(detector.model), nbytes)
+        shared = sum(per_context.values())
+        homes = len(self._runtimes)
+        return {
+            "homes": homes,
+            "distinct_contexts": len(per_context),
+            "trained_bytes_shared": shared,
+            "trained_bytes_replicated": replicated,
+            "trained_bytes_per_home": (shared / homes) if homes else 0.0,
+            "replicated_bytes_per_home": (replicated / homes) if homes else 0.0,
+            "savings_ratio": (replicated / shared) if shared else 1.0,
+            "store": self.context_store.stats(),
+            "rss_bytes": _rss_bytes(),
+        }
+
     def metrics_snapshot(self) -> dict:
         """One fleet-wide snapshot: router registry + every home's, merged.
 
@@ -312,6 +444,7 @@ class FleetGateway:
             },
             "alerts": alert_counts,
             "unrouted": self.unrouted,
+            "contexts": self.context_store.stats(),
             "homes": homes,
         }
 

@@ -77,34 +77,93 @@ def build_fleet_homes(
     seed: int = 0,
     hours: float = 48.0,
     train_hours: float = 36.0,
+    unique_homes: Optional[int] = None,
 ) -> List[FleetHome]:
     """Generate *num_homes* deterministic homes.
 
     Home *i* is the ``i % len(families)``-th ISLA house, renamed
     ``home-<i>``, simulated for *hours* with :func:`home_seed`.  The first
     *train_hours* of each trace are the precomputation prefix.
+
+    *unique_homes* caps the number of distinct simulated lives: home *i*
+    beyond the cap reuses home ``i % unique_homes``'s trace and split
+    under its own id, so its detector fits to byte-identical trained
+    state — the archetype structure a real estate-scale fleet has, and
+    what the shared-context store dedups.  The default (``None``) keeps
+    every home unique.
     """
     if num_homes < 1:
         raise ValueError("num_homes must be at least 1")
     if not 0.0 < train_hours < hours:
         raise ValueError("train_hours must leave a non-empty live segment")
+    if unique_homes is None:
+        unique_homes = num_homes
+    if unique_homes < 1:
+        raise ValueError("unique_homes must be at least 1")
+    unique_homes = min(unique_homes, num_homes)
     builders = _builders()
     homes: List[FleetHome] = []
     for index in range(num_homes):
         home_id = f"home-{index:04d}"
-        spec = builders[index % len(builders)]().renamed(home_id)
-        trace = HomeSimulator(spec).simulate(
-            hours * 3600.0, seed=home_seed(seed, index)
-        )
-        homes.append(
-            FleetHome(
-                home_id=home_id,
-                spec=spec,
-                trace=trace,
-                split=trace.start + train_hours * 3600.0,
+        if index < unique_homes:
+            spec = builders[index % len(builders)]().renamed(home_id)
+            trace = HomeSimulator(spec).simulate(
+                hours * 3600.0, seed=home_seed(seed, index)
             )
+            split = trace.start + train_hours * 3600.0
+        else:
+            proto = homes[index % unique_homes]
+            spec = proto.spec.renamed(home_id)
+            trace = proto.trace
+            split = proto.split
+        homes.append(
+            FleetHome(home_id=home_id, spec=spec, trace=trace, split=split)
         )
     return homes
+
+
+def fit_fleet_detectors(
+    homes: Sequence[FleetHome],
+    metrics_factory: Optional[
+        Callable[[], "telemetry.MetricsRegistry"]
+    ] = None,
+) -> Dict[str, DiceDetector]:
+    """One fitted detector per home, running precomputation once per
+    distinct trace.
+
+    Homes stamped from an archetype (``unique_homes``) share their
+    proto's trace object, so their fits are byte-identical; instead of
+    re-running precomputation per clone, the proto's fitted model is
+    cloned (registry, matrices) into a private detector — the same
+    trained state the per-home fit would produce, at copy cost.  Every
+    detector still gets its own metrics registry (shared-nothing
+    telemetry), from *metrics_factory* or a fresh default.
+    """
+    from ..core.detector import DiceModel
+
+    canonical: Dict[int, DiceDetector] = {}
+    detectors: Dict[str, DiceDetector] = {}
+    for home in homes:
+        metrics = (
+            metrics_factory() if metrics_factory else telemetry.MetricsRegistry()
+        )
+        proto = canonical.get(id(home.trace))
+        if proto is None:
+            detector = home.fit_detector(metrics=metrics)
+            canonical[id(home.trace)] = detector
+        else:
+            model = proto.model
+            clone = DiceModel(
+                model.encoder,
+                model.groups.copy(),
+                model.transitions.copy(),
+                model.training_windows,
+            )
+            detector = DiceDetector.from_model(
+                home.trace.registry, clone, config=proto.config, metrics=metrics
+            )
+        detectors[home.home_id] = detector
+    return detectors
 
 
 def merged_ticks(

@@ -194,6 +194,11 @@ class ContextRefresher:
     ) -> None:
         """Fold one collected batch into the live model (idempotent given
         the same detector state and batch order — restore relies on it)."""
+        # Copy-on-write: a detector pointing at an interned shared context
+        # must fork a private copy before the first mutation — the shared
+        # registry is frozen and referenced by every other holder.
+        if self.detector.fork_context():
+            _log.info("context_refresh_forked_shared_context")
         model = self.detector.model
         groups = model.groups
         before = len(groups)

@@ -361,12 +361,21 @@ class HardenedOnlineDice(OnlineDice):
         refresh: Optional[RefreshPolicy] = None,
     ) -> None:
         super().__init__(detector, start=start)
+        from ..core.context import context_hash
         from .checkpoint import model_fingerprint
 
         # Captured before any refresh mutates the model: checkpoints match
         # snapshots against the *base* fitted model, then re-apply the
         # carried refresh history on restore.
         self.base_fingerprint = model_fingerprint(detector)
+        # Content hash of the same base state; fleet manifests record it so
+        # a restore can prove the re-fitted detector is byte-for-byte the
+        # one the checkpoint was taken against.  An interned detector
+        # already knows its hash — reuse it instead of re-hashing.
+        self.base_context_hash = detector._interned_hash or context_hash(detector)
+        # While draining staged windows, the quarantine bits captured at
+        # staging time; ``None`` outside a drain (live bits are used).
+        self._pinned_qbits: Optional[int] = None
         self.drops = DropLog(max_samples=max_drop_samples, metrics=self.metrics)
         self.guard = IngestGuard(detector.registry, self.drops, start=start)
         self.reorder = ReorderBuffer(
@@ -445,17 +454,74 @@ class HardenedOnlineDice(OnlineDice):
 
     def ingest(self, event: Event) -> List[Alert]:
         """Feed one raw event from the pipe; never raises on bad input."""
+        staged: List[tuple] = []
+        self.stage_event(event, staged)
+        return self.drain_staged(staged)
+
+    # -- staged ingest (the batched fleet tick's building blocks) -------- #
+    #
+    # ``ingest`` is stage-then-drain over a single event, so the immediate
+    # and batched paths run the exact same code.  The fleet gateway's
+    # batched tick stages every home's events first (guard, reorder and
+    # supervisor state *must* advance in arrival order), pre-warms each
+    # shared correlation memo once across homes, then drains per home.
+    # Per-home alert streams are byte-identical either way: every staged
+    # window pins the quarantine bits as of its staging moment — exactly
+    # what an immediate ``_handle_window`` would have observed — and the
+    # memo warm-up is a pure cache fill that never changes check results.
+
+    def stage_event(self, event: Event, staged: List[tuple]) -> None:
+        """Run one raw event's ingest bookkeeping now; defer window
+        handling and alert emission into *staged* (see :meth:`drain_staged`)."""
         dropped = self.guard.admit(event)
         if dropped is not None:
-            fresh: List[Alert] = []
             if event.device_id in self.detector.registry:
                 # A known device emitting garbage counts against its health.
                 transitions = self.supervisor.record_error(
                     event.device_id, self._stream_time(event)
                 )
-                fresh.extend(self._health_alerts(transitions))
-            return fresh
-        return self._process_released(self.reorder.push(event))
+                if transitions:
+                    staged.append(("health", transitions))
+            return
+        self._stage_released(self.reorder.push(event), staged)
+
+    def _stage_released(
+        self, events: List[Event], staged: List[tuple]
+    ) -> None:
+        for event in events:
+            transitions = self.supervisor.observe(event)
+            if transitions:
+                staged.append(("health", transitions))
+            transitions = self.supervisor.check_silence(event.timestamp)
+            if transitions:
+                staged.append(("health", transitions))
+            for snapshot in self.windower.push(event):
+                staged.append(("window", self._quarantine_bits(), snapshot))
+
+    def drain_staged(self, staged: List[tuple]) -> List[Alert]:
+        """Turn staged items into alerts, in staging order."""
+        fresh: List[Alert] = []
+        for item in staged:
+            if item[0] == "health":
+                fresh.extend(self._health_alerts(item[1]))
+            else:
+                _tag, qbits, snapshot = item
+                self._pinned_qbits = qbits
+                try:
+                    fresh.extend(self._handle_window(snapshot))
+                finally:
+                    self._pinned_qbits = None
+        return fresh
+
+    @staticmethod
+    def staged_window_masks(staged: List[tuple]) -> List[int]:
+        """Masks of staged windows that will take the memoised check path
+        (no quarantine bits pinned) — what a batched tick pre-warms."""
+        return [
+            item[2].mask
+            for item in staged
+            if item[0] == "window" and item[1] == 0
+        ]
 
     def _stream_time(self, event: Event) -> float:
         """Best current estimate of event time for health bookkeeping."""
@@ -506,17 +572,9 @@ class HardenedOnlineDice(OnlineDice):
     # ------------------------------------------------------------------ #
 
     def _process_released(self, events: List[Event]) -> List[Alert]:
-        fresh: List[Alert] = []
-        for event in events:
-            fresh.extend(self._health_alerts(self.supervisor.observe(event)))
-            fresh.extend(
-                self._health_alerts(
-                    self.supervisor.check_silence(event.timestamp)
-                )
-            )
-            for snapshot in self.windower.push(event):
-                fresh.extend(self._handle_window(snapshot))
-        return fresh
+        staged: List[tuple] = []
+        self._stage_released(events, staged)
+        return self.drain_staged(staged)
 
     def _health_alerts(
         self, transitions: List[HealthTransition]
@@ -559,7 +617,8 @@ class HardenedOnlineDice(OnlineDice):
         into a correlation violation.  Masked results bypass the memo: they
         depend on the quarantine set, not just the mask.
         """
-        qbits = self._quarantine_bits()
+        pinned = self._pinned_qbits
+        qbits = self._quarantine_bits() if pinned is None else pinned
         checker = self.detector._correlation_checker
         if qbits == 0:
             return checker.check(mask)

@@ -117,8 +117,26 @@ class DeviceSupervisor:
             "Supervisor state-machine edges, by destination state and reason",
             labelnames=("to", "reason"),
         )
+        #: Conservative lower bound on the earliest event time at which any
+        #: device could cross a silence threshold; :meth:`check_silence`
+        #: returns immediately while ``now`` has not reached it, making the
+        #: per-event silence check O(1) amortised instead of O(devices).
+        self._next_check = self._earliest_deadline()
 
     # ------------------------------------------------------------------ #
+
+    def _deadline(self, health: DeviceHealth) -> float:
+        """Earliest event time at which *health* could transition on silence."""
+        if health.status is DeviceStatus.QUARANTINED:
+            return float("inf")
+        if health.status is DeviceStatus.DEGRADED:
+            return health.last_seen + self.policy.quarantine_seconds
+        return health.last_seen + self.policy.silence_seconds
+
+    def _earliest_deadline(self) -> float:
+        if not self._health:
+            return float("inf")
+        return min(self._deadline(h) for h in self._health.values())
 
     def health_of(self, device_id: str) -> Optional[DeviceHealth]:
         return self._health.get(device_id)
@@ -154,11 +172,15 @@ class DeviceSupervisor:
             )
             health.recoveries += 1
             health.errors = 0
+            # The device re-entered silence tracking with a possibly old
+            # last_seen; keep the fast-path bound conservative.
+            self._next_check = min(self._next_check, self._deadline(health))
         elif health.status in (DeviceStatus.DEGRADED, DeviceStatus.RECOVERED):
             self._transition(
                 event.device_id, health, DeviceStatus.HEALTHY,
                 event.timestamp, RECOVERY,
             )
+            self._next_check = min(self._next_check, self._deadline(health))
         return transitions
 
     def record_error(self, device_id: str, timestamp: float) -> List[HealthTransition]:
@@ -180,6 +202,12 @@ class DeviceSupervisor:
 
     def check_silence(self, now: float) -> List[HealthTransition]:
         """Advance event time; quarantine devices silent beyond budget."""
+        if now <= self._next_check:
+            # No device can have crossed a threshold yet (transitions
+            # require strictly exceeding their budget), so the full scan
+            # below would provably do nothing — including internal
+            # DEGRADED edges, which the bound also covers.
+            return []
         transitions: List[HealthTransition] = []
         for device in self.registry:  # registry order keeps this deterministic
             health = self._health.get(device.device_id)
@@ -201,6 +229,7 @@ class DeviceSupervisor:
                 self._transition(
                     device.device_id, health, DeviceStatus.DEGRADED, now, SILENCE
                 )
+        self._next_check = self._earliest_deadline()
         return transitions
 
     def _transition(
@@ -260,3 +289,4 @@ class DeviceSupervisor:
             health.errors = int(data["errors"])
             health.silences = int(data["silences"])
             health.recoveries = int(data["recoveries"])
+        self._next_check = self._earliest_deadline()

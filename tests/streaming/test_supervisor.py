@@ -140,3 +140,57 @@ class TestSupervisorState:
         assert clone.quarantined == sup.quarantined
         assert clone.health_of("door").last_seen == 30.0
         assert clone.health_of("motion").silences == 1
+
+
+class TestSilenceFastPath:
+    """The O(1) amortised deadline bound must never change outcomes."""
+
+    def test_early_checks_are_noops_until_deadline(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        # Hammer the fast path below the first deadline: nothing happens.
+        for now in (1.0, 10.0, 30.0, 59.0, 60.0):
+            assert sup.check_silence(now) == []
+            assert sup.health_of("motion").status is DeviceStatus.HEALTHY
+        # Strictly past the silence budget the degradation still fires.
+        assert sup.check_silence(61.0) == []
+        assert sup.health_of("motion").status is DeviceStatus.DEGRADED
+
+    def test_fast_path_matches_always_scanning_twin(self, registry):
+        """Differential: interleaved heartbeats + dense checks, one
+        supervisor using the bound, one forced to full-scan every call."""
+        fast = DeviceSupervisor(registry, POLICY)
+        slow = DeviceSupervisor(registry, POLICY)
+        heartbeats = {30.0: "motion", 80.0: "door", 200.0: "motion"}
+        for now10 in range(0, 3000, 5):
+            now = now10 / 10.0
+            device = heartbeats.get(now)
+            if device is not None:
+                assert fast.observe(Event(now, device, 1.0)) == slow.observe(
+                    Event(now, device, 1.0)
+                )
+            slow._next_check = float("-inf")  # disable the bound
+            assert fast.check_silence(now) == slow.check_silence(now)
+            for dev in ("motion", "door"):
+                assert fast.health_of(dev).status is slow.health_of(dev).status
+        assert fast.quarantined == slow.quarantined
+
+    def test_recovery_rearms_the_bound(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        sup.check_silence(90.0)  # both sensors degraded
+        assert sup.health_of("motion").status is DeviceStatus.DEGRADED
+        sup.observe(Event(91.0, "motion", 1.0))  # recovery heartbeat
+        # The recovered device's fresh deadline (91 + 60) must re-enter the
+        # bound: at 152 motion has re-degraded, and door — silent since 0 —
+        # has crossed its quarantine budget (120).
+        edges = sup.check_silence(152.0)
+        assert {e.device_id for e in edges} == {"door"}
+        assert sup.health_of("motion").status is DeviceStatus.DEGRADED
+
+    def test_load_state_recomputes_the_bound(self, registry):
+        sup = DeviceSupervisor(registry, POLICY)
+        sup.observe(Event(30.0, "door", 1.0))
+        state = json.loads(json.dumps(sup.state_dict()))
+        clone = DeviceSupervisor(registry, SupervisorPolicy())
+        clone.load_state(state)
+        clone.check_silence(95.0)
+        assert clone.health_of("door").status is DeviceStatus.DEGRADED
