@@ -4,6 +4,7 @@ from .perf import (
     BENCH_SCHEMA,
     DEFAULT_OUTPUT,
     bench_fleet,
+    bench_provenance,
     bench_telemetry,
     run_benchmarks,
     validate_document,
@@ -13,6 +14,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_OUTPUT",
     "bench_fleet",
+    "bench_provenance",
     "bench_telemetry",
     "run_benchmarks",
     "validate_document",

@@ -22,6 +22,10 @@ regress against:
 * **journal** — the durable gateway's write-ahead journal cost: the same
   live stream through a plain hardened runtime vs a journaled one under
   each fsync policy (budget: ≤ 1.5x under ``fsync=never``);
+* **provenance** — the alert-evidence recorder's hot-path cost: the same
+  live stream with ``NULL_PROVENANCE`` vs the default recorder (budget:
+  ≤ 1.1x events/s — evidence capture must be nearly free because it only
+  does work when an alert actually fires);
 * **scenarios** — the scenario-matrix harness (``repro scenarios``) over
   the drift refresh A/B cells, so the cost of a robustness sweep and the
   graceful-degradation delta both stay on the trajectory;
@@ -57,8 +61,9 @@ from ..model import DeviceRegistry, SensorType, binary_sensor
 #: homes x shards scaling section; /4 added the ``journal`` write-ahead
 #: journal overhead section; /5 added the ``scenarios`` matrix section;
 #: /6 added the ``capacity`` shared-context section, per-kernel scan
-#: accounting, and effective worker counts in ``eval``.
-BENCH_SCHEMA = "dice-bench-perf/6"
+#: accounting, and effective worker counts in ``eval``; /7 added the
+#: ``provenance`` evidence-recorder overhead section.
+BENCH_SCHEMA = "dice-bench-perf/7"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -593,6 +598,79 @@ def bench_journal(seed: int, hours: float = 4.5, repeats: int = 3) -> Dict:
     }
 
 
+def bench_provenance(seed: int, hours: float = 24.0, repeats: int = 5) -> Dict:
+    """Evidence-recorder overhead on the hardened streaming hot path.
+
+    Streams one seeded chaos deployment's live events through a
+    :class:`~repro.streaming.HardenedOnlineDice` twice: with the recorder
+    replaced by ``NULL_PROVENANCE`` (the zero-cost twin) and with the
+    default :class:`~repro.telemetry.ProvenanceRecorder`.  Arms are
+    interleaved like :func:`bench_telemetry` so machine-load drift hits
+    both equally, and the enabled arm's alert stream is asserted identical
+    to the baseline's — evidence capture must observe, never steer.  The
+    acceptance budget is ≤ 1.1x wall clock: the recorder only does real
+    work when an alert fires, which is rare relative to events.
+    """
+    from ..faults.crash import (
+        LATENESS_SECONDS,
+        POLICY,
+        build_chaos_deployment,
+        canonical_alerts,
+    )
+    from ..streaming import HardenedOnlineDice
+
+    deployment = build_chaos_deployment(seed, hours=hours)
+    events = deployment.events
+
+    def _timed(recorder_factory):
+        detector = deployment.fit_detector(metrics=telemetry.NULL_REGISTRY)
+        runtime = HardenedOnlineDice(
+            detector, start=deployment.split,
+            lateness_seconds=LATENESS_SECONDS, policy=POLICY,
+            provenance=recorder_factory(),
+        )
+        t0 = time.perf_counter()
+        alerts = runtime.ingest_many(events)
+        alerts += runtime.finish_stream(deployment.end)
+        return time.perf_counter() - t0, alerts, runtime
+
+    disabled_s = enabled_s = float("inf")
+    baseline_canon: Optional[str] = None
+    identical = True
+    records = 0
+    for i in range(repeats):
+        seconds, alerts, _ = _timed(lambda: telemetry.NULL_PROVENANCE)
+        disabled_s = min(disabled_s, seconds)
+        if baseline_canon is None:
+            baseline_canon = canonical_alerts(alerts)
+        seconds, alerts, runtime = _timed(telemetry.ProvenanceRecorder)
+        enabled_s = min(enabled_s, seconds)
+        if canonical_alerts(alerts) != baseline_canon:
+            identical = False
+        if i == 0:
+            records = len(runtime.provenance.records())
+    if not identical:
+        raise AssertionError("provenance recording changed the alert stream")
+
+    ratio = enabled_s / disabled_s if disabled_s > 0 else float("inf")
+    return {
+        "events": len(events),
+        "alerts": len(alerts),
+        "records": int(records),
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "events_per_s_disabled": (
+            len(events) / disabled_s if disabled_s > 0 else 0.0
+        ),
+        "events_per_s_enabled": (
+            len(events) / enabled_s if enabled_s > 0 else 0.0
+        ),
+        "overhead_ratio": ratio,
+        "overhead_pct": (ratio - 1.0) * 100.0,
+        "alerts_identical": identical,
+    }
+
+
 def bench_scenarios(seed: int, trials: int = 1) -> Dict:
     """Scenario-matrix wall clock over the drift refresh A/B cells.
 
@@ -890,6 +968,10 @@ def run_benchmarks(
             fleet_homes, fleet_shards, fleet_hours, fleet_train, seed
         ),
         "journal": bench_journal(seed, hours=journal_hours),
+        # A longer stream than the journal section: the recorder's cost is
+        # per *alert*, so the gate needs enough events for the per-event
+        # ratio to dominate setup jitter (the run is still ~2 s).
+        "provenance": bench_provenance(seed, hours=24.0),
         "scenarios": bench_scenarios(seed, trials=scenario_trials),
         "capacity": bench_capacity(
             cap_homes, cap_archetypes, cap_windows, cap_groups,
@@ -1127,6 +1209,35 @@ def validate_document(doc: Dict) -> Dict:
     _require(
         journal.get("alerts_identical") is True,
         "journal.alerts_identical must be true (journaling changed alerts)",
+    )
+
+    prov = doc.get("provenance")
+    _require(isinstance(prov, dict), "provenance must be an object")
+    for key in ("events", "alerts", "records"):
+        _require(
+            isinstance(prov.get(key), int) and prov[key] >= 0,
+            f"provenance.{key} must be a non-negative int",
+        )
+    _require(prov.get("events", 0) > 0, "provenance.events must be positive")
+    for key in (
+        "disabled_s",
+        "enabled_s",
+        "events_per_s_disabled",
+        "events_per_s_enabled",
+        "overhead_ratio",
+    ):
+        _require(
+            isinstance(prov.get(key), (int, float)) and prov[key] >= 0,
+            f"provenance.{key} must be a non-negative number",
+        )
+    _require(
+        isinstance(prov.get("overhead_pct"), (int, float)),
+        "provenance.overhead_pct must be a number",
+    )
+    _require(
+        prov.get("alerts_identical") is True,
+        "provenance.alerts_identical must be true "
+        "(evidence capture changed the alert stream)",
     )
 
     scenarios = doc.get("scenarios")

@@ -24,7 +24,14 @@ The subcommands cover the everyday workflows:
   from checkpoint + journal tail, and verify the alert stream matches an
   uninterrupted run, standalone and fleet (exit 1 on any mismatch);
 * ``metrics`` — render a telemetry snapshot as a table, Prometheus text
-  exposition, or JSON;
+  exposition, or JSON; ``--watch`` re-reads it periodically with counter
+  rates derived from successive reads;
+* ``explain`` — render the causal evidence chain behind one alert (by
+  trace-id prefix, ``--seq`` or ``--last``) from a ``--provenance-out``
+  file or a journal directory's ``provenance.wal``;
+* ``top`` — live terminal dashboard over a re-read metrics snapshot:
+  events/s per shard, alert/drop rates, detection-latency percentiles,
+  reorder lag and SLO burn;
 * ``scenarios`` — the robustness matrix: sweep fault class x dataset x
   arity x attacks x drift x refresh stance through the streaming runtime
   and print per-cell precision/recall/detection-time (``-o`` writes the
@@ -195,6 +202,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the end-of-run telemetry snapshot to PATH as JSON",
     )
+    stream.add_argument(
+        "--input-csv", default=None, metavar="PATH",
+        help="replay a recorded trace CSV (with its *.devices.csv sidecar) "
+        "instead of simulating; DATASET then only names the home",
+    )
+    stream.add_argument(
+        "--provenance-out", default=None, metavar="PATH",
+        help="write each alert's evidence record as one JSON line "
+        "(see 'repro explain')",
+    )
 
     fleet = sub.add_parser(
         "fleet", help="run the sharded multi-home gateway over a generated fleet"
@@ -345,6 +362,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=["table", "prom", "json"], default="table",
         help="pretty table (default), Prometheus text exposition, or JSON",
     )
+    metrics.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-read and re-render the snapshot every SECONDS, with "
+        "counter rates derived from successive reads",
+    )
+    metrics.add_argument(
+        "--iterations", type=int, default=None,
+        help="with --watch: stop after N refreshes (default: until ^C)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="render the causal evidence chain behind one alert "
+        "(see stream --provenance-out / --journal-dir)",
+    )
+    explain.add_argument(
+        "selector", nargs="?", default=None,
+        help="alert trace-id prefix (as stamped on delivered alerts)",
+    )
+    explain.add_argument(
+        "--last", action="store_true", help="explain the newest record"
+    )
+    explain.add_argument(
+        "--seq", type=int, default=None,
+        help="select by per-home alert sequence number",
+    )
+    explain.add_argument(
+        "--provenance", default=None, metavar="PATH",
+        help="provenance records file: 'stream --provenance-out' JSON lines "
+        "or a journal directory's provenance.wal (auto-detected)",
+    )
+    explain.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="read DIR/provenance.wal (the durable archive)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw evidence record instead of the narrative",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a metrics snapshot file "
+        "(events/s per shard, alert/drop rates, latency percentiles, "
+        "SLO burn)",
+    )
+    top.add_argument(
+        "--metrics", required=True, metavar="PATH",
+        help="metrics snapshot JSON re-read every refresh "
+        "(see stream/fleet --metrics-out)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after N refreshes (default: until ^C)",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
     return parser
 
 
@@ -471,8 +549,17 @@ def _cmd_stream(args) -> int:
         save_checkpoint,
     )
 
-    data = load_dataset(args.dataset, seed=args.seed, hours=args.hours)
-    trace = data.trace
+    if args.input_csv:
+        from .datasets.io import read_trace
+
+        try:
+            trace = read_trace(args.input_csv)
+        except (OSError, ValueError) as exc:
+            _log.error("bad_input_csv", path=args.input_csv, error=str(exc))
+            return 2
+    else:
+        data = load_dataset(args.dataset, seed=args.seed, hours=args.hours)
+        trace = data.trace
     split = trace.start + args.train_hours * 3600.0
     if not trace.start < split < trace.end:
         _log.error("bad_split", reason="train-hours must leave a non-empty live segment")
@@ -543,6 +630,13 @@ def _cmd_stream(args) -> int:
             lateness_seconds=args.lateness,
             policy=policy,
         )
+    # Trace ids hash the home id; the dataset name is the home on every
+    # path (the durable layer may carry it forward from its checkpoint),
+    # so ids agree between fresh, resumed and durable runs.
+    if runtime.provenance.enabled:
+        runtime.provenance.home_id = (
+            durable.home_id if durable is not None else args.dataset
+        )
 
     events = [e for e in live if e.timestamp > runtime.reorder.watermark]
     if args.pipe_faults:
@@ -602,6 +696,19 @@ def _cmd_stream(args) -> int:
                 f"(dead-lettered {delivery['dead']}) to {args.alerts_out}"
             )
         durable.close()
+    if args.provenance_out:
+        from .telemetry.provenance import canonical_record_bytes
+
+        if durable is not None:
+            records = durable.provenance_log.records()
+        else:
+            records = runtime.provenance.records()
+        records = sorted(records, key=lambda r: r["alert"]["seq"])
+        with open(args.provenance_out, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(canonical_record_bytes(record).decode("utf-8"))
+                handle.write("\n")
+        print(f"wrote {len(records)} provenance records to {args.provenance_out}")
     if args.metrics_out:
         import json
 
@@ -890,38 +997,175 @@ def _cmd_scenarios(args) -> int:
     return 0
 
 
-def _cmd_metrics(args) -> int:
+def _read_snapshot(path: str) -> Optional[dict]:
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, ValueError) as exc:
+        _log.error("bad_snapshot", path=path, error=str(exc))
+        return None
+    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+        _log.error("bad_snapshot", path=path, error="not a metrics snapshot")
+        return None
+    return snapshot
+
+
+def _render_snapshot(snapshot: dict, fmt: str) -> str:
     import json
 
     from .eval.report import format_table
     from .telemetry import to_prometheus
 
+    if fmt == "json":
+        return json.dumps(snapshot, indent=2, sort_keys=True)
+    if fmt == "prom":
+        return to_prometheus(snapshot).rstrip("\n")
+    rows = []
+    for name, entry in sorted(snapshot["metrics"].items()):
+        for row in entry["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in row.get("labels", {}).items())
+            if entry["type"] == "histogram":
+                value = (
+                    f"count={row['count']} sum={row['sum']:.6g}"
+                )
+            else:
+                value = f"{row['value']:g}"
+            rows.append([name, entry["type"], labels or "-", value])
+    return format_table(["metric", "type", "labels", "value"], rows)
+
+
+def _cmd_metrics(args) -> int:
+    if args.watch is None:
+        snapshot = _read_snapshot(args.snapshot)
+        if snapshot is None:
+            return 2
+        print(_render_snapshot(snapshot, args.format))
+        return 0
+
+    import time
+
+    from .telemetry import SnapshotSampler
+
+    if args.watch <= 0:
+        _log.error("bad_watch", reason="--watch must be positive")
+        return 2
+    sampler = SnapshotSampler()
+    iteration = 0
     try:
-        with open(args.snapshot, "r", encoding="utf-8") as handle:
-            snapshot = json.load(handle)
+        while True:
+            snapshot = _read_snapshot(args.snapshot)
+            if snapshot is None:
+                return 2
+            sampler.add(time.monotonic(), snapshot)
+            print(_render_snapshot(snapshot, args.format))
+            rates = "  ".join(
+                f"{label} {('n/a' if rate is None else f'{rate:.2f}/s')}"
+                for label, rate in (
+                    ("windows", sampler.counter_rate("dice_windows_total")),
+                    ("alerts", sampler.counter_rate("dice_alerts_total")),
+                    ("drops", sampler.counter_rate("dice_ingest_dropped_total")),
+                )
+            )
+            print(f"-- refresh {iteration + 1}: {rates}")
+            iteration += 1
+            if args.iterations is not None and iteration >= args.iterations:
+                break
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+    import os
+
+    from .telemetry import render_explanation
+
+    path = args.provenance
+    if path is None and args.journal_dir:
+        path = os.path.join(args.journal_dir, "provenance.wal")
+    if path is None:
+        _log.error(
+            "bad_explain", reason="one of --provenance or --journal-dir is required"
+        )
+        return 2
+    if args.selector is None and not args.last and args.seq is None:
+        _log.error(
+            "bad_explain", reason="give a trace-id prefix, --last or --seq"
+        )
+        return 2
+    try:
+        # 'stream --provenance-out' files are JSON lines (first byte '{');
+        # the durable archive is length+CRC framed (first byte is a frame
+        # header, never '{').
+        with open(path, "rb") as handle:
+            first = handle.read(1)
+        if first == b"{":
+            records = []
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        records.append(json.loads(line))
+        else:
+            from .durability import read_segment
+
+            records, _ = read_segment(path)
     except (OSError, ValueError) as exc:
-        _log.error("bad_snapshot", path=args.snapshot, error=str(exc))
+        _log.error("bad_provenance", path=path, error=str(exc))
         return 2
-    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
-        _log.error("bad_snapshot", path=args.snapshot, error="not a metrics snapshot")
-        return 2
-    if args.format == "json":
-        print(json.dumps(snapshot, indent=2, sort_keys=True))
-    elif args.format == "prom":
-        sys.stdout.write(to_prometheus(snapshot))
+    record = None
+    if args.seq is not None:
+        for candidate in records:
+            if candidate.get("alert", {}).get("seq") == args.seq:
+                record = candidate
+    elif args.selector is not None:
+        for candidate in records:
+            if candidate.get("id", "").startswith(args.selector):
+                record = candidate
     else:
-        rows = []
-        for name, entry in sorted(snapshot["metrics"].items()):
-            for row in entry["series"]:
-                labels = ",".join(f"{k}={v}" for k, v in row.get("labels", {}).items())
-                if entry["type"] == "histogram":
-                    value = (
-                        f"count={row['count']} sum={row['sum']:.6g}"
-                    )
-                else:
-                    value = f"{row['value']:g}"
-                rows.append([name, entry["type"], labels or "-", value])
-        print(format_table(["metric", "type", "labels", "value"], rows))
+        record = records[-1] if records else None
+    if record is None:
+        _log.error(
+            "no_such_alert", path=path, selector=args.selector, seq=args.seq,
+            records=len(records),
+        )
+        return 1
+    if args.as_json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(render_explanation(record))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from .telemetry import SnapshotSampler, render_dashboard
+
+    if args.interval <= 0:
+        _log.error("bad_top", reason="--interval must be positive")
+        return 2
+    sampler = SnapshotSampler()
+    max_iterations = 1 if args.once else args.iterations
+    iteration = 0
+    try:
+        while True:
+            snapshot = _read_snapshot(args.metrics)
+            if snapshot is None:
+                return 2
+            sampler.add(time.monotonic(), snapshot)
+            if sys.stdout.isatty() and iteration > 0:  # pragma: no cover
+                sys.stdout.write("\033[2J\033[H")
+            print(render_dashboard(sampler))
+            iteration += 1
+            if max_iterations is not None and iteration >= max_iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
     return 0
 
 
@@ -1039,6 +1283,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_scenarios(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "top":
+            return _cmd_top(args)
         if args.command == "bench":
             return _cmd_bench(args)
         raise AssertionError(f"unhandled command {args.command!r}")

@@ -7,6 +7,8 @@ from .checks import (
     TransitionCase,
     TransitionChecker,
     TransitionViolation,
+    correlation_evidence,
+    violation_evidence,
 )
 from .config import (
     BITS_PER_BINARY_DEVICE,
@@ -63,6 +65,8 @@ __all__ = [
     "TransitionCase",
     "TransitionChecker",
     "TransitionViolation",
+    "correlation_evidence",
+    "violation_evidence",
     "BITS_PER_BINARY_DEVICE",
     "BITS_PER_NUMERIC_SENSOR",
     "DEFAULT_CONFIG",

@@ -62,6 +62,47 @@ class TransitionViolation:
     actuator: Optional[str] = None
 
 
+def correlation_evidence(result: CorrelationResult, max_distance: int) -> dict:
+    """JSON-serializable evidence of one correlation check, for provenance.
+
+    Captures the verdict *and* the numbers behind it: the candidate groups
+    with their Hamming distances against the bound in force, so an alert
+    can later show how close the window came to matching.
+    """
+    return {
+        "mask": format(result.mask, "x"),
+        "violation": result.is_violation,
+        "main_group": result.main_group,
+        "candidates": [[g, d] for g, d in result.probable_groups],
+        "max_distance": int(max_distance),
+    }
+
+
+def violation_evidence(
+    model: TransitionModel, violation: TransitionViolation
+) -> dict:
+    """JSON-serializable evidence of one transition violation.
+
+    Joins the violation's edge with the fitted matrices' probability terms
+    (count, row total, probability) — the exact quantities
+    :meth:`TransitionChecker.check` gated on.
+    """
+    case = violation.case
+    if case is TransitionCase.G2G:
+        edge = model.edge_stats("g2g", violation.prev_group, violation.cur_group)
+    elif case is TransitionCase.G2A:
+        edge = model.edge_stats("g2a", violation.prev_group, violation.actuator)
+    else:
+        edge = model.edge_stats("a2g", violation.actuator, violation.cur_group)
+    return {
+        "case": case.value,
+        "prev_group": violation.prev_group,
+        "cur_group": violation.cur_group,
+        "actuator": violation.actuator,
+        **edge,
+    }
+
+
 class CorrelationChecker:
     """§3.3.1 — main/probable group search over the group registry.
 

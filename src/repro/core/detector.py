@@ -437,6 +437,22 @@ class DiceDetector:
             raise RuntimeError("detector not fitted; call fit() first")
         return self.model
 
+    def context_summary(self) -> dict:
+        """Deterministic one-line summary of the fitted context.
+
+        The detection-side context an alert's provenance record stamps:
+        how many groups the check ran against, the candidate Hamming bound
+        in force, and the training support behind them.  Reads the
+        *current* model, so a context refresh or copy-on-write fork is
+        reflected immediately.
+        """
+        model = self._require_fitted()
+        return {
+            "groups": len(model.groups),
+            "max_distance": self._correlation_checker.max_distance,
+            "training_windows": model.training_windows,
+        }
+
     # ------------------------------------------------------------------ #
     # Real-time phase
     # ------------------------------------------------------------------ #

@@ -124,6 +124,23 @@ class TransitionModel:
         """Independent copy of all three matrices (copy-on-write forks)."""
         return TransitionModel(self.g2g.copy(), self.g2a.copy(), self.a2g.copy())
 
+    def edge_stats(self, matrix: str, row, col) -> dict:
+        """Probability terms of one edge, for alert provenance.
+
+        *matrix* names one of ``g2g``/``g2a``/``a2g``.  The returned dict
+        is JSON-serializable and deterministic: integer counts plus the
+        row-normalised probability — exactly the numbers the transition
+        check gated on when it flagged (or passed) the edge.
+        """
+        if matrix not in ("g2g", "g2a", "a2g"):
+            raise ValueError(f"unknown transition matrix {matrix!r}")
+        m: TransitionMatrix = getattr(self, matrix)
+        return {
+            "count": m.count(row, col),
+            "row_total": m.row_total(row),
+            "probability": m.probability(row, col),
+        }
+
     def merge(self, other: "TransitionModel") -> None:
         """Fold another model's observations into this one (used when
         precomputation data arrives in several chunks)."""

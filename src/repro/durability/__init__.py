@@ -39,6 +39,12 @@ from .outbox import (
     FlakySink,
     alert_record,
 )
+from .provenance import (
+    PROVENANCE_DEDUPED_TOTAL,
+    PROVENANCE_RECORDS_TOTAL,
+    PROVENANCE_WAL,
+    ProvenanceLog,
+)
 from .runtime import (
     RECOVERY_SECONDS_HISTOGRAM,
     DurableOnlineDice,
@@ -80,6 +86,10 @@ __all__ = [
     "FileSink",
     "FlakySink",
     "alert_record",
+    "PROVENANCE_DEDUPED_TOTAL",
+    "PROVENANCE_RECORDS_TOTAL",
+    "PROVENANCE_WAL",
+    "ProvenanceLog",
     "RECOVERY_SECONDS_HISTOGRAM",
     "DurableOnlineDice",
     "encode_event_frame",

@@ -34,6 +34,7 @@ from ..streaming.checkpoint import CheckpointError, write_json_atomic
 from ..fleet import FleetAlert, FleetGateway, restore_fleet
 from .journal import EventJournal, replay_records
 from .outbox import AlertOutbox, alert_record
+from .provenance import ProvenanceLog
 from .runtime import (
     RECOVERY_BUCKETS,
     RECOVERY_SECONDS_HISTOGRAM,
@@ -69,6 +70,7 @@ class DurableFleetGateway:
         self.outbox = outbox
         self.alert_seqs: Dict[str, int] = dict(alert_seqs or {})
         self.journals: Dict[str, EventJournal] = {}
+        self.provenance_logs: Dict[str, ProvenanceLog] = {}
         for home_id in gateway.home_ids:
             self._journal_of(home_id)
 
@@ -83,6 +85,16 @@ class DurableFleetGateway:
             )
             self.journals[home_id] = journal
         return journal
+
+    def _provenance_log_of(self, home_id: str) -> ProvenanceLog:
+        log = self.provenance_logs.get(home_id)
+        if log is None:
+            log = ProvenanceLog(
+                os.path.join(self.journal_root, home_id),
+                metrics=self.gateway.runtime_of(home_id).metrics,
+            )
+            self.provenance_logs[home_id] = log
+        return log
 
     # ------------------------------------------------------------------ #
 
@@ -118,6 +130,7 @@ class DurableFleetGateway:
         return self.gateway.alerts_of(home_id)
 
     def _publish(self, fresh: List[FleetAlert]) -> List[FleetAlert]:
+        homes: List[str] = []
         for fleet_alert in fresh:
             seq = self.alert_seqs.get(fleet_alert.home_id, 0) + 1
             self.alert_seqs[fleet_alert.home_id] = seq
@@ -125,6 +138,17 @@ class DurableFleetGateway:
                 self.outbox.offer(
                     alert_record(fleet_alert.home_id, seq, fleet_alert.alert)
                 )
+            if fleet_alert.home_id not in homes:
+                homes.append(fleet_alert.home_id)
+        # Archive each involved home's sealed evidence records beside its
+        # event journal (dedup makes recovery re-publishes idempotent).
+        for home_id in homes:
+            recorder = self.gateway.runtime_of(home_id).provenance
+            if not recorder.enabled:
+                continue
+            log = self._provenance_log_of(home_id)
+            for record in recorder.drain_unjournaled():
+                log.append(record)
         return fresh
 
     def dispatch(self, events: Iterable[Tuple[str, Event]]) -> List[FleetAlert]:

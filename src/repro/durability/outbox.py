@@ -23,7 +23,6 @@ redelivery after a crash is idempotent end to end.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import time
@@ -31,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from .. import telemetry
 from ..streaming import Alert
+from ..telemetry.provenance import alert_body, trace_id
 from .journal import encode_record, read_segment
 
 PathLike = Union[str, os.PathLike]
@@ -56,21 +56,8 @@ def alert_record(home_id: str, seq: int, alert: Alert) -> dict:
     recovery guarantee) reproduces the ids, which is what makes
     redelivery after a crash idempotent.
     """
-    body = {
-        "home": home_id,
-        "seq": int(seq),
-        "kind": alert.kind,
-        "time": alert.time,
-        "check": alert.check,
-        "cases": [case.value for case in alert.cases],
-        "devices": sorted(alert.devices),
-        "converged": alert.converged,
-    }
-    digest = hashlib.blake2b(
-        json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8"),
-        digest_size=16,
-    ).hexdigest()
-    return {"id": digest, **body}
+    body = alert_body(home_id, seq, alert)
+    return {"id": trace_id(body), **body}
 
 
 class AlertSink:

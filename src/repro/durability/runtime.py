@@ -39,6 +39,7 @@ from ..streaming import (
 from ..streaming.checkpoint import write_json_atomic
 from .journal import EventJournal, frame_payload, replay_records
 from .outbox import AlertOutbox, alert_record
+from .provenance import ProvenanceLog
 
 PathLike = Union[str, os.PathLike]
 
@@ -144,6 +145,12 @@ class DurableOnlineDice:
         self.outbox = outbox
         self.alert_seq = int(alert_seq)
         self.metrics = runtime.metrics
+        # The recorder must stamp the same home into its trace ids as the
+        # outbox stamps into delivery ids — that equality is what lets
+        # ``repro explain <id>`` take ids straight off an alerts file.
+        if runtime.provenance.enabled:
+            runtime.provenance.home_id = home_id
+        self.provenance_log = ProvenanceLog(journal_dir, metrics=self.metrics)
         self.journal = EventJournal(
             journal_dir,
             fsync=fsync,
@@ -172,11 +179,15 @@ class DurableOnlineDice:
         return self.runtime.detector
 
     def _publish(self, fresh: List[Alert]) -> List[Alert]:
-        """Stamp sequence numbers and hand alerts to the outbox."""
+        """Stamp sequence numbers, hand alerts to the outbox, and archive
+        their evidence records (the recorder sealed one per alert, in the
+        same emission order — its seq equals ``alert_seq``)."""
         for alert in fresh:
             self.alert_seq += 1
             if self.outbox is not None:
                 self.outbox.offer(alert_record(self.home_id, self.alert_seq, alert))
+        for record in self.runtime.provenance.drain_unjournaled():
+            self.provenance_log.append(record)
         return fresh
 
     def ingest(self, event: Event) -> List[Alert]:
@@ -206,6 +217,7 @@ class DurableOnlineDice:
             "journal_segments": len(self.journal.segments()),
             "alert_seq": self.alert_seq,
             "outbox_pending": 0 if self.outbox is None else len(self.outbox.pending),
+            "provenance_records": len(self.provenance_log),
         }
         return report
 

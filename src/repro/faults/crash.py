@@ -40,11 +40,13 @@ from ..durability import (
     DurableOnlineDice,
     FileSink,
     FlakySink,
+    ProvenanceLog,
     alert_record,
     encode_record,
     event_to_record,
     list_segments,
 )
+from ..telemetry.provenance import canonical_record_bytes
 from ..fleet import FleetGateway
 from ..model import DeviceRegistry, Event, SensorType, Trace, actuator, binary_sensor, numeric_sensor
 from ..streaming import Alert, HardenedOnlineDice, SupervisorPolicy
@@ -219,6 +221,16 @@ def canonical_alerts(alerts: Sequence[Alert]) -> str:
     )
 
 
+def canonical_provenance(records: Sequence[dict]) -> Dict[str, bytes]:
+    """Trace id → exact journal bytes, the form provenance parity compares.
+
+    Keyed by id (not ordered) because the recovered archive interleaves
+    pre-crash appends with replay-regenerated ones; the contract is that
+    every record exists exactly once with byte-identical evidence, not
+    that append order survives the crash."""
+    return {record["id"]: canonical_record_bytes(record) for record in records}
+
+
 def _counter_total(metrics: "telemetry.MetricsRegistry", name: str) -> float:
     entry = metrics.snapshot()["metrics"].get(name)
     if entry is None:
@@ -277,10 +289,18 @@ class CrashTrialResult:
     dead_letters: int
     shards_before: int = 1
     shards_after: int = 1
+    #: Every provenance record in the recovered archive is byte-identical
+    #: to the uninterrupted run's evidence (True when no oracle was given).
+    provenance_parity: bool = True
 
     @property
     def ok(self) -> bool:
-        return self.parity and self.counters_monotone and self.delivery_ok
+        return (
+            self.parity
+            and self.counters_monotone
+            and self.delivery_ok
+            and self.provenance_parity
+        )
 
 
 @dataclass
@@ -302,6 +322,9 @@ class ChaosReport:
                 1 for t in self.trials if not t.counters_monotone
             ),
             "delivery_failures": sum(1 for t in self.trials if not t.delivery_ok),
+            "provenance_failures": sum(
+                1 for t in self.trials if not t.provenance_parity
+            ),
             "torn_trials": sum(1 for t in self.trials if t.torn),
             "checkpointed_trials": sum(1 for t in self.trials if t.checkpointed),
             "delivered": sum(t.delivered for t in self.trials),
@@ -314,17 +337,26 @@ class ChaosReport:
 # --------------------------------------------------------------------- #
 
 
-def baseline_standalone(deployment: ChaosDeployment) -> List[Alert]:
-    """The uninterrupted run's alert stream (the oracle)."""
+def standalone_oracle(
+    deployment: ChaosDeployment,
+) -> Tuple[List[Alert], Dict[str, bytes]]:
+    """The uninterrupted run's alert stream and evidence archive."""
     runtime = HardenedOnlineDice(
         deployment.fit_detector(metrics=telemetry.NULL_REGISTRY),
         start=deployment.split,
         lateness_seconds=LATENESS_SECONDS,
         policy=POLICY,
     )
+    # Match the durable layer's home stamping so trace ids line up.
+    runtime.provenance.home_id = deployment.home_id
     alerts = runtime.ingest_many(deployment.events)
     alerts += runtime.finish_stream(deployment.end)
-    return alerts
+    return alerts, canonical_provenance(runtime.provenance.records())
+
+
+def baseline_standalone(deployment: ChaosDeployment) -> List[Alert]:
+    """The uninterrupted run's alert stream (the oracle)."""
+    return standalone_oracle(deployment)[0]
 
 
 def run_standalone_trial(
@@ -339,6 +371,7 @@ def run_standalone_trial(
     flaky_failures: int = 1,
     max_attempts: int = 4,
     rng=None,
+    expected_provenance: Optional[Dict[str, bytes]] = None,
 ) -> CrashTrialResult:
     """Run, kill at *kill_index*, recover, finish; judge against *expected*.
 
@@ -421,6 +454,10 @@ def run_standalone_trial(
     recovered.ingest_many(events[resume_from:])
     recovered.finish_stream(deployment.end)
     recovered.deliver_pending()
+    provenance_parity = True
+    if expected_provenance is not None:
+        archived = canonical_provenance(recovered.provenance_log.records())
+        provenance_parity = archived == expected_provenance
     recovered.close()
 
     parity = canonical_alerts(prefix + recovered.alerts) == canonical_alerts(expected)
@@ -449,6 +486,7 @@ def run_standalone_trial(
         replayed_alerts=len(replayed),
         delivered=len(acked),
         dead_letters=len(dead),
+        provenance_parity=provenance_parity,
     )
 
 
@@ -467,7 +505,7 @@ def run_chaos_standalone(
     for d in range(deployments):
         deploy_seed = seed * 1000 + d
         deployment = build_chaos_deployment(deploy_seed, fault_class=fault_class)
-        expected = baseline_standalone(deployment)
+        expected, expected_provenance = standalone_oracle(deployment)
         for k in range(kills_per_deployment):
             n = len(deployment.events)
             kill_index = int(rng.integers(2, n))
@@ -485,6 +523,7 @@ def run_chaos_standalone(
                 torn=torn,
                 fsync=fsync,
                 rng=rng,
+                expected_provenance=expected_provenance,
             )
             result.deploy_seed = deploy_seed
             report.trials.append(result)
@@ -544,11 +583,12 @@ def _fresh_fleet(
     return gateway
 
 
-def baseline_fleet(
+def fleet_oracle(
     deployments: Sequence[ChaosDeployment],
     merged: Sequence[Tuple[str, Event]],
-) -> Dict[str, List[Alert]]:
-    """Per-home oracle streams from an uninterrupted single-shard run."""
+) -> Tuple[Dict[str, List[Alert]], Dict[str, Dict[str, bytes]]]:
+    """Per-home oracle alert streams and evidence archives from an
+    uninterrupted single-shard run."""
     detectors = {
         dep.home_id: dep.fit_detector(metrics=telemetry.NULL_REGISTRY)
         for dep in deployments
@@ -556,7 +596,22 @@ def baseline_fleet(
     gateway = _fresh_fleet(deployments, detectors, num_shards=1)
     gateway.dispatch(merged)
     gateway.finish({dep.home_id: dep.end for dep in deployments})
-    return {dep.home_id: gateway.alerts_of(dep.home_id) for dep in deployments}
+    alerts = {dep.home_id: gateway.alerts_of(dep.home_id) for dep in deployments}
+    provenance = {
+        dep.home_id: canonical_provenance(
+            gateway.runtime_of(dep.home_id).provenance.records()
+        )
+        for dep in deployments
+    }
+    return alerts, provenance
+
+
+def baseline_fleet(
+    deployments: Sequence[ChaosDeployment],
+    merged: Sequence[Tuple[str, Event]],
+) -> Dict[str, List[Alert]]:
+    """Per-home oracle streams from an uninterrupted single-shard run."""
+    return fleet_oracle(deployments, merged)[0]
 
 
 def run_fleet_trial(
@@ -574,6 +629,7 @@ def run_fleet_trial(
     flaky_failures: int = 1,
     max_attempts: int = 4,
     rng=None,
+    expected_provenance: Optional[Dict[str, Dict[str, bytes]]] = None,
 ) -> CrashTrialResult:
     """Kill a fleet mid-stream, recover (possibly resharded), compare
     per-home alert streams against the oracle."""
@@ -652,6 +708,18 @@ def run_fleet_trial(
     recovered.dispatch(merged[resume_from:])
     recovered.finish(ends)
     recovered.deliver_pending()
+    provenance_parity = True
+    if expected_provenance is not None:
+        # Read the per-home archives fresh from disk: a home whose records
+        # all predate the crash may never have lazily opened a log handle
+        # in the recovered gateway.
+        provenance_parity = all(
+            canonical_provenance(
+                ProvenanceLog(os.path.join(journal_root, home_id)).records()
+            )
+            == expected_provenance[home_id]
+            for home_id in expected_provenance
+        )
     recovered.close()
 
     parity = all(
@@ -690,6 +758,7 @@ def run_fleet_trial(
         dead_letters=len(dead),
         shards_before=shards_before,
         shards_after=shards_after,
+        provenance_parity=provenance_parity,
     )
 
 
@@ -712,7 +781,7 @@ def run_chaos_fleet(
         deployments, merged = build_chaos_fleet(
             fleet_seed, num_homes=num_homes, fault_class=fault_class
         )
-        expected = baseline_fleet(deployments, merged)
+        expected, expected_provenance = fleet_oracle(deployments, merged)
         for k in range(kills_per_fleet):
             kill_index = int(rng.integers(2, len(merged)))
             checkpoint_index: Optional[int] = None
@@ -734,6 +803,7 @@ def run_chaos_fleet(
                 shards_after=shards_after,
                 fsync=fsync,
                 rng=rng,
+                expected_provenance=expected_provenance,
             )
             result.deploy_seed = fleet_seed
             report.trials.append(result)

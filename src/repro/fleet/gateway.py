@@ -287,6 +287,10 @@ class FleetGateway:
         """Register an existing runtime (checkpoint restore path)."""
         if home_id in self._runtimes:
             raise ValueError(f"home {home_id!r} is already hosted")
+        # Alert provenance trace ids hash the home id; stamp it the moment
+        # home identity attaches, before any event can reach the runtime.
+        if runtime.provenance.enabled:
+            runtime.provenance.home_id = home_id
         shard = self.shards[shard_of(home_id, self.num_shards)]
         shard.homes[home_id] = runtime
         self._runtimes[home_id] = runtime

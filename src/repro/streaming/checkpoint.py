@@ -30,10 +30,12 @@ from ..core import DiceDetector
 _log = telemetry.get_logger("repro.streaming.checkpoint")
 
 #: Version 2 added the ``telemetry`` counters payload; version 3 added the
-#: context-refresh state (``runtime["refresh"]``).  Older snapshots load
-#: fine — counters restart from zero, refresh state resets to idle.
-CHECKPOINT_VERSION = 3
-COMPATIBLE_VERSIONS = frozenset({1, 2, 3})
+#: context-refresh state (``runtime["refresh"]``); version 4 added the
+#: alert-provenance recorder state (``runtime["provenance"]``).  Older
+#: snapshots load fine — counters restart from zero, refresh state resets
+#: to idle, the provenance ring starts empty with ``seq`` 0.
+CHECKPOINT_VERSION = 4
+COMPATIBLE_VERSIONS = frozenset({1, 2, 3, 4})
 
 
 class CheckpointError(ValueError):

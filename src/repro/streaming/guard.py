@@ -120,8 +120,12 @@ class DropLog:
         series = self._series.get(dropped.reason)
         if series is not None:
             series.inc()
-        _log.debug(
+        # A runaway device can drop every event it emits — throttle the
+        # per-drop record; suppressed repeats surface as suppressed=N.
+        _log.throttled(
+            "debug",
             "event_dropped",
+            5.0,
             reason=dropped.reason,
             device=dropped.device_id,
             timestamp=dropped.timestamp,

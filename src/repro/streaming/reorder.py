@@ -105,8 +105,12 @@ class ReorderBuffer:
             released.append(forced)
             self.force_released += 1
             self._force_counter.inc()
-            _log.warning(
+            # A flood over capacity force-releases per event — throttle the
+            # warning so the log survives; suppressed repeats are counted.
+            _log.throttled(
+                "warning",
                 "force_release",
+                5.0,
                 timestamp=forced.timestamp,
                 device=forced.device_id,
                 pending=len(self._heap),

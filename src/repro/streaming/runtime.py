@@ -35,6 +35,8 @@ from ..core import (
     IdentificationSession,
     ProbableFaultSet,
     TransitionCase,
+    correlation_evidence,
+    violation_evidence,
 )
 from ..core.detector import CACHE_HITS_TOTAL, CACHE_MISSES_TOTAL
 from ..model import Event, Trace
@@ -59,6 +61,17 @@ DEVICE_RECOVERED = "device_recovered"
 #: Counter of alerts raised by the runtime, labelled by kind.
 ALERTS_TOTAL = "dice_alerts_total"
 
+#: Histogram of event-time detection latency: seconds between a deciding
+#: window closing and the arrival of the event that closed it.
+DETECTION_LATENCY_SECONDS = "dice_detection_latency_seconds"
+
+#: Detection latency runs on event time (window-close lag), so the default
+#: sub-second telemetry buckets are useless here — these span one second
+#: to an hour.
+DETECTION_LATENCY_BUCKETS = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
+
 _log = telemetry.get_logger("repro.streaming.runtime")
 
 
@@ -77,7 +90,12 @@ class Alert:
 class OnlineDice:
     """Streaming facade over a fitted detector."""
 
-    def __init__(self, detector: DiceDetector, start: float = 0.0) -> None:
+    def __init__(
+        self,
+        detector: DiceDetector,
+        start: float = 0.0,
+        provenance: Optional["telemetry.ProvenanceRecorder"] = None,
+    ) -> None:
         model = detector.model
         if model is None:
             raise ValueError("detector must be fitted")
@@ -89,6 +107,15 @@ class OnlineDice:
         self._session: Optional[IdentificationSession] = None
         self._session_trigger: str = CORRELATION_CHECK
         self.alerts: List[Alert] = []
+        #: Evidence recorder; the plain facade defaults off (cost parity
+        #: with the pre-provenance runtime), the hardened one defaults on.
+        self.provenance = (
+            provenance if provenance is not None else telemetry.NULL_PROVENANCE
+        )
+        #: Timestamp of the input (event or clock advance) whose arrival is
+        #: closing windows right now — the event-time side of the
+        #: detection-latency measurement.
+        self._detected_ts = float(start)
         # Telemetry: the runtime shares its detector's registry/tracer.
         # Series are resolved once here so the per-window path pays one
         # dict-free observe per stage.
@@ -115,11 +142,18 @@ class OnlineDice:
         self._cache_misses_counter = self.metrics.counter(
             CACHE_MISSES_TOTAL, "Correlation-memo misses"
         )
+        self._latency_obs = self.metrics.histogram(
+            DETECTION_LATENCY_SECONDS,
+            "Event-time seconds between a deciding window closing and the "
+            "event that closed it",
+            buckets=DETECTION_LATENCY_BUCKETS,
+        )
 
     # ------------------------------------------------------------------ #
 
     def push(self, event: Event) -> List[Alert]:
         """Feed one event; returns alerts raised by completed windows."""
+        self._detected_ts = event.timestamp
         fresh: List[Alert] = []
         for snapshot in self.windower.push(event):
             fresh.extend(self._handle_window(snapshot))
@@ -133,6 +167,7 @@ class OnlineDice:
 
     def advance_to(self, timestamp: float) -> List[Alert]:
         """Account for the passage of (possibly event-free) time."""
+        self._detected_ts = timestamp
         fresh: List[Alert] = []
         for snapshot in self.windower.advance_to(timestamp):
             fresh.extend(self._handle_window(snapshot))
@@ -163,6 +198,7 @@ class OnlineDice:
         """
         fresh: List[Alert] = []
         if end is not None:
+            self._detected_ts = max(self._detected_ts, end)
             windower = self.windower
             tail = end - windower.current_window_start
             if tail > 1e-9 * windower.window_seconds:
@@ -178,6 +214,17 @@ class OnlineDice:
         )
         self._session = None
         self.alerts.append(alert)
+        prov = self.provenance
+        if prov.enabled:
+            # End-of-stream conclusion: the chain so far is the whole
+            # evidence (no window closed to conclude the session).
+            prov.record(
+                alert,
+                windows=list(prov.chain),
+                latency=0.0,
+                context=self._provenance_context(),
+            )
+            prov.chain = []
         self._note_alerts([alert])
         fresh.append(alert)
         return fresh
@@ -290,6 +337,13 @@ class OnlineDice:
             self._session = None
 
         observe["identification"].observe(time.perf_counter() - t_identify)
+        if fresh:
+            latency = max(0.0, self._detected_ts - snapshot.end)
+            for _ in fresh:
+                self._latency_obs.observe(latency)
+        prov = self.provenance
+        if prov.enabled and (fresh or prov.chain):
+            self._note_provenance(snapshot, corr, violations, fresh)
         self._prev_group = corr.main_group
         if corr.main_group is not None:
             self._anchor_group = corr.main_group
@@ -297,6 +351,64 @@ class OnlineDice:
         self.alerts.extend(fresh)
         self._observe_window(snapshot, corr)
         return fresh
+
+    def _note_provenance(
+        self,
+        snapshot: WindowSnapshot,
+        corr: CorrelationResult,
+        violations,
+        fresh: List[Alert],
+    ) -> None:
+        """Accumulate the open session's evidence chain and seal a record
+        per alert.  Called only with provenance enabled and something to
+        note (an alert fired, or a session chain is accumulating), so the
+        healthy steady state never builds evidence dicts."""
+        prov = self.provenance
+        evidence = self._window_evidence(snapshot, corr, violations)
+        if any(alert.kind == "detection" for alert in fresh):
+            # A detection (re)starts the chain at its triggering window.
+            prov.chain = [evidence]
+        elif prov.chain:
+            prov.chain.append(evidence)
+        if not fresh:
+            return
+        latency = max(0.0, self._detected_ts - snapshot.end)
+        context = self._provenance_context()
+        for alert in fresh:
+            if alert.kind == "detection":
+                prov.record(
+                    alert, windows=[evidence], latency=latency, context=context
+                )
+            else:  # identification concluded on this window
+                windows = list(prov.chain) if prov.chain else [evidence]
+                prov.record(
+                    alert, windows=windows, latency=latency, context=context
+                )
+                prov.chain = []
+
+    def _window_evidence(
+        self, snapshot: WindowSnapshot, corr: CorrelationResult, violations
+    ) -> dict:
+        """JSON evidence for one completed window (deterministic)."""
+        detector = self.detector
+        return {
+            "window": snapshot.index,
+            "start": snapshot.start,
+            "end": snapshot.end,
+            "mask": format(snapshot.mask, "x"),
+            "actuators": sorted(snapshot.actuator_activations),
+            "correlation": correlation_evidence(
+                corr, detector._correlation_checker.max_distance
+            ),
+            "transitions": [
+                violation_evidence(detector.model.transitions, v)
+                for v in violations
+            ],
+        }
+
+    def _provenance_context(self) -> dict:
+        """Hook: runtime context stamped into provenance records."""
+        return self.detector.context_summary()
 
     def _observe_window(
         self, snapshot: WindowSnapshot, corr: CorrelationResult
@@ -319,6 +431,7 @@ class OnlineDice:
                 None if self._session is None else self._session.state_dict()
             ),
             "session_trigger": self._session_trigger,
+            "provenance": self.provenance.state_dict(),
         }
 
     def load_state(self, state: dict) -> None:
@@ -335,6 +448,8 @@ class OnlineDice:
             )
         )
         self._session_trigger = state["session_trigger"]
+        # Pre-provenance checkpoints (v1-v3) simply lack the key.
+        self.provenance.load_state(state.get("provenance"))
 
 
 class HardenedOnlineDice(OnlineDice):
@@ -359,8 +474,19 @@ class HardenedOnlineDice(OnlineDice):
         policy: SupervisorPolicy = SupervisorPolicy(),
         max_drop_samples: int = 100,
         refresh: Optional[RefreshPolicy] = None,
+        provenance: Optional["telemetry.ProvenanceRecorder"] = None,
     ) -> None:
-        super().__init__(detector, start=start)
+        # The hardened runtime records provenance by default — it is the
+        # production-facing path; pass telemetry.NULL_PROVENANCE to opt out.
+        super().__init__(
+            detector,
+            start=start,
+            provenance=(
+                provenance
+                if provenance is not None
+                else telemetry.ProvenanceRecorder()
+            ),
+        )
         from ..core.context import context_hash
         from .checkpoint import model_fingerprint
 
@@ -376,6 +502,11 @@ class HardenedOnlineDice(OnlineDice):
         # While draining staged windows, the quarantine bits captured at
         # staging time; ``None`` outside a drain (live bits are used).
         self._pinned_qbits: Optional[int] = None
+        # Likewise the quarantined-device names stamped into provenance
+        # context: a batched tick advances every home's supervisor before
+        # any window drains, so the live set at drain time can already
+        # contain the future — records must see the staging-time set.
+        self._pinned_quarantined: Optional[List[str]] = None
         self.drops = DropLog(max_samples=max_drop_samples, metrics=self.metrics)
         self.guard = IngestGuard(detector.registry, self.drops, start=start)
         self.reorder = ReorderBuffer(
@@ -481,9 +612,15 @@ class HardenedOnlineDice(OnlineDice):
                     event.device_id, self._stream_time(event)
                 )
                 if transitions:
-                    staged.append(("health", transitions))
+                    staged.append(
+                        ("health", transitions, self._quarantined_now())
+                    )
             return
         self._stage_released(self.reorder.push(event), staged)
+
+    def _quarantined_now(self) -> List[str]:
+        """The supervisor's quarantine set as of this staging moment."""
+        return sorted(self.supervisor.quarantined)
 
     def _stage_released(
         self, events: List[Event], staged: List[tuple]
@@ -491,26 +628,42 @@ class HardenedOnlineDice(OnlineDice):
         for event in events:
             transitions = self.supervisor.observe(event)
             if transitions:
-                staged.append(("health", transitions))
+                staged.append(("health", transitions, self._quarantined_now()))
             transitions = self.supervisor.check_silence(event.timestamp)
             if transitions:
-                staged.append(("health", transitions))
+                staged.append(("health", transitions, self._quarantined_now()))
             for snapshot in self.windower.push(event):
-                staged.append(("window", self._quarantine_bits(), snapshot))
+                staged.append(
+                    (
+                        "window",
+                        self._quarantine_bits(),
+                        snapshot,
+                        event.timestamp,
+                        self._quarantined_now(),
+                    )
+                )
 
     def drain_staged(self, staged: List[tuple]) -> List[Alert]:
         """Turn staged items into alerts, in staging order."""
         fresh: List[Alert] = []
         for item in staged:
             if item[0] == "health":
-                fresh.extend(self._health_alerts(item[1]))
+                _tag, transitions, quarantined = item
+                self._pinned_quarantined = quarantined
+                try:
+                    fresh.extend(self._health_alerts(transitions))
+                finally:
+                    self._pinned_quarantined = None
             else:
-                _tag, qbits, snapshot = item
+                _tag, qbits, snapshot, detected_ts, quarantined = item
+                self._detected_ts = detected_ts
                 self._pinned_qbits = qbits
+                self._pinned_quarantined = quarantined
                 try:
                     fresh.extend(self._handle_window(snapshot))
                 finally:
                     self._pinned_qbits = None
+                    self._pinned_quarantined = None
         return fresh
 
     @staticmethod
@@ -545,6 +698,7 @@ class HardenedOnlineDice(OnlineDice):
         watermark = self.reorder.watermark
         horizon = max(watermark, timestamp - self.reorder.lateness_seconds)
         if horizon > float("-inf"):
+            self._detected_ts = horizon
             for snapshot in self.windower.advance_to(horizon):
                 fresh.extend(self._handle_window(snapshot))
             fresh.extend(
@@ -557,6 +711,7 @@ class HardenedOnlineDice(OnlineDice):
         to *end*, and conclude any open identification session."""
         fresh = self._process_released(self.reorder.flush())
         if end is not None:
+            self._detected_ts = max(self._detected_ts, end)
             for snapshot in self.windower.advance_to(end):
                 fresh.extend(self._handle_window(snapshot))
             fresh.extend(self._health_alerts(self.supervisor.check_silence(end)))
@@ -587,9 +742,22 @@ class HardenedOnlineDice(OnlineDice):
                 kind = DEVICE_RECOVERED
             else:
                 continue  # degraded/healthy edges are internal
-            fresh.append(
-                Alert(kind, edge.time, devices=frozenset({edge.device_id}))
-            )
+            alert = Alert(kind, edge.time, devices=frozenset({edge.device_id}))
+            fresh.append(alert)
+            prov = self.provenance
+            if prov.enabled:
+                prov.record(
+                    alert,
+                    windows=[],
+                    latency=0.0,
+                    context={
+                        **self._provenance_context(),
+                        "device": edge.device_id,
+                        "previous": edge.previous.value,
+                        "current": edge.current.value,
+                        "reason": edge.reason,
+                    },
+                )
         self.alerts.extend(fresh)
         self._note_alerts(fresh)
         return fresh
@@ -634,6 +802,25 @@ class HardenedOnlineDice(OnlineDice):
         for g in near[order]:
             probable.append((int(g), int(dists[g])))
         return CorrelationResult(mask & visible, main, tuple(probable))
+
+    def _window_evidence(self, snapshot, corr, violations) -> dict:
+        evidence = super()._window_evidence(snapshot, corr, violations)
+        qbits = (
+            self._pinned_qbits
+            if self._pinned_qbits is not None
+            else self._quarantine_bits()
+        )
+        evidence["quarantine_bits"] = format(qbits, "x")
+        return evidence
+
+    def _provenance_context(self) -> dict:
+        context = super()._provenance_context()
+        pinned = self._pinned_quarantined
+        context["quarantined"] = (
+            self._quarantined_now() if pinned is None else list(pinned)
+        )
+        context["refresh_applied"] = self.refresher.applied_total
+        return context
 
     def _observe_window(
         self, snapshot: WindowSnapshot, corr: CorrelationResult

@@ -23,6 +23,14 @@ from .log import (
     get_logger,
 )
 from .prometheus import to_prometheus, validate_prometheus_text
+from .provenance import (
+    NULL_PROVENANCE,
+    PROVENANCE_SCHEMA,
+    ProvenanceRecorder,
+    alert_body,
+    render_explanation,
+    trace_id,
+)
 from .registry import (
     DEFAULT_SECONDS_BUCKETS,
     NULL_REGISTRY,
@@ -31,6 +39,7 @@ from .registry import (
     merge_many,
     merge_snapshots,
 )
+from .sampler import SnapshotSampler, render_dashboard
 from .spans import NULL_TRACER, SPAN_HISTOGRAM, Span, Tracer
 
 _default_registry = MetricsRegistry()
@@ -59,13 +68,18 @@ __all__ = [
     "LEVELS",
     "LogConfig",
     "MetricsRegistry",
+    "NULL_PROVENANCE",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "PROVENANCE_SCHEMA",
+    "ProvenanceRecorder",
     "SNAPSHOT_SCHEMA",
     "SPAN_HISTOGRAM",
+    "SnapshotSampler",
     "Span",
     "TelemetryLogger",
     "Tracer",
+    "alert_body",
     "configure",
     "current_config",
     "get_logger",
@@ -73,7 +87,10 @@ __all__ = [
     "get_tracer",
     "merge_many",
     "merge_snapshots",
+    "render_dashboard",
+    "render_explanation",
     "resolve",
     "to_prometheus",
+    "trace_id",
     "validate_prometheus_text",
 ]

@@ -67,11 +67,23 @@ def current_config() -> LogConfig:
     return _config
 
 
+class _Throttle:
+    """Per-event rate limit state (see :meth:`TelemetryLogger.throttled`)."""
+
+    __slots__ = ("per_seconds", "window_start", "suppressed")
+
+    def __init__(self, per_seconds: float) -> None:
+        self.per_seconds = float(per_seconds)
+        self.window_start: Optional[float] = None
+        self.suppressed = 0
+
+
 class TelemetryLogger:
     """Named emitter of structured records; cheap when below threshold."""
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self._throttles: Dict[str, _Throttle] = {}
 
     def is_enabled(self, level: str) -> bool:
         return LEVELS[level] >= LEVELS[_config.level]
@@ -103,6 +115,50 @@ class TelemetryLogger:
 
     def error(self, event: str, **fields) -> None:
         self.log("error", event, **fields)
+
+    def throttled(
+        self,
+        level: str,
+        event: str,
+        per_seconds: float,
+        *,
+        clock=time.monotonic,
+        **fields,
+    ) -> bool:
+        """Emit *event* at most once per *per_seconds*; count the rest.
+
+        Hot-path warnings (a reorder buffer force-releasing under a flood,
+        an ingest guard dropping a runaway device) can fire thousands of
+        times a second — each one individually useful, together a log-drown.
+        The first record in a window is emitted; repeats inside the window
+        are counted, and the next emitted record carries a ``suppressed=N``
+        field summarising what was swallowed.  Returns ``True`` when the
+        record was emitted.
+
+        *clock* is injectable for tests; throttle state is per
+        ``(logger, event)`` pair.  Records below the level threshold are
+        emitted-as-suppressed for free (the throttle advances so a later
+        threshold drop does not burst).
+        """
+        if per_seconds <= 0:
+            self.log(level, event, **fields)
+            return True
+        throttle = self._throttles.get(event)
+        if throttle is None or throttle.per_seconds != float(per_seconds):
+            throttle = self._throttles[event] = _Throttle(per_seconds)
+        now = clock()
+        if (
+            throttle.window_start is not None
+            and now - throttle.window_start < throttle.per_seconds
+        ):
+            throttle.suppressed += 1
+            return False
+        if throttle.suppressed:
+            fields["suppressed"] = throttle.suppressed
+        throttle.window_start = now
+        throttle.suppressed = 0
+        self.log(level, event, **fields)
+        return True
 
 
 def _human(value) -> str:

@@ -105,13 +105,17 @@ def validate_prometheus_text(text: str) -> int:
     """Line-format validation; returns the number of sample lines.
 
     Checks, per line: comment structure (``# HELP``/``# TYPE`` only, with a
-    valid metric name and type), sample syntax (name, optional well-formed
+    valid metric name and type), header ordering (at most one ``HELP`` and
+    one ``TYPE`` per family, ``HELP`` before ``TYPE``, both before the
+    family's first sample), sample syntax (name, optional well-formed
     label block, float value), that every sample's base name was announced
     by a ``TYPE`` header, and that histogram ``_bucket`` series are
     cumulative (non-decreasing with ``le``).  Raises :class:`ValueError`
     naming the first offending line.
     """
     declared: Dict[str, str] = {}
+    helped: set = set()
+    sampled: set = set()
     samples = 0
     last_bucket: Dict[str, float] = {}  # series-key -> last cumulative count
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -123,10 +127,28 @@ def validate_prometheus_text(text: str) -> int:
                 raise ValueError(f"line {lineno}: malformed comment: {line!r}")
             if not _NAME_RE.match(parts[2]):
                 raise ValueError(f"line {lineno}: invalid metric name {parts[2]!r}")
+            if parts[2] in sampled:
+                raise ValueError(
+                    f"line {lineno}: {parts[1]} for {parts[2]!r} after its samples"
+                )
             if parts[1] == "TYPE":
                 if len(parts) != 4 or parts[3] not in VALID_TYPES:
                     raise ValueError(f"line {lineno}: invalid TYPE line: {line!r}")
+                if parts[2] in declared:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                    )
                 declared[parts[2]] = parts[3]
+            else:
+                if parts[2] in helped:
+                    raise ValueError(
+                        f"line {lineno}: duplicate HELP for {parts[2]!r}"
+                    )
+                if parts[2] in declared:
+                    raise ValueError(
+                        f"line {lineno}: HELP for {parts[2]!r} after its TYPE"
+                    )
+                helped.add(parts[2])
             continue
         match = _SAMPLE_RE.match(line)
         if match is None:
@@ -148,6 +170,7 @@ def validate_prometheus_text(text: str) -> int:
         base = _base_name(name, declared)
         if base is None:
             raise ValueError(f"line {lineno}: sample {name!r} has no TYPE header")
+        sampled.add(base)
         if declared[base] == "histogram" and name.endswith("_bucket"):
             if "le" not in labels:
                 raise ValueError(f"line {lineno}: histogram bucket without le label")

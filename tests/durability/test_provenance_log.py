@@ -1,0 +1,86 @@
+"""ProvenanceLog: append-only archive, dedup, torn tails, prefix lookup."""
+
+import os
+
+from repro.durability import ProvenanceLog
+from repro.durability.provenance import (
+    PROVENANCE_DEDUPED_TOTAL,
+    PROVENANCE_RECORDS_TOTAL,
+    PROVENANCE_WAL,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def _record(seq: int, **extra) -> dict:
+    return {
+        "schema": "dice-provenance/1",
+        "id": f"{seq:032x}",
+        "alert": {"home": "houseA", "seq": seq, "kind": "detection"},
+        "windows": [],
+        **extra,
+    }
+
+
+class TestAppend:
+    def test_append_then_read_back(self, tmp_path):
+        log = ProvenanceLog(tmp_path)
+        assert log.append(_record(1)) is True
+        assert log.append(_record(2)) is True
+        assert len(log) == 2
+        assert _record(1)["id"] in log
+        assert log.records() == [_record(1), _record(2)]
+        assert os.path.exists(os.path.join(tmp_path, PROVENANCE_WAL))
+
+    def test_duplicate_ids_are_suppressed(self, tmp_path):
+        metrics = MetricsRegistry()
+        log = ProvenanceLog(tmp_path, metrics=metrics)
+        assert log.append(_record(1)) is True
+        assert log.append(_record(1)) is False
+        assert len(log) == 1
+        assert log.records() == [_record(1)]
+        snap = metrics.snapshot()["metrics"]
+        assert snap[PROVENANCE_RECORDS_TOTAL]["series"][0]["value"] == 1
+        assert snap[PROVENANCE_DEDUPED_TOTAL]["series"][0]["value"] == 1
+
+    def test_append_many_counts_fresh_records(self, tmp_path):
+        log = ProvenanceLog(tmp_path)
+        assert log.append_many([_record(1), _record(2), _record(1)]) == 2
+        assert len(log) == 2
+
+    def test_reopen_remembers_archived_ids(self, tmp_path):
+        ProvenanceLog(tmp_path).append_many([_record(1), _record(2)])
+        reopened = ProvenanceLog(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.append(_record(2)) is False
+        assert reopened.append(_record(3)) is True
+        assert [r["alert"]["seq"] for r in reopened.records()] == [1, 2, 3]
+
+
+class TestFind:
+    def test_find_prefix_prefers_newest(self, tmp_path):
+        log = ProvenanceLog(tmp_path)
+        log.append(_record(1, note="old"))
+        log.append(_record(2))
+        # Both ids share the long zero prefix; the newest wins.
+        assert log.find("000000")["alert"]["seq"] == 2
+        assert log.find(_record(1)["id"])["note"] == "old"
+        assert log.find("ffff") is None
+
+    def test_empty_log_finds_nothing(self, tmp_path):
+        log = ProvenanceLog(tmp_path)
+        assert log.records() == []
+        assert log.find("") is None
+
+
+class TestTornTail:
+    def test_torn_tail_loses_only_the_last_record(self, tmp_path):
+        log = ProvenanceLog(tmp_path)
+        log.append_many([_record(1), _record(2), _record(3)])
+        # Crash mid-append: shear a few bytes off the final frame.
+        with open(log.path, "r+b") as fh:
+            fh.truncate(os.path.getsize(log.path) - 5)
+        reopened = ProvenanceLog(tmp_path)
+        assert [r["alert"]["seq"] for r in reopened.records()] == [1, 2]
+        # The torn record was never indexed: a replay re-appends it whole.
+        assert reopened.append(_record(3)) is True
+        assert [r["alert"]["seq"] for r in reopened.records()] == [1, 2, 3]

@@ -19,6 +19,7 @@ from repro.faults import (
     canonical_alerts,
     run_chaos_standalone,
     run_standalone_trial,
+    standalone_oracle,
     tear_final_record,
 )
 from repro.faults.crash import ALERTS_TOTAL, LATENESS_SECONDS, POLICY, _counter_total
@@ -95,6 +96,58 @@ class TestFaultClasses:
         )
         assert result.ok
         assert result.checkpointed
+
+
+class TestProvenanceParity:
+    """Evidence records survive the crash byte-for-byte (or regenerate so)."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self, deployment):
+        return standalone_oracle(deployment)
+
+    def test_recovered_archive_matches_oracle_bytes(
+        self, deployment, oracle, tmp_path
+    ):
+        expected_alerts, expected_provenance = oracle
+        assert expected_provenance, "the chaos scenario must produce evidence"
+        n = len(deployment.events)
+        result = run_standalone_trial(
+            deployment,
+            expected_alerts,
+            str(tmp_path),
+            kill_index=(3 * n) // 4,
+            checkpoint_index=n // 2,
+            expected_provenance=expected_provenance,
+        )
+        assert result.provenance_parity
+        assert result.ok
+
+    def test_parity_detects_a_tampered_record(self, deployment, oracle, tmp_path):
+        expected_alerts, expected_provenance = oracle
+        tampered = dict(expected_provenance)
+        victim = next(iter(tampered))
+        tampered[victim] = tampered[victim] + b"x"
+        result = run_standalone_trial(
+            deployment,
+            expected_alerts,
+            str(tmp_path),
+            kill_index=len(deployment.events) // 2,
+            expected_provenance=tampered,
+        )
+        assert not result.provenance_parity
+        assert not result.ok
+
+    def test_oracle_ids_match_the_delivered_alert_ids(self, deployment, oracle):
+        # Shared id scheme end to end: every id in the provenance oracle is
+        # the trace id the outbox would stamp on the delivered alert.
+        from repro.durability import alert_record
+
+        expected_alerts, expected_provenance = oracle
+        outbox_ids = {
+            alert_record(deployment.home_id, seq, alert)["id"]
+            for seq, alert in enumerate(expected_alerts, start=1)
+        }
+        assert set(expected_provenance) <= outbox_ids
 
 
 class TestTargetedTrials:

@@ -76,6 +76,62 @@ FIXTURES = (
 TRACE_CSV = FIXTURES[0].trace_csv
 EXPECTED_JSON = FIXTURES[0].expected_json
 
+# -- streaming / explain golden ----------------------------------------- #
+# A third pinned artifact: the evidence record ``repro explain`` renders
+# for the first detection when the committed fail-stop trace is replayed
+# through the CLI gateway.  The supervisor thresholds are effectively
+# disabled because the simulated live segment is sparse (tens of events
+# over 12 h) — the default policy would quarantine every device and the
+# run would yield only health alerts.
+EXPLAIN_JSON = os.path.join(HERE, "expected_explain.json")
+EXPLAIN_SILENCE = 1_000_000.0
+EXPLAIN_QUARANTINE = 2_000_000.0
+
+
+def explain_stream_args(provenance_out: str, *extra: str) -> list:
+    """CLI argv replaying the committed trace with provenance capture —
+    exactly what the CI explain-smoke job runs."""
+    return [
+        "stream",
+        DATASET,
+        "--input-csv",
+        TRACE_CSV,
+        "--hours",
+        str(HOURS),
+        "--train-hours",
+        str(TRAIN_HOURS),
+        "--silence",
+        str(EXPLAIN_SILENCE),
+        "--quarantine",
+        str(EXPLAIN_QUARANTINE),
+        "--provenance-out",
+        provenance_out,
+        *extra,
+    ]
+
+
+def run_explain_stream(provenance_out: str, *extra: str) -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(explain_stream_args(provenance_out, *extra))
+
+
+def read_provenance_jsonl(path: str) -> list:
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def first_detection(records: list) -> dict:
+    for record in records:
+        if record["alert"]["kind"] == "detection":
+            return record
+    raise ValueError("no detection record in the provenance stream")
+
+
+def explain_document_bytes(record: dict) -> bytes:
+    """Byte-exact ``repro explain <id> --json`` output (newline included)."""
+    return (json.dumps(record, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
 
 def build_trace(fixture: GoldenFixture = FIXTURES[0]):
     """The scenario: simulated houseA with a live-phase device fault."""
@@ -133,6 +189,27 @@ def report_as_json(report, fixture: GoldenFixture = FIXTURES[0]) -> dict:
     }
 
 
+def regen_explain_golden() -> dict:
+    """Replay the committed trace through the CLI and pin the first
+    detection's evidence record as the explain golden."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        provenance_path = os.path.join(tmp, "provenance.jsonl")
+        status = run_explain_stream(provenance_path)
+        if status != 0:
+            raise RuntimeError(f"explain-golden stream exited {status}")
+        records = read_provenance_jsonl(provenance_path)
+    record = first_detection(records)
+    with open(EXPLAIN_JSON, "wb") as fh:
+        fh.write(explain_document_bytes(record))
+    print(
+        f"explain: pinned detection {record['id']} "
+        f"(seq {record['alert']['seq']}, {len(records)} records streamed)"
+    )
+    return record
+
+
 def main() -> None:
     for fixture in FIXTURES:
         trace = build_trace(fixture)
@@ -146,6 +223,7 @@ def main() -> None:
             f"{len(document['detections'])} detections, "
             f"{len(document['identifications'])} identifications"
         )
+    regen_explain_golden()
 
 
 if __name__ == "__main__":

@@ -244,6 +244,40 @@ class TestCheckpointFile:
             load_checkpoint(path)
         assert str(path) in str(exc.value)
 
+    def test_v4_checkpoint_round_trips_provenance(
+        self, detector, live_events, tmp_path
+    ):
+        from repro.streaming.checkpoint import CHECKPOINT_VERSION
+        from repro.telemetry.provenance import canonical_record_bytes
+
+        runtime = _runtime(detector, 3.0 * HOUR)
+        runtime.ingest_many(_adversarial(live_events, seed=5))
+        assert runtime.provenance.records(), "scenario must record evidence"
+        path = tmp_path / "gateway.ckpt.json"
+        save_checkpoint(runtime, path)
+        state = load_checkpoint(path)
+        assert state["version"] == CHECKPOINT_VERSION == 4
+        assert state["runtime"]["provenance"] is not None
+        resumed = restore_from_file(detector, path)
+        assert [
+            canonical_record_bytes(r) for r in resumed.provenance.records()
+        ] == [canonical_record_bytes(r) for r in runtime.provenance.records()]
+        assert resumed.provenance.seq == runtime.provenance.seq
+        assert resumed.provenance.chain == runtime.provenance.chain
+
+    def test_pre_provenance_checkpoint_restores_empty_recorder(
+        self, detector, live_events, tmp_path
+    ):
+        # A v1-v3 checkpoint has no ``provenance`` section; restoring one
+        # must reset the recorder, not crash.
+        runtime = _runtime(detector, 3.0 * HOUR)
+        runtime.ingest_many(_adversarial(live_events, seed=5))
+        state = runtime.checkpoint()
+        del state["runtime"]["provenance"]
+        resumed = restore_runtime(detector, state)
+        assert resumed.provenance.records() == []
+        assert resumed.provenance.seq == 0
+
     def test_truncated_file_raises_checkpoint_error(
         self, detector, live_events, tmp_path
     ):

@@ -101,3 +101,66 @@ class TestConfigure:
 
     def test_get_logger_is_cached(self):
         assert get_logger("repro.same") is get_logger("repro.same")
+
+
+class TestThrottled:
+    """The hot-path rate limiter guarding flood-prone warnings."""
+
+    def _clock(self, times):
+        it = iter(times)
+        return lambda: next(it)
+
+    def test_first_emission_passes_repeats_suppressed(self, capture):
+        log = get_logger("repro.throttle.first")
+        clock = self._clock([0.0, 1.0, 2.0])
+        assert log.throttled("warning", "force_release", 5.0, clock=clock, n=1)
+        assert not log.throttled("warning", "force_release", 5.0, clock=clock, n=2)
+        assert not log.throttled("warning", "force_release", 5.0, clock=clock, n=3)
+        lines = capture.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "n=1" in lines[0]
+
+    def test_next_window_reports_suppressed_count(self, capture):
+        log = get_logger("repro.throttle.count")
+        clock = self._clock([0.0, 1.0, 2.0, 6.0, 12.0])
+        log.throttled("warning", "drop", 5.0, clock=clock)
+        log.throttled("warning", "drop", 5.0, clock=clock)
+        log.throttled("warning", "drop", 5.0, clock=clock)
+        assert log.throttled("warning", "drop", 5.0, clock=clock)
+        lines = capture.getvalue().splitlines()
+        assert "suppressed=2" in lines[1]
+        # A quiet window carries no stale suppressed field.
+        assert log.throttled("warning", "drop", 5.0, clock=clock)
+        assert "suppressed" not in capture.getvalue().splitlines()[2]
+
+    def test_throttle_state_is_per_event(self, capture):
+        log = get_logger("repro.throttle.events")
+        clock = self._clock([0.0, 0.0])
+        assert log.throttled("warning", "one", 5.0, clock=clock)
+        assert log.throttled("warning", "two", 5.0, clock=clock)
+        assert len(capture.getvalue().splitlines()) == 2
+
+    def test_nonpositive_window_always_emits(self, capture):
+        log = get_logger("repro.throttle.off")
+        assert log.throttled("warning", "burst", 0.0)
+        assert log.throttled("warning", "burst", 0.0)
+        assert len(capture.getvalue().splitlines()) == 2
+
+    def test_below_threshold_still_advances_the_window(self, capture):
+        configure(level="warning")
+        log = get_logger("repro.throttle.level")
+        clock = self._clock([0.0, 1.0])
+        # Emitted-as-suppressed for free: the throttle opens its window
+        # even though the record itself is dropped by the level filter...
+        assert log.throttled("debug", "quiet", 5.0, clock=clock)
+        # ...so an immediate repeat is throttled, not burst.
+        assert not log.throttled("debug", "quiet", 5.0, clock=clock)
+        assert capture.getvalue() == ""
+
+    def test_changed_window_resets_state(self, capture):
+        log = get_logger("repro.throttle.window")
+        clock = self._clock([0.0, 1.0])
+        assert log.throttled("warning", "tick", 5.0, clock=clock)
+        # A different per_seconds is a new policy: state starts fresh.
+        assert log.throttled("warning", "tick", 2.0, clock=clock)
+        assert len(capture.getvalue().splitlines()) == 2

@@ -103,3 +103,53 @@ class TestValidatorRejections:
             "ok_total 2\n"
         )
         assert validate_prometheus_text(text) == 2
+
+
+class TestHeaderOrdering:
+    """HELP/TYPE discipline: one each per family, HELP first, both before
+    the family's first sample."""
+
+    def _reject(self, text, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            validate_prometheus_text(text)
+
+    def test_duplicate_type_rejected(self):
+        self._reject(
+            "# TYPE x counter\n# TYPE x counter\nx 1\n", "duplicate TYPE"
+        )
+
+    def test_duplicate_help_rejected(self):
+        self._reject(
+            "# HELP x one\n# HELP x two\n# TYPE x counter\nx 1\n",
+            "duplicate HELP",
+        )
+
+    def test_help_after_type_rejected(self):
+        self._reject(
+            "# TYPE x counter\n# HELP x late\nx 1\n", "HELP .* after its TYPE"
+        )
+
+    def test_header_after_samples_rejected(self):
+        self._reject(
+            "# TYPE x counter\nx 1\n# HELP x late\n", "after its samples"
+        )
+        self._reject(
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "# TYPE h histogram\n",
+            "after its samples",
+        )
+
+    def test_help_without_samples_is_fine(self):
+        # HELP-only families (no TYPE, no samples) are legal exposition.
+        assert validate_prometheus_text("# HELP idle_total described\n") == 0
+
+    def test_histogram_suffixes_count_as_family_samples(self):
+        self._reject(
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+            "# HELP h late\n",
+            "after its samples",
+        )

@@ -1,0 +1,234 @@
+"""SnapshotSampler: rates, quantiles, SLO burn, and the top dashboard."""
+
+import pytest
+
+from repro.telemetry.sampler import (
+    DEFAULT_SAMPLES,
+    DROP_BUDGET_RATIO,
+    SnapshotSampler,
+    counter_total,
+    histogram_quantile,
+    label_totals,
+    render_dashboard,
+)
+
+
+def _counter(value, labels=None):
+    row = {"value": value}
+    if labels:
+        row["labels"] = labels
+    return row
+
+
+def _snapshot(**families):
+    """families: name -> list of series rows, or a ("histogram", ...) tuple."""
+    metrics = {}
+    for name, spec in families.items():
+        if isinstance(spec, tuple):
+            bounds, bucket_counts = spec
+            metrics[name] = {
+                "type": "histogram",
+                "buckets": list(bounds),
+                "series": [{"bucket_counts": list(bucket_counts)}],
+            }
+        else:
+            metrics[name] = {"type": "counter", "series": spec}
+    return {"metrics": metrics}
+
+
+class TestSnapshotFunctions:
+    def test_counter_total_sums_matching_series(self):
+        snap = _snapshot(
+            dice_alerts_total=[
+                _counter(3.0, {"kind": "detection"}),
+                _counter(2.0, {"kind": "identification"}),
+            ]
+        )
+        assert counter_total(snap, "dice_alerts_total") == 5.0
+        assert counter_total(
+            snap, "dice_alerts_total", {"kind": "detection"}
+        ) == 3.0
+        assert counter_total(snap, "missing_family") == 0.0
+
+    def test_label_totals_groups_by_label_value(self):
+        snap = _snapshot(
+            dice_fleet_events_total=[
+                _counter(10.0, {"shard": "0"}),
+                _counter(20.0, {"shard": "1"}),
+                _counter(5.0),  # unlabeled rows are skipped
+            ]
+        )
+        assert label_totals(snap, "dice_fleet_events_total", "shard") == {
+            "0": 10.0,
+            "1": 20.0,
+        }
+
+    def test_histogram_quantile_interpolates_within_bucket(self):
+        # 10 observations spread over buckets [0,1] and (1,2]: the median
+        # ranks 5th of 8 in the first bucket -> 1.0 * 5/8.
+        snap = _snapshot(lat=((1.0, 2.0), (8, 2, 0)))
+        assert histogram_quantile(snap, "lat", 0.5) == pytest.approx(0.625)
+        # p95 ranks 9.5, i.e. 1.5 of the 2 in (1,2].
+        assert histogram_quantile(snap, "lat", 0.95) == pytest.approx(1.75)
+
+    def test_histogram_quantile_overflow_reports_last_bound(self):
+        snap = _snapshot(lat=((1.0, 2.0), (0, 0, 4)))
+        assert histogram_quantile(snap, "lat", 0.5) == 2.0
+
+    def test_histogram_quantile_empty_or_missing_is_none(self):
+        assert histogram_quantile(_snapshot(), "lat", 0.5) is None
+        snap = _snapshot(lat=((1.0,), (0, 0)))
+        assert histogram_quantile(snap, "lat", 0.5) is None
+
+
+class TestSampler:
+    def test_capacity_needs_a_pair(self):
+        with pytest.raises(ValueError):
+            SnapshotSampler(capacity=1)
+        assert SnapshotSampler().capacity == DEFAULT_SAMPLES
+
+    def test_counter_rate_uses_newest_pair(self):
+        sampler = SnapshotSampler()
+        assert sampler.counter_rate("dice_windows_total") is None
+        sampler.add(0.0, _snapshot(dice_windows_total=[_counter(100.0)]))
+        assert sampler.counter_rate("dice_windows_total") is None
+        sampler.add(2.0, _snapshot(dice_windows_total=[_counter(150.0)]))
+        assert sampler.counter_rate("dice_windows_total") == pytest.approx(25.0)
+        assert sampler.span_seconds == 2.0
+
+    def test_counter_reset_clamps_to_zero(self):
+        sampler = SnapshotSampler()
+        sampler.add(0.0, _snapshot(dice_windows_total=[_counter(100.0)]))
+        sampler.add(1.0, _snapshot(dice_windows_total=[_counter(10.0)]))
+        assert sampler.counter_rate("dice_windows_total") == 0.0
+
+    def test_out_of_order_sample_yields_none(self):
+        sampler = SnapshotSampler()
+        sampler.add(5.0, _snapshot(dice_windows_total=[_counter(1.0)]))
+        sampler.add(5.0, _snapshot(dice_windows_total=[_counter(2.0)]))
+        assert sampler.counter_rate("dice_windows_total") is None
+
+    def test_ring_is_bounded(self):
+        sampler = SnapshotSampler(capacity=2)
+        for t in range(5):
+            sampler.add(float(t), _snapshot())
+        assert len(sampler) == 2
+        assert sampler.span_seconds == 1.0
+
+    def test_label_rates_per_shard(self):
+        sampler = SnapshotSampler()
+        sampler.add(
+            0.0,
+            _snapshot(
+                dice_fleet_events_total=[
+                    _counter(0.0, {"shard": "0"}),
+                    _counter(0.0, {"shard": "1"}),
+                ]
+            ),
+        )
+        sampler.add(
+            2.0,
+            _snapshot(
+                dice_fleet_events_total=[
+                    _counter(100.0, {"shard": "0"}),
+                    _counter(50.0, {"shard": "1"}),
+                ]
+            ),
+        )
+        assert sampler.label_rates("dice_fleet_events_total", "shard") == {
+            "0": 50.0,
+            "1": 25.0,
+        }
+
+    def test_gauge_value_reads_latest(self):
+        sampler = SnapshotSampler()
+        assert sampler.gauge_value("dice_reorder_pending") == 0.0
+        sampler.add(0.0, _snapshot(dice_reorder_pending=[_counter(7.0)]))
+        assert sampler.gauge_value("dice_reorder_pending") == 7.0
+
+    def test_quantiles_over_latest_snapshot(self):
+        sampler = SnapshotSampler()
+        assert sampler.quantiles("lat", (0.5,)) == {0.5: None}
+        sampler.add(0.0, _snapshot(lat=((1.0, 2.0), (8, 2, 0))))
+        qs = sampler.quantiles("lat", (0.5, 0.95))
+        assert qs[0.5] == pytest.approx(0.625)
+        assert qs[0.95] == pytest.approx(1.75)
+
+    def test_burn_rate_is_ratio_over_budget(self):
+        sampler = SnapshotSampler()
+        assert sampler.burn_rate("bad", "total", 0.01) is None
+        sampler.add(
+            0.0, _snapshot(bad=[_counter(0.0)], total=[_counter(0.0)])
+        )
+        sampler.add(
+            1.0, _snapshot(bad=[_counter(2.0)], total=[_counter(100.0)])
+        )
+        # 2% observed against a 1% budget: burning twice as fast.
+        assert sampler.burn_rate("bad", "total", 0.01) == pytest.approx(2.0)
+
+    def test_burn_rate_idle_interval_is_zero(self):
+        sampler = SnapshotSampler()
+        sampler.add(0.0, _snapshot(bad=[_counter(0.0)], total=[_counter(5.0)]))
+        sampler.add(1.0, _snapshot(bad=[_counter(1.0)], total=[_counter(5.0)]))
+        assert sampler.burn_rate("bad", "total", 0.01) == 0.0
+
+    def test_burn_rate_requires_positive_budget(self):
+        with pytest.raises(ValueError):
+            SnapshotSampler().burn_rate("bad", "total", 0.0)
+
+
+class TestDashboard:
+    def test_first_frame_shows_na_rates(self):
+        sampler = SnapshotSampler()
+        frame = render_dashboard(sampler)
+        assert "0 sample(s)" in frame
+        assert "windows:   n/a" in frame
+        assert "SLO burn:  n/a" in frame
+
+    def test_fleet_frame_breaks_rates_down_per_shard(self):
+        sampler = SnapshotSampler()
+        sampler.add(
+            0.0,
+            _snapshot(
+                dice_fleet_events_total=[
+                    _counter(0.0, {"shard": "0"}),
+                    _counter(0.0, {"shard": "1"}),
+                ],
+                dice_alerts_total=[_counter(0.0, {"kind": "detection"})],
+                dice_ingest_dropped_total=[_counter(0.0, {"reason": "guard"})],
+            ),
+        )
+        sampler.add(
+            2.0,
+            _snapshot(
+                dice_fleet_events_total=[
+                    _counter(100.0, {"shard": "0"}),
+                    _counter(60.0, {"shard": "1"}),
+                ],
+                dice_alerts_total=[_counter(1.0, {"kind": "detection"})],
+                dice_ingest_dropped_total=[_counter(4.0, {"reason": "guard"})],
+                dice_detection_latency_seconds=((1.0, 2.0), (8, 2, 0)),
+                dice_reorder_watermark_lag_seconds=[_counter(12.5)],
+                dice_reorder_pending=[_counter(3.0)],
+            ),
+        )
+        frame = render_dashboard(sampler)
+        assert "events:    80.0/s total" in frame
+        assert "shard 0: 50.0/s" in frame
+        assert "shard 1: 30.0/s" in frame
+        assert "detection: 0.50/s" in frame
+        assert "drops:     2.0/s" in frame
+        assert "p50: 0.625 s" in frame
+        assert "lag 12.5 s" in frame
+        assert "pending 3" in frame
+        # 4 drops over 160 events = 2.5%, against the 1% budget.
+        assert "SLO burn:  2.50x" in frame
+        assert f"{DROP_BUDGET_RATIO * 100:g}% drop budget" in frame
+
+    def test_standalone_frame_falls_back_to_window_rate(self):
+        sampler = SnapshotSampler()
+        sampler.add(0.0, _snapshot(dice_windows_total=[_counter(0.0)]))
+        sampler.add(1.0, _snapshot(dice_windows_total=[_counter(30.0)]))
+        frame = render_dashboard(sampler)
+        assert "windows:   30.0/s" in frame
+        assert "events:" not in frame

@@ -373,6 +373,9 @@ class TestBench:
         assert set(doc["journal"]["overhead_ratio"]) == {
             "never", "interval", "always",
         }
+        assert doc["provenance"]["alerts_identical"] is True
+        assert doc["provenance"]["events"] > 0
+        assert doc["provenance"]["overhead_ratio"] >= 0
 
         # The validator is what CI gates on: it must reject mutations.
         bad = dict(doc, schema="nope")
