@@ -3,6 +3,7 @@
 from .perf import (
     BENCH_SCHEMA,
     DEFAULT_OUTPUT,
+    bench_backends,
     bench_fleet,
     bench_provenance,
     bench_telemetry,
@@ -13,6 +14,7 @@ from .perf import (
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_OUTPUT",
+    "bench_backends",
     "bench_fleet",
     "bench_provenance",
     "bench_telemetry",

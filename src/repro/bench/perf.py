@@ -62,8 +62,9 @@ from ..model import DeviceRegistry, SensorType, binary_sensor
 #: journal overhead section; /5 added the ``scenarios`` matrix section;
 #: /6 added the ``capacity`` shared-context section, per-kernel scan
 #: accounting, and effective worker counts in ``eval``; /7 added the
-#: ``provenance`` evidence-recorder overhead section.
-BENCH_SCHEMA = "dice-bench-perf/7"
+#: ``provenance`` evidence-recorder overhead section; /8 added the
+#: ``backends`` per-backend streaming comparison section.
+BENCH_SCHEMA = "dice-bench-perf/8"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -710,6 +711,54 @@ def bench_scenarios(seed: int, trials: int = 1) -> Dict:
     }
 
 
+def bench_backends(
+    seed: int, hours: float = 9.0, train_hours: float = 3.0
+) -> List[Dict]:
+    """Per-backend streaming cost over one synthetic home.
+
+    Every registered backend fits on the same training prefix and streams
+    the same live segment through the hardened runtime, so the entries
+    compare fit cost and event throughput like-for-like.  Alert counts
+    ride along as a coarse behavioural fingerprint (structure only — the
+    schema never pins measured numbers)."""
+    from ..core import available_backends, create_backend
+    from ..faults.crash import _chaos_registry, _cyclic_trace
+    from ..streaming import HardenedOnlineDice
+
+    rng = np.random.default_rng((int(seed), 23))
+    phase = float(rng.choice([480.0, 600.0, 720.0]))
+    trace = _cyclic_trace(_chaos_registry(), hours, phase)
+    split = trace.start + train_hours * 3600.0
+    train = trace.slice(trace.start, split)
+    live = trace.slice(split, trace.end)
+    events = sum(1 for _ in live)
+    entries: List[Dict] = []
+    for name in available_backends():
+        backend = create_backend(
+            name, trace.registry, metrics=telemetry.NULL_REGISTRY
+        )
+        t0 = time.perf_counter()
+        backend.fit(train)
+        fit_seconds = time.perf_counter() - t0
+        runtime = HardenedOnlineDice(backend, start=split)
+        t0 = time.perf_counter()
+        alerts = runtime.replay(live)
+        stream_seconds = time.perf_counter() - t0
+        entries.append(
+            {
+                "backend": name,
+                "fit_seconds": fit_seconds,
+                "stream_seconds": stream_seconds,
+                "events": events,
+                "events_per_s": (
+                    events / stream_seconds if stream_seconds > 0 else 0.0
+                ),
+                "alerts": len(alerts),
+            }
+        )
+    return entries
+
+
 def _capacity_canon(gateway, home_ids: Sequence[str]) -> Dict[str, str]:
     """Per-home alert canon — kind/time/check/cases/devices/convergence."""
     return {
@@ -973,6 +1022,7 @@ def run_benchmarks(
         # ratio to dominate setup jitter (the run is still ~2 s).
         "provenance": bench_provenance(seed, hours=24.0),
         "scenarios": bench_scenarios(seed, trials=scenario_trials),
+        "backends": bench_backends(seed),
         "capacity": bench_capacity(
             cap_homes, cap_archetypes, cap_windows, cap_groups,
             num_bits=num_bits, seed=seed,
@@ -1272,6 +1322,34 @@ def validate_document(doc: Dict) -> Dict:
                 or (isinstance(pair[key], (int, float)) and pair[key] >= 0),
                 f"scenarios.refresh_pairs[].{key} must be a "
                 "non-negative number or null",
+            )
+
+    backends = doc.get("backends")
+    _require(
+        isinstance(backends, list) and backends,
+        "backends must be a non-empty list",
+    )
+    backend_names = [entry.get("backend") for entry in backends]
+    _require(
+        backend_names == sorted(set(backend_names))
+        and all(isinstance(n, str) and n for n in backend_names),
+        "backends[].backend must be unique sorted names",
+    )
+    _require(
+        "dice" in backend_names,
+        "backends must include the dice reference backend",
+    )
+    for entry in backends:
+        name = entry.get("backend")
+        for key in ("fit_seconds", "stream_seconds", "events_per_s"):
+            _require(
+                isinstance(entry.get(key), (int, float)) and entry[key] >= 0,
+                f"backends[{name}].{key} must be a non-negative number",
+            )
+        for key in ("events", "alerts"):
+            _require(
+                isinstance(entry.get(key), int) and entry[key] >= 0,
+                f"backends[{name}].{key} must be a non-negative int",
             )
 
     cap = doc.get("capacity")

@@ -212,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write each alert's evidence record as one JSON line "
         "(see 'repro explain')",
     )
+    stream.add_argument(
+        "--backend", default="dice", metavar="NAME",
+        help="detector backend to host (see 'repro scenarios --backend'; "
+        "default: dice)",
+    )
 
     fleet = sub.add_parser(
         "fleet", help="run the sharded multi-home gateway over a generated fleet"
@@ -352,6 +357,12 @@ def _build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument(
         "--list", action="store_true", dest="list_cells",
         help="print the cell ids of the (filtered) matrix and exit",
+    )
+    scenarios.add_argument(
+        "--backend", action="append", default=None, dest="backends",
+        metavar="NAME",
+        help="detector backend to sweep; repeatable for a side-by-side "
+        "baselines table (default: dice)",
     )
 
     metrics = sub.add_parser(
@@ -564,9 +575,15 @@ def _cmd_stream(args) -> int:
     if not trace.start < split < trace.end:
         _log.error("bad_split", reason="train-hours must leave a non-empty live segment")
         return 2
-    from .core import DiceDetector
+    from .core import available_backends, create_backend
 
-    detector = DiceDetector(trace.registry).fit(trace.slice(trace.start, split))
+    if args.backend not in available_backends():
+        valid = ", ".join(available_backends())
+        _log.error("unknown_backend", backend=args.backend, valid=valid)
+        return 2
+    detector = create_backend(args.backend, trace.registry).fit(
+        trace.slice(trace.start, split)
+    )
     live = trace.slice(split, trace.end)
     policy = SupervisorPolicy(
         silence_seconds=args.silence, quarantine_seconds=args.quarantine
@@ -961,17 +978,25 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_scenarios(args) -> int:
+    from .core import available_backends
     from .scenarios import (
         ScenarioSettings,
         build_report,
         default_matrix,
         refresh_pairs,
+        render_baselines,
         render_table,
         run_matrix,
         select_cells,
         write_report,
     )
 
+    backends = tuple(args.backends) if args.backends else ("dice",)
+    for backend in backends:
+        if backend not in available_backends():
+            valid = ", ".join(available_backends())
+            _log.error("unknown_backend", backend=backend, valid=valid)
+            return 2
     filters = args.cells.split(",") if args.cells else None
     try:
         cells = select_cells(default_matrix(), filters)
@@ -983,9 +1008,13 @@ def _cmd_scenarios(args) -> int:
             print(cell.cell_id)
         return 0
     settings = ScenarioSettings(trials=args.trials)
-    results = run_matrix(cells, seed=args.seed, settings=settings)
+    results = run_matrix(
+        cells, seed=args.seed, settings=settings, backends=backends
+    )
     doc = build_report(results, seed=args.seed, settings=settings)
     print(render_table(doc))
+    print()
+    print(render_baselines(doc))
     for pair in refresh_pairs(doc):
         print(
             f"drift {pair['variant']}: sustained alerts/h "
@@ -1237,6 +1266,12 @@ def _cmd_bench(args) -> int:
         print(
             f"scenarios drift {pair['variant']}: sustained alerts/h "
             f"{pair['plain']} (plain) -> {pair['refresh']} (refresh)"
+        )
+    for entry in doc["backends"]:
+        print(
+            f"backend[{entry['backend']}]: fit {entry['fit_seconds']:.2f}s  "
+            f"{entry['events_per_s']:.0f} events/s  "
+            f"{entry['alerts']} alerts"
         )
     cap = doc["capacity"]
     print(

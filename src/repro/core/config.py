@@ -29,6 +29,11 @@ from typing import Optional
 BITS_PER_BINARY_DEVICE = 1
 BITS_PER_NUMERIC_SENSOR = 3
 
+#: Names of the built-in detector backends (see ``repro.core.backend``).
+#: Kept here — not derived from the backend registry — so config validation
+#: never imports the backend module (which imports this one).
+KNOWN_BACKENDS = ("dice", "ensemble", "markov")
+
 
 @dataclass(frozen=True)
 class DiceConfig:
@@ -74,6 +79,9 @@ class DiceConfig:
     #: very large value forces the XOR path.  Kernel choice never changes
     #: results — only which arithmetic computes the same distances.
     gemm_min_rows: Optional[int] = None
+    #: Which detector backend the streaming runtime hosts.  ``dice`` is the
+    #: paper's pipeline; see ``repro.core.backend`` for the others.
+    backend: str = "dice"
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -92,6 +100,11 @@ class DiceConfig:
             raise ValueError("correlation_cache_size must be non-negative")
         if self.gemm_min_rows is not None and self.gemm_min_rows < 0:
             raise ValueError("gemm_min_rows must be non-negative")
+        if self.backend not in KNOWN_BACKENDS:
+            valid = ", ".join(KNOWN_BACKENDS)
+            raise ValueError(
+                f"unknown backend {self.backend!r}; valid backends: {valid}"
+            )
 
     @property
     def num_thre(self) -> int:

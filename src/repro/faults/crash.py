@@ -130,6 +130,7 @@ class ChaosDeployment:
     fault_device: str
     fault_time: float
     fault_class: FaultType = FaultType.FAIL_STOP
+    backend: str = "dice"
 
     @property
     def end(self) -> float:
@@ -137,13 +138,23 @@ class ChaosDeployment:
 
     def fit_detector(
         self, metrics: Optional["telemetry.MetricsRegistry"] = None
-    ) -> DiceDetector:
+    ):
         """A fresh fitted detector (fresh metrics, so trial runs never
-        share counters or memo state with each other)."""
+        share counters or memo state with each other).
+
+        A ``dice`` deployment returns the bare :class:`DiceDetector` —
+        byte-compatible with every pre-backend chaos seed — while other
+        backends return the fitted :class:`~repro.core.DetectorBackend`.
+        """
         if metrics is None:
             metrics = telemetry.MetricsRegistry()
-        return DiceDetector(self.registry, metrics=metrics).fit(
-            self.trace.slice(self.trace.start, self.split)
+        train = self.trace.slice(self.trace.start, self.split)
+        if self.backend == "dice":
+            return DiceDetector(self.registry, metrics=metrics).fit(train)
+        from ..core import create_backend
+
+        return create_backend(self.backend, self.registry, metrics=metrics).fit(
+            train
         )
 
 
@@ -153,8 +164,9 @@ def build_chaos_deployment(
     *,
     hours: float = 4.5,
     fault_class: FaultType = FaultType.FAIL_STOP,
+    backend: str = "dice",
 ) -> ChaosDeployment:
-    """A pure function of ``(seed, home_id, hours, fault_class)``.
+    """A pure function of ``(seed, home_id, hours, fault_class, backend)``.
 
     The live segment carries a seeded device fault — fail-stop by default
     (one motion sensor goes silent), or any Ch. IV.2 class via
@@ -203,6 +215,7 @@ def build_chaos_deployment(
         fault_device=victim,
         fault_time=fault_time,
         fault_class=fault_class,
+        backend=backend,
     )
 
 

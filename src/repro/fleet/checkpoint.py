@@ -38,20 +38,27 @@ import os
 from typing import Dict, Optional, Union
 
 from .. import telemetry
-from ..core import DiceDetector, SharedContextStore, context_hash
+from ..core import (
+    DetectorBackend,
+    DiceDetector,
+    SharedContextStore,
+    as_backend,
+)
 from ..streaming import (
     CheckpointError,
     load_checkpoint,
-    model_fingerprint,
     restore_runtime,
     save_checkpoint,
 )
 from ..streaming.checkpoint import write_json_atomic
 from .gateway import FleetGateway
 
-MANIFEST_SCHEMA = "dice-fleet-manifest/2"
-#: Restorable manifest schemas; /1 simply lacks the context hashes.
-COMPATIBLE_SCHEMAS = frozenset({"dice-fleet-manifest/1", MANIFEST_SCHEMA})
+MANIFEST_SCHEMA = "dice-fleet-manifest/3"
+#: Restorable manifest schemas; /1 lacks the context hashes, /2 the
+#: per-home backend names (absent means ``dice``).
+COMPATIBLE_SCHEMAS = frozenset(
+    {"dice-fleet-manifest/1", "dice-fleet-manifest/2", MANIFEST_SCHEMA}
+)
 MANIFEST_NAME = "manifest.json"
 
 _log = telemetry.get_logger("repro.fleet.checkpoint")
@@ -80,7 +87,8 @@ def save_fleet_checkpoint(gateway: FleetGateway, directory: PathLike) -> None:
         homes[home_id] = {
             "shard": gateway.shard_index_of(home_id),
             "file": filename,
-            "model": model_fingerprint(runtime.detector),
+            "backend": runtime.backend.name,
+            "model": runtime.backend.fingerprint(),
             # The content hash of the *base* trained context (pre-refresh),
             # captured at runtime construction; restore validates the
             # re-fitted detector against it byte-for-byte.
@@ -137,7 +145,7 @@ def load_fleet_manifest(directory: PathLike) -> dict:
 
 
 def restore_fleet(
-    detectors: Dict[str, DiceDetector],
+    detectors: Dict[str, Union[DiceDetector, DetectorBackend]],
     directory: PathLike,
     *,
     num_shards: Optional[int] = None,
@@ -173,6 +181,7 @@ def restore_fleet(
     # fingerprint mismatch should name its home up front, not explode
     # halfway through a partially-built gateway.
     refit_hashes: Dict[str, str] = {}
+    backends: Dict[str, DetectorBackend] = {}
     for home_id in sorted(manifest["homes"]):
         entry = manifest["homes"][home_id]
         snapshot_path = os.path.join(directory, entry["file"])
@@ -181,7 +190,15 @@ def restore_fleet(
                 f"fleet manifest references a missing snapshot for home "
                 f"{home_id!r}: {snapshot_path}"
             )
-        expected = model_fingerprint(detectors[home_id])
+        backends[home_id] = backend = as_backend(detectors[home_id])
+        recorded_backend = entry.get("backend", "dice")
+        if recorded_backend != backend.name:
+            raise CheckpointError(
+                f"snapshot for home {home_id!r} was written by backend "
+                f"{recorded_backend!r} but restore targets backend "
+                f"{backend.name!r}"
+            )
+        expected = backend.fingerprint()
         recorded = entry.get("model")
         if recorded is not None and recorded != expected:
             raise CheckpointError(
@@ -190,7 +207,7 @@ def restore_fleet(
             )
         recorded_hash = entry.get("context")
         if recorded_hash is not None:
-            refit_hashes[home_id] = refit = context_hash(detectors[home_id])
+            refit_hashes[home_id] = refit = backend.context_hash()
             if refit != recorded_hash:
                 raise CheckpointError(
                     f"shared context mismatch for home {home_id!r}: the "
@@ -210,13 +227,14 @@ def restore_fleet(
             state = load_checkpoint(os.path.join(directory, entry["file"]))
         except CheckpointError as exc:
             raise CheckpointError(f"home {home_id!r}: {exc}") from exc
-        if gateway.share_contexts:
+        backend = backends[home_id]
+        if gateway.share_contexts and backend.dice_detector is not None:
             # Intern before replaying the snapshot: refresh-history re-apply
             # must fork off the shared copy exactly as the original run did.
             gateway.context_store.intern(
-                detectors[home_id], key=refit_hashes.get(home_id)
+                backend.dice_detector, key=refit_hashes.get(home_id)
             )
-        runtime = restore_runtime(detectors[home_id], state, **runtime_kwargs)
+        runtime = restore_runtime(backend, state, **runtime_kwargs)
         gateway.add_runtime(home_id, runtime)
     fleet_counters = manifest.get("telemetry")
     if fleet_counters is not None and gateway.metrics.enabled:

@@ -45,8 +45,10 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from .. import telemetry
 from ..core import (
     CorrelationChecker,
+    DetectorBackend,
     DiceDetector,
     SharedContextStore,
+    as_backend,
     trained_context_nbytes,
 )
 from ..model import Event
@@ -137,7 +139,9 @@ class FleetShard:
             masks = runtime.staged_window_masks(staged[home_id])
             if not masks:
                 continue
-            checker = runtime.detector._correlation_checker
+            checker = runtime.backend.correlation_checker
+            if checker is None:  # backend has no correlation memo to warm
+                continue
             entry = warm.get(id(checker))
             if entry is None:
                 warm[id(checker)] = (checker, masks)
@@ -264,21 +268,25 @@ class FleetGateway:
     def add_home(
         self,
         home_id: str,
-        detector: DiceDetector,
+        detector: Union[DiceDetector, DetectorBackend],
         *,
         start: float = 0.0,
         **runtime_kwargs,
     ) -> HardenedOnlineDice:
         """Create and register a hardened runtime for *home_id*.
 
-        ``runtime_kwargs`` pass through to :class:`HardenedOnlineDice`
-        (lateness budget, supervisor policy, ...).  With context sharing
-        on, the detector is interned *before* the runtime captures its
-        base hash — an adopted detector reuses the canonical copy's.
+        *detector* is a fitted :class:`DiceDetector` or any fitted
+        :class:`~repro.core.DetectorBackend`.  ``runtime_kwargs`` pass
+        through to :class:`HardenedOnlineDice` (lateness budget, supervisor
+        policy, ...).  With context sharing on, a DICE detector is interned
+        *before* the runtime captures its base hash — an adopted detector
+        reuses the canonical copy's.  Backends without a DICE context
+        (Markov, ensembles) skip interning.
         """
-        if self.share_contexts:
-            self.context_store.intern(detector)
-        runtime = HardenedOnlineDice(detector, start=start, **runtime_kwargs)
+        backend = as_backend(detector)
+        if self.share_contexts and backend.dice_detector is not None:
+            self.context_store.intern(backend.dice_detector)
+        runtime = HardenedOnlineDice(backend, start=start, **runtime_kwargs)
         return self.add_runtime(home_id, runtime)
 
     def add_runtime(
@@ -390,6 +398,8 @@ class FleetGateway:
         replicated = 0
         for home_id in sorted(self._runtimes):
             detector = self._runtimes[home_id].detector
+            if detector is None:  # backend without a DICE trained context
+                continue
             nbytes = trained_context_nbytes(detector)
             replicated += nbytes
             per_context.setdefault(id(detector.model), nbytes)
@@ -436,6 +446,7 @@ class FleetGateway:
             runtime = self._runtimes[home_id]
             homes[home_id] = {
                 "shard": shard_of(home_id, self.num_shards),
+                "backend": runtime.backend.name,
                 "alerts": len(runtime.alerts),
                 "drops": runtime.drops.total,
                 "quarantined": sorted(runtime.supervisor.quarantined),
@@ -463,7 +474,10 @@ class FleetGateway:
 
     @classmethod
     def restore(
-        cls, detectors: Dict[str, DiceDetector], directory, **kwargs
+        cls,
+        detectors: Dict[str, Union[DiceDetector, DetectorBackend]],
+        directory,
+        **kwargs,
     ) -> "FleetGateway":
         from .checkpoint import restore_fleet
 

@@ -58,17 +58,30 @@ class FleetHome:
         return self.trace.slice(self.split, self.trace.end)
 
     def fit_detector(
-        self, metrics: Optional["telemetry.MetricsRegistry"] = None
-    ) -> DiceDetector:
+        self,
+        metrics: Optional["telemetry.MetricsRegistry"] = None,
+        backend: str = "dice",
+    ):
         """Fit this home's detector on its training prefix.
 
         Each home defaults to its **own** metrics registry so fleet
         telemetry stays shared-nothing and merges cleanly at snapshot
         time; pass ``telemetry.NULL_REGISTRY`` to disable recording.
+        ``backend="dice"`` returns the bare :class:`DiceDetector`; any
+        other registered backend name returns the fitted
+        :class:`~repro.core.DetectorBackend`.
         """
         if metrics is None:
             metrics = telemetry.MetricsRegistry()
-        return DiceDetector(self.trace.registry, metrics=metrics).fit(self.training)
+        if backend == "dice":
+            return DiceDetector(self.trace.registry, metrics=metrics).fit(
+                self.training
+            )
+        from ..core import create_backend
+
+        return create_backend(
+            backend, self.trace.registry, metrics=metrics
+        ).fit(self.training)
 
 
 def build_fleet_homes(

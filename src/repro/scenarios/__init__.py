@@ -9,8 +9,10 @@ Ch. V tables, extended with Ch. VI attacks and concept-drift cells.
 from .cells import ScenarioCell, default_matrix, select_cells
 from .report import (
     SCENARIO_SCHEMA,
+    baselines_table,
     build_report,
     refresh_pairs,
+    render_baselines,
     render_table,
     validate_report,
     write_report,
@@ -22,8 +24,10 @@ __all__ = [
     "default_matrix",
     "select_cells",
     "SCENARIO_SCHEMA",
+    "baselines_table",
     "build_report",
     "refresh_pairs",
+    "render_baselines",
     "render_table",
     "validate_report",
     "write_report",

@@ -15,7 +15,80 @@ from typing import Dict, List, Optional, Sequence
 
 from .cells import KIND_ATTACK, KIND_DRIFT, KIND_FAULT
 
-SCENARIO_SCHEMA = "dice-scenario-report/1"
+#: Schema ``/2`` added the per-cell ``backend`` field and the per-backend
+#: ``baselines`` aggregate table (cell ids are unique per backend, not
+#: globally, since every backend covers the full cell matrix).
+SCENARIO_SCHEMA = "dice-scenario-report/2"
+
+
+def _rate(numerator: int, denominator: int) -> float:
+    return round(numerator / denominator, 4) if denominator else 0.0
+
+
+def baselines_table(results: Sequence[dict]) -> List[dict]:
+    """Per-backend aggregates over the cell rows: the baselines table.
+
+    One entry per backend (in first-appearance order), pooling detection
+    and identification counts across every cell the backend ran — the
+    precision/recall/detection-time comparison the ISSUE's baselines
+    table calls for.
+    """
+    order: List[str] = []
+    pooled: Dict[str, dict] = {}
+    for row in results:
+        backend = row.get("backend", "dice")
+        agg = pooled.get(backend)
+        if agg is None:
+            order.append(backend)
+            agg = pooled[backend] = {
+                "cells": 0,
+                "tp": 0,
+                "fn": 0,
+                "fp": 0,
+                "tn": 0,
+                "correct": 0,
+                "named": 0,
+                "actual": 0,
+                "minutes": [],
+            }
+        agg["cells"] += 1
+        det = row["detection"]
+        for key in ("tp", "fn", "fp", "tn"):
+            agg[key] += int(det[key])
+        ident = row["identification"]
+        for key in ("correct", "named", "actual"):
+            agg[key] += int(ident[key])
+        agg["minutes"].extend(row["detection_minutes"]["samples"])
+    table = []
+    for backend in order:
+        agg = pooled[backend]
+        minutes = agg.pop("minutes")
+        cells = agg.pop("cells")
+        table.append(
+            {
+                "backend": backend,
+                "cells": cells,
+                "detection": {
+                    "tp": agg["tp"],
+                    "fn": agg["fn"],
+                    "fp": agg["fp"],
+                    "tn": agg["tn"],
+                    "precision": _rate(agg["tp"], agg["tp"] + agg["fp"]),
+                    "recall": _rate(agg["tp"], agg["tp"] + agg["fn"]),
+                },
+                "identification": {
+                    "correct": agg["correct"],
+                    "named": agg["named"],
+                    "actual": agg["actual"],
+                    "precision": _rate(agg["correct"], agg["named"]),
+                    "recall": _rate(agg["correct"], agg["actual"]),
+                },
+                "mean_detection_minutes": (
+                    round(sum(minutes) / len(minutes), 4) if minutes else None
+                ),
+            }
+        )
+    return table
 
 
 def build_report(
@@ -26,6 +99,7 @@ def build_report(
         "schema": SCENARIO_SCHEMA,
         "seed": int(seed),
         "settings": settings.as_dict(),  # type: ignore[attr-defined]
+        "baselines": baselines_table(results),
         "cells": list(results),
     }
 
@@ -47,9 +121,10 @@ def _require(cond: bool, message: str) -> None:
 
 def _check_rate(row: dict, section: str, key: str) -> None:
     value = row[section][key]
+    label = row.get("id") or row.get("backend")
     _require(
         isinstance(value, (int, float)) and 0.0 <= float(value) <= 1.0,
-        f"cell {row.get('id')!r}: {section}.{key} must be a rate in [0, 1]",
+        f"cell {label!r}: {section}.{key} must be a rate in [0, 1]",
     )
 
 
@@ -68,12 +143,23 @@ def validate_report(doc: Dict) -> Dict:
     cells = doc.get("cells")
     _require(isinstance(cells, list) and cells, "cells must be a non-empty list")
     seen = set()
+    cell_backends = []
     for row in cells:
         _require(isinstance(row, dict), "each cell must be an object")
         cell_id = row.get("id")
         _require(isinstance(cell_id, str) and bool(cell_id), "cell id must be a string")
-        _require(cell_id not in seen, f"duplicate cell id {cell_id!r}")
-        seen.add(cell_id)
+        backend = row.get("backend")
+        _require(
+            isinstance(backend, str) and bool(backend),
+            f"cell {cell_id!r}: backend must be a non-empty string",
+        )
+        _require(
+            (backend, cell_id) not in seen,
+            f"duplicate cell id {cell_id!r} for backend {backend!r}",
+        )
+        seen.add((backend, cell_id))
+        if backend not in cell_backends:
+            cell_backends.append(backend)
         _require(
             row.get("kind") in (KIND_FAULT, KIND_ATTACK, KIND_DRIFT),
             f"cell {cell_id!r}: unknown kind {row.get('kind')!r}",
@@ -133,13 +219,36 @@ def validate_report(doc: Dict) -> Dict:
                 row.get("refresh") is None,
                 f"cell {cell_id!r}: only drift cells carry refresh stats",
             )
+    baselines = doc.get("baselines")
+    _require(
+        isinstance(baselines, list) and baselines,
+        "baselines must be a non-empty list",
+    )
+    _require(
+        [entry.get("backend") for entry in baselines] == cell_backends,
+        "baselines must cover exactly the backends the cells ran, in order",
+    )
+    for entry in baselines:
+        backend = entry.get("backend")
+        for section in ("detection", "identification"):
+            _require(
+                isinstance(entry.get(section), dict),
+                f"baseline {backend!r}: {section} must be an object",
+            )
+            _check_rate(entry, section, "precision")
+            _check_rate(entry, section, "recall")
+        _require(
+            isinstance(entry.get("cells"), int) and entry["cells"] >= 1,
+            f"baseline {backend!r}: cells must be a positive count",
+        )
     return doc
 
 
 def render_table(doc: Dict) -> str:
     """Human-readable per-cell summary for the CLI."""
     header = (
-        f"{'cell':<52} {'prec':>5} {'rec':>5} {'det-min':>8} {'sust/h':>7}"
+        f"{'cell':<52} {'backend':<9} "
+        f"{'prec':>5} {'rec':>5} {'det-min':>8} {'sust/h':>7}"
     )
     lines = [header, "-" * len(header)]
     for row in doc["cells"]:
@@ -148,9 +257,31 @@ def render_table(doc: Dict) -> str:
         sustained = row.get("sustained_alerts_per_hour")
         lines.append(
             f"{row['id']:<52} "
+            f"{row.get('backend', 'dice'):<9} "
             f"{det['precision']:>5.2f} {det['recall']:>5.2f} "
             f"{mean if mean is not None else '-':>8} "
             f"{sustained if sustained is not None else '-':>7}"
+        )
+    return "\n".join(lines)
+
+
+def render_baselines(doc: Dict) -> str:
+    """Human-readable per-backend baselines table for the CLI."""
+    header = (
+        f"{'backend':<10} {'cells':>5} "
+        f"{'det-prec':>8} {'det-rec':>7} "
+        f"{'id-prec':>7} {'id-rec':>6} {'det-min':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in doc.get("baselines", []):
+        det = entry["detection"]
+        ident = entry["identification"]
+        mean = entry["mean_detection_minutes"]
+        lines.append(
+            f"{entry['backend']:<10} {entry['cells']:>5} "
+            f"{det['precision']:>8.2f} {det['recall']:>7.2f} "
+            f"{ident['precision']:>7.2f} {ident['recall']:>6.2f} "
+            f"{mean if mean is not None else '-':>8}"
         )
     return "\n".join(lines)
 
@@ -165,6 +296,10 @@ def refresh_pairs(doc: Dict) -> List[dict]:
     drift: Dict[str, Dict[str, Optional[float]]] = {}
     for row in doc["cells"]:
         if row["kind"] != KIND_DRIFT:
+            continue
+        # Online refresh folds windows back into a DICE context; only the
+        # dice rows make a meaningful A/B pair.
+        if row.get("backend", "dice") != "dice":
             continue
         stance = "refresh" if row["refresh_enabled"] else "plain"
         drift.setdefault(row["variant"], {})[stance] = row[

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import telemetry
-from ..core import DiceDetector
+from ..core import create_backend
 from ..datasets import load_dataset
 from ..faults import (
     DriftType,
@@ -140,7 +140,7 @@ class _TraceCache:
         self.seed = int(seed)
         self.settings = settings
         self._traces: Dict[Tuple[str, int], Tuple[Trace, float]] = {}
-        self._baselines: Dict[Tuple[str, int], List[Alert]] = {}
+        self._baselines: Dict[Tuple[str, int, str], List[Alert]] = {}
 
     def base(self, dataset: str, trial: int) -> Tuple[Trace, float]:
         """The faultless trace and its train/live split time."""
@@ -163,32 +163,38 @@ class _TraceCache:
             self._traces[key] = (trace, split)
         return self._traces[key]
 
-    def baseline_alerts(self, dataset: str, trial: int) -> List[Alert]:
+    def baseline_alerts(
+        self, dataset: str, trial: int, backend: str = "dice"
+    ) -> List[Alert]:
         """Alerts from streaming the *unperturbed* live segment."""
-        key = (dataset, trial)
+        key = (dataset, trial, backend)
         if key not in self._baselines:
             trace, split = self.base(dataset, trial)
             alerts, _stats = _stream(
-                trace, split, self.settings, refresh=False
+                trace, split, self.settings, refresh=False, backend=backend
             )
             self._baselines[key] = alerts
         return self._baselines[key]
 
 
 def _stream(
-    trace: Trace, split: float, settings: ScenarioSettings, refresh: bool
+    trace: Trace,
+    split: float,
+    settings: ScenarioSettings,
+    refresh: bool,
+    backend: str = "dice",
 ) -> Tuple[List[Alert], dict]:
     """Fit on the training prefix, stream the live segment.
 
-    Returns the alert list and the refresher stats.  A fresh detector per
+    Returns the alert list and the refresher stats.  A fresh backend per
     run: refresh mutates the model in place, so sharing a fitted detector
     across runs would leak groups between cells.
     """
-    detector = DiceDetector(
-        trace.registry, metrics=telemetry.NULL_REGISTRY
+    impl = create_backend(
+        backend, trace.registry, metrics=telemetry.NULL_REGISTRY
     ).fit(trace.slice(trace.start, split))
     runtime = HardenedOnlineDice(
-        detector,
+        impl,
         start=split,
         lateness_seconds=settings.lateness_seconds,
         policy=settings.policy,
@@ -292,6 +298,7 @@ def run_cell(
     seed: int = 7,
     settings: Optional[ScenarioSettings] = None,
     cache: Optional[_TraceCache] = None,
+    backend: str = "dice",
 ) -> dict:
     """Run one cell for ``settings.trials`` trials; returns the report row."""
     settings = settings or ScenarioSettings()
@@ -309,7 +316,9 @@ def run_cell(
         faulty, victims, onset = _inject(cell, trace, split, rng)
         victims_per_trial.append(victims)
         onset_hours.append(round(onset / HOUR, 4))
-        alerts, stats = _stream(faulty, split, settings, refresh=cell.refresh)
+        alerts, stats = _stream(
+            faulty, split, settings, refresh=cell.refresh, backend=backend
+        )
         detections = sorted(
             a.time for a in alerts if a.kind == "detection" and a.time >= onset
         )
@@ -325,7 +334,7 @@ def run_cell(
         identification.correct += len(named & set(victims))
         identification.named += len(named)
         identification.actual += len(victims)
-        baseline = cache.baseline_alerts(cell.dataset, trial)
+        baseline = cache.baseline_alerts(cell.dataset, trial, backend)
         if any(a.kind == "detection" for a in baseline):
             detection.false_positives += 1
         else:
@@ -340,6 +349,7 @@ def run_cell(
                 refresh_totals[key] += int(stats.get(key, 0))
     result = {
         "id": cell.cell_id,
+        "backend": backend,
         "kind": cell.kind,
         "variant": cell.variant,
         "dataset": cell.dataset,
@@ -373,18 +383,34 @@ def run_matrix(
     cells: Sequence[ScenarioCell],
     seed: int = 7,
     settings: Optional[ScenarioSettings] = None,
+    backends: Sequence[str] = ("dice",),
 ) -> List[dict]:
-    """Run every cell, sharing the trace/baseline cache."""
+    """Run every cell through every backend, sharing the trace cache.
+
+    Rows come out grouped by backend (the order *backends* lists them),
+    each backend covering the full *cells* sequence — so the report's
+    per-backend baselines table compares every backend over the exact
+    same seeded injections.  Faultless baseline runs are cached per
+    ``(dataset, trial, backend)``; base traces are shared by all.
+    """
     settings = settings or ScenarioSettings()
+    if not backends:
+        raise ValueError("backends must name at least one backend")
     cache = _TraceCache(seed, settings)
     results = []
-    for cell in cells:
-        _log.info("scenario_cell_start", cell=cell.cell_id)
-        row = run_cell(cell, seed=seed, settings=settings, cache=cache)
-        _log.info(
-            "scenario_cell_done",
-            cell=cell.cell_id,
-            recall=row["detection"]["recall"],
-        )
-        results.append(row)
+    for backend in backends:
+        for cell in cells:
+            _log.info(
+                "scenario_cell_start", cell=cell.cell_id, backend=backend
+            )
+            row = run_cell(
+                cell, seed=seed, settings=settings, cache=cache, backend=backend
+            )
+            _log.info(
+                "scenario_cell_done",
+                cell=cell.cell_id,
+                backend=backend,
+                recall=row["detection"]["recall"],
+            )
+            results.append(row)
     return results

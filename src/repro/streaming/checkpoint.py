@@ -25,35 +25,28 @@ import os
 from typing import Union
 
 from .. import telemetry
-from ..core import DiceDetector
+from ..core import DetectorBackend, DiceDetector, as_backend
 
 _log = telemetry.get_logger("repro.streaming.checkpoint")
 
 #: Version 2 added the ``telemetry`` counters payload; version 3 added the
 #: context-refresh state (``runtime["refresh"]``); version 4 added the
-#: alert-provenance recorder state (``runtime["provenance"]``).  Older
+#: alert-provenance recorder state (``runtime["provenance"]``); version 5
+#: added the ``backend`` name stamp (absent means ``dice``).  Older
 #: snapshots load fine — counters restart from zero, refresh state resets
 #: to idle, the provenance ring starts empty with ``seq`` 0.
-CHECKPOINT_VERSION = 4
-COMPATIBLE_VERSIONS = frozenset({1, 2, 3, 4})
+CHECKPOINT_VERSION = 5
+COMPATIBLE_VERSIONS = frozenset({1, 2, 3, 4, 5})
 
 
 class CheckpointError(ValueError):
-    """A snapshot is malformed, from a different version, or from a
-    different fitted model."""
+    """A snapshot is malformed, from a different version, from a different
+    fitted model, or from a different detector backend."""
 
 
-def model_fingerprint(detector: DiceDetector) -> dict:
+def model_fingerprint(detector: Union[DiceDetector, DetectorBackend]) -> dict:
     """Cheap invariants of the fitted model a snapshot must match."""
-    model = detector.model
-    if model is None:
-        raise ValueError("detector must be fitted")
-    return {
-        "num_bits": model.encoder.layout.num_bits,
-        "num_groups": len(model.groups),
-        "window_seconds": model.encoder.window_seconds,
-        "num_devices": len(detector.registry),
-    }
+    return as_backend(detector).fingerprint()
 
 
 def checkpoint_state(runtime) -> dict:
@@ -69,9 +62,10 @@ def checkpoint_state(runtime) -> dict:
     # pre-refresh model, not the refreshed one.
     fingerprint = getattr(runtime, "base_fingerprint", None)
     if fingerprint is None:
-        fingerprint = model_fingerprint(runtime.detector)
+        fingerprint = runtime.backend.fingerprint()
     state = {
         "version": CHECKPOINT_VERSION,
+        "backend": runtime.backend.name,
         "model": fingerprint,
         "runtime": runtime.state_dict(),
     }
@@ -81,7 +75,9 @@ def checkpoint_state(runtime) -> dict:
     return state
 
 
-def restore_runtime(detector: DiceDetector, state: dict, **runtime_kwargs):
+def restore_runtime(
+    detector: Union[DiceDetector, DetectorBackend], state: dict, **runtime_kwargs
+):
     """Rebuild a :class:`HardenedOnlineDice` from a snapshot.
 
     ``runtime_kwargs`` pass through to the :class:`HardenedOnlineDice`
@@ -99,13 +95,20 @@ def restore_runtime(detector: DiceDetector, state: dict, **runtime_kwargs):
             f"checkpoint version {state['version']} not in "
             f"{sorted(COMPATIBLE_VERSIONS)}"
         )
-    expected = model_fingerprint(detector)
+    backend = as_backend(detector)
+    recorded = state.get("backend", "dice")
+    if recorded != backend.name:
+        raise CheckpointError(
+            f"checkpoint was written by backend {recorded!r} but restore "
+            f"targets backend {backend.name!r}"
+        )
+    expected = backend.fingerprint()
     if state.get("model") != expected:
         raise CheckpointError(
             f"checkpoint was taken against a different model: "
             f"{state.get('model')} != {expected}"
         )
-    runtime = HardenedOnlineDice(detector, **runtime_kwargs)
+    runtime = HardenedOnlineDice(backend, **runtime_kwargs)
     runtime.load_state(state["runtime"])
     telemetry_state = state.get("telemetry")
     if telemetry_state is not None:
@@ -151,7 +154,9 @@ def load_checkpoint(path: Union[str, os.PathLike]) -> dict:
 
 
 def restore_from_file(
-    detector: DiceDetector, path: Union[str, os.PathLike], **runtime_kwargs
+    detector: Union[DiceDetector, DetectorBackend],
+    path: Union[str, os.PathLike],
+    **runtime_kwargs,
 ):
     """``restore_runtime(load_checkpoint(path))`` convenience."""
     return restore_runtime(detector, load_checkpoint(path), **runtime_kwargs)

@@ -293,3 +293,50 @@ class ContextRefresher:
             "applied": self.applied_total,
             "groups_added": self.groups_added_total,
         }
+
+
+class NullRefresher:
+    """Refresh stand-in for backends without a refreshable DICE context.
+
+    Context refresh folds collected windows back into a fitted
+    :class:`~repro.core.detector.DiceDetector` model; backends that do not
+    carry one (Markov chains, ensembles) get this permanently-disabled
+    object so the hardened runtime's refresh surface (health stats,
+    checkpoint state) keeps a uniform shape.
+    """
+
+    detector = None
+    policy = RefreshPolicy()
+    phase = _IDLE
+    collecting = False
+    declared_total = 0
+    applied_total = 0
+    groups_added_total = 0
+
+    def observe(
+        self,
+        mask: int,
+        actuator_activations: FrozenSet[str],
+        is_violation: bool,
+        time: float,
+    ) -> Optional[str]:
+        return None
+
+    def state_dict(self) -> None:
+        return None
+
+    def load_state(self, state: Optional[dict]) -> None:
+        if state:
+            raise ValueError(
+                "checkpoint carries refresh history but this backend "
+                "has no refreshable context"
+            )
+
+    def stats(self) -> dict:
+        return {
+            "enabled": False,
+            "phase": _IDLE,
+            "declared": 0,
+            "applied": 0,
+            "groups_added": 0,
+        }

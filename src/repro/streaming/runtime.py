@@ -18,30 +18,21 @@ can crash mid-window and resume deterministically.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from .. import telemetry
 from ..core import (
-    CORRELATION_CHECK,
-    STAGE_SECONDS_HISTOGRAM,
-    TRANSITION_CHECK,
     WINDOWS_TOTAL,
-    CorrelationResult,
+    DetectorBackend,
     DiceDetector,
-    IdentificationSession,
-    ProbableFaultSet,
     TransitionCase,
-    correlation_evidence,
-    violation_evidence,
+    as_backend,
 )
 from ..core.detector import CACHE_HITS_TOTAL, CACHE_MISSES_TOTAL
 from ..model import Event, Trace
 from .guard import DropLog, IngestGuard
-from .refresh import ContextRefresher, RefreshPolicy
+from .refresh import ContextRefresher, NullRefresher, RefreshPolicy
 from .reorder import ReorderBuffer
 from .supervisor import (
     ERRORS,
@@ -88,24 +79,28 @@ class Alert:
 
 
 class OnlineDice:
-    """Streaming facade over a fitted detector."""
+    """Streaming facade over a fitted detector backend.
+
+    Accepts either a fitted :class:`~repro.core.DiceDetector` (wrapped in
+    the reference :class:`~repro.core.DiceBackend` — the historical API)
+    or any fitted :class:`~repro.core.DetectorBackend`.
+    """
 
     def __init__(
         self,
-        detector: DiceDetector,
+        detector: Union[DiceDetector, DetectorBackend],
         start: float = 0.0,
         provenance: Optional["telemetry.ProvenanceRecorder"] = None,
     ) -> None:
-        model = detector.model
-        if model is None:
+        backend = as_backend(detector)
+        if not backend.is_fitted:
             raise ValueError("detector must be fitted")
-        self.detector = detector
-        self.windower = OnlineWindower(model.encoder, start=start)
-        self._prev_group: Optional[int] = None
-        self._anchor_group: Optional[int] = None
-        self._prev_acts: FrozenSet[str] = frozenset()
-        self._session: Optional[IdentificationSession] = None
-        self._session_trigger: str = CORRELATION_CHECK
+        self.backend = backend
+        #: The wrapped :class:`DiceDetector` for DICE-based backends,
+        #: ``None`` otherwise.  Shared-context interning, context refresh
+        #: and ``repro.fleet`` memory accounting key off it.
+        self.detector = backend.dice_detector
+        self.windower = OnlineWindower(backend.encoder, start=start)
         self.alerts: List[Alert] = []
         #: Evidence recorder; the plain facade defaults off (cost parity
         #: with the pre-provenance runtime), the hardened one defaults on.
@@ -116,20 +111,9 @@ class OnlineDice:
         #: closing windows right now — the event-time side of the
         #: detection-latency measurement.
         self._detected_ts = float(start)
-        # Telemetry: the runtime shares its detector's registry/tracer.
-        # Series are resolved once here so the per-window path pays one
-        # dict-free observe per stage.
-        self.metrics = detector.metrics
-        self.tracer = detector.tracer
-        stage_hist = self.metrics.histogram(
-            STAGE_SECONDS_HISTOGRAM,
-            "Wall-clock seconds per streamed window, by real-time stage",
-            labelnames=("stage",),
-        )
-        self._stage_obs = {
-            stage: stage_hist.labels(stage=stage)
-            for stage in ("correlation", "transition", "identification")
-        }
+        # Telemetry: the runtime shares its backend's registry/tracer.
+        self.metrics = backend.metrics
+        self.tracer = backend.tracer
         self._windows_counter = self.metrics.counter(
             WINDOWS_TOTAL, "Windows run through the real-time phase"
         )
@@ -148,6 +132,11 @@ class OnlineDice:
             "event that closed it",
             buckets=DETECTION_LATENCY_BUCKETS,
         )
+
+    @property
+    def _session(self):
+        """The backend's open identification session (read-only view)."""
+        return self.backend._session
 
     # ------------------------------------------------------------------ #
 
@@ -203,16 +192,19 @@ class OnlineDice:
             tail = end - windower.current_window_start
             if tail > 1e-9 * windower.window_seconds:
                 fresh.extend(self._handle_window(windower.flush()))
-        if self._session is None:
+        tail_alert = self.backend.finish_segment(
+            self.windower.current_window_start
+        )
+        if tail_alert is None:
             return fresh
         alert = Alert(
-            "identification",
-            self.windower.current_window_start,
-            check=self._session_trigger,
-            devices=self._session.intersection,
-            converged=False,
+            tail_alert.kind,
+            tail_alert.time,
+            check=tail_alert.check,
+            cases=tail_alert.cases,
+            devices=tail_alert.devices,
+            converged=tail_alert.converged,
         )
-        self._session = None
         self.alerts.append(alert)
         prov = self.provenance
         if prov.enabled:
@@ -242,129 +234,58 @@ class OnlineDice:
 
     # ------------------------------------------------------------------ #
 
-    def _check_correlation(self, mask: int) -> CorrelationResult:
-        """Hook: subclasses may mask devices out of the check."""
-        return self.detector._correlation_checker.check(mask)
+    def _current_qbits(self) -> int:
+        """Hook: state-set bits to mask out of the checks (quarantine)."""
+        return 0
 
     def _handle_window(self, snapshot: WindowSnapshot) -> List[Alert]:
-        checker = self.detector._correlation_checker
-        hits0, misses0 = checker.cache_hits, checker.cache_misses
+        hits0, misses0 = self.backend.cache_counters()
         with self.tracer.trace("window"):
             fresh = self._handle_window_impl(snapshot)
         self._windows_counter.inc()
         # Attribute only this window's memo activity, so a detector shared
         # with a batch ``process`` call is never double-counted.
-        if checker.cache_hits > hits0:
-            self._cache_hits_counter.inc(checker.cache_hits - hits0)
-        if checker.cache_misses > misses0:
-            self._cache_misses_counter.inc(checker.cache_misses - misses0)
+        hits1, misses1 = self.backend.cache_counters()
+        if hits1 > hits0:
+            self._cache_hits_counter.inc(hits1 - hits0)
+        if misses1 > misses0:
+            self._cache_misses_counter.inc(misses1 - misses0)
         self._note_alerts(fresh)
         return fresh
 
     def _handle_window_impl(self, snapshot: WindowSnapshot) -> List[Alert]:
-        detector = self.detector
-        observe = self._stage_obs
-        with self.tracer.trace("correlation"):
-            t0 = time.perf_counter()
-            corr = self._check_correlation(snapshot.mask)
-            observe["correlation"].observe(time.perf_counter() - t0)
-        violations = ()
-        if not corr.is_violation:
-            with self.tracer.trace("transition"):
-                t0 = time.perf_counter()
-                violations = detector._transition_checker.check(
-                    self._prev_group,
-                    corr.main_group,
-                    self._prev_acts,
-                    snapshot.actuator_activations,
-                )
-                observe["transition"].observe(time.perf_counter() - t0)
-        fresh: List[Alert] = []
-        identifier = detector._identifier
-        t_identify = time.perf_counter()
-        if self._session is None:
-            if corr.is_violation:
-                fresh.append(
-                    Alert("detection", snapshot.end, check=CORRELATION_CHECK)
-                )
-                probable = identifier.from_correlation_violation(
-                    corr, self._anchor_group
-                )
-                self._session = IdentificationSession(
-                    detector.config, probable, detector.weights
-                )
-                self._session_trigger = CORRELATION_CHECK
-            elif violations:
-                fresh.append(
-                    Alert(
-                        "detection",
-                        snapshot.end,
-                        check=TRANSITION_CHECK,
-                        cases=tuple(v.case for v in violations),
-                    )
-                )
-                probable = identifier.from_transition_violations(
-                    violations, snapshot.mask, self._prev_group
-                )
-                self._session = IdentificationSession(
-                    detector.config, probable, detector.weights
-                )
-                self._session_trigger = TRANSITION_CHECK
-        else:
-            if corr.is_violation:
-                probable = identifier.from_correlation_violation(
-                    corr, self._anchor_group
-                )
-            elif violations:
-                probable = identifier.from_transition_violations(
-                    violations, snapshot.mask, self._prev_group
-                )
-            else:
-                probable = ProbableFaultSet(frozenset())
-            self._session.update(probable)
-
-        if self._session is not None and self._session.is_done:
-            outcome = self._session.outcome
-            fresh.append(
-                Alert(
-                    "identification",
-                    snapshot.end,
-                    check=self._session_trigger,
-                    devices=outcome.devices,
-                    converged=outcome.converged,
-                )
+        outcome = self.backend.observe_window(snapshot, self._current_qbits())
+        fresh = [
+            Alert(
+                b.kind,
+                b.time,
+                check=b.check,
+                cases=b.cases,
+                devices=b.devices,
+                converged=b.converged,
             )
-            self._session = None
-
-        observe["identification"].observe(time.perf_counter() - t_identify)
+            for b in outcome.alerts
+        ]
         if fresh:
             latency = max(0.0, self._detected_ts - snapshot.end)
             for _ in fresh:
                 self._latency_obs.observe(latency)
         prov = self.provenance
         if prov.enabled and (fresh or prov.chain):
-            self._note_provenance(snapshot, corr, violations, fresh)
-        self._prev_group = corr.main_group
-        if corr.main_group is not None:
-            self._anchor_group = corr.main_group
-        self._prev_acts = snapshot.actuator_activations
+            self._note_provenance(snapshot, fresh)
         self.alerts.extend(fresh)
-        self._observe_window(snapshot, corr)
+        self._observe_window(snapshot, outcome)
         return fresh
 
     def _note_provenance(
-        self,
-        snapshot: WindowSnapshot,
-        corr: CorrelationResult,
-        violations,
-        fresh: List[Alert],
+        self, snapshot: WindowSnapshot, fresh: List[Alert]
     ) -> None:
         """Accumulate the open session's evidence chain and seal a record
         per alert.  Called only with provenance enabled and something to
         note (an alert fired, or a session chain is accumulating), so the
         healthy steady state never builds evidence dicts."""
         prov = self.provenance
-        evidence = self._window_evidence(snapshot, corr, violations)
+        evidence = self._window_evidence(snapshot)
         if any(alert.kind == "detection" for alert in fresh):
             # A detection (re)starts the chain at its triggering window.
             prov.chain = [evidence]
@@ -386,33 +307,15 @@ class OnlineDice:
                 )
                 prov.chain = []
 
-    def _window_evidence(
-        self, snapshot: WindowSnapshot, corr: CorrelationResult, violations
-    ) -> dict:
+    def _window_evidence(self, snapshot: WindowSnapshot) -> dict:
         """JSON evidence for one completed window (deterministic)."""
-        detector = self.detector
-        return {
-            "window": snapshot.index,
-            "start": snapshot.start,
-            "end": snapshot.end,
-            "mask": format(snapshot.mask, "x"),
-            "actuators": sorted(snapshot.actuator_activations),
-            "correlation": correlation_evidence(
-                corr, detector._correlation_checker.max_distance
-            ),
-            "transitions": [
-                violation_evidence(detector.model.transitions, v)
-                for v in violations
-            ],
-        }
+        return self.backend.window_evidence(snapshot)
 
     def _provenance_context(self) -> dict:
         """Hook: runtime context stamped into provenance records."""
-        return self.detector.context_summary()
+        return self.backend.context_summary()
 
-    def _observe_window(
-        self, snapshot: WindowSnapshot, corr: CorrelationResult
-    ) -> None:
+    def _observe_window(self, snapshot: WindowSnapshot, outcome) -> None:
         """Hook: subclasses may watch completed-window outcomes (the
         hardened runtime feeds its drift monitor here)."""
 
@@ -421,33 +324,19 @@ class OnlineDice:
     # ------------------------------------------------------------------ #
 
     def state_dict(self) -> dict:
-        """JSON-serializable detector-side streaming state."""
-        return {
-            "windower": self.windower.state_dict(),
-            "prev_group": self._prev_group,
-            "anchor_group": self._anchor_group,
-            "prev_acts": sorted(self._prev_acts),
-            "session": (
-                None if self._session is None else self._session.state_dict()
-            ),
-            "session_trigger": self._session_trigger,
-            "provenance": self.provenance.state_dict(),
-        }
+        """JSON-serializable detector-side streaming state.
+
+        The backend's transient keys are merged in flat, so DICE-backed
+        snapshots keep the exact pre-backend layout (checkpoint v1-v4
+        compatibility)."""
+        state = {"windower": self.windower.state_dict()}
+        state.update(self.backend.checkpoint_state())
+        state["provenance"] = self.provenance.state_dict()
+        return state
 
     def load_state(self, state: dict) -> None:
         self.windower.load_state(state["windower"])
-        self._prev_group = state["prev_group"]
-        self._anchor_group = state["anchor_group"]
-        self._prev_acts = frozenset(state["prev_acts"])
-        session = state["session"]
-        self._session = (
-            None
-            if session is None
-            else IdentificationSession.from_state_dict(
-                self.detector.config, session, self.detector.weights
-            )
-        )
-        self._session_trigger = state["session_trigger"]
+        self.backend.load_state(state)
         # Pre-provenance checkpoints (v1-v3) simply lack the key.
         self.provenance.load_state(state.get("provenance"))
 
@@ -466,7 +355,7 @@ class HardenedOnlineDice(OnlineDice):
 
     def __init__(
         self,
-        detector: DiceDetector,
+        detector: Union[DiceDetector, DetectorBackend],
         start: float = 0.0,
         *,
         lateness_seconds: float = 120.0,
@@ -487,18 +376,15 @@ class HardenedOnlineDice(OnlineDice):
                 else telemetry.ProvenanceRecorder()
             ),
         )
-        from ..core.context import context_hash
-        from .checkpoint import model_fingerprint
-
+        backend = self.backend
         # Captured before any refresh mutates the model: checkpoints match
         # snapshots against the *base* fitted model, then re-apply the
         # carried refresh history on restore.
-        self.base_fingerprint = model_fingerprint(detector)
+        self.base_fingerprint = backend.fingerprint()
         # Content hash of the same base state; fleet manifests record it so
         # a restore can prove the re-fitted detector is byte-for-byte the
-        # one the checkpoint was taken against.  An interned detector
-        # already knows its hash — reuse it instead of re-hashing.
-        self.base_context_hash = detector._interned_hash or context_hash(detector)
+        # one the checkpoint was taken against.
+        self.base_context_hash = backend.context_hash()
         # While draining staged windows, the quarantine bits captured at
         # staging time; ``None`` outside a drain (live bits are used).
         self._pinned_qbits: Optional[int] = None
@@ -507,18 +393,26 @@ class HardenedOnlineDice(OnlineDice):
         # any window drains, so the live set at drain time can already
         # contain the future — records must see the staging-time set.
         self._pinned_quarantined: Optional[List[str]] = None
+        registry = backend.registry
         self.drops = DropLog(max_samples=max_drop_samples, metrics=self.metrics)
-        self.guard = IngestGuard(detector.registry, self.drops, start=start)
+        self.guard = IngestGuard(registry, self.drops, start=start)
         self.reorder = ReorderBuffer(
             lateness_seconds, max_pending, self.drops, metrics=self.metrics
         )
         self.supervisor = DeviceSupervisor(
-            detector.registry, policy, start=start, metrics=self.metrics
+            registry, policy, start=start, metrics=self.metrics
         )
-        self.refresher = ContextRefresher(
-            detector, refresh if refresh is not None else RefreshPolicy(),
-            metrics=self.metrics,
-        )
+        # Context refresh mutates the DICE model in place; for backends
+        # without one, the null refresher keeps the interface (stats,
+        # checkpoint keys) with refresh permanently off.
+        if backend.dice_detector is not None:
+            self.refresher = ContextRefresher(
+                backend.dice_detector,
+                refresh if refresh is not None else RefreshPolicy(),
+                metrics=self.metrics,
+            )
+        else:
+            self.refresher = NullRefresher()
         self._register_telemetry()
 
     def _register_telemetry(self) -> None:
@@ -556,7 +450,7 @@ class HardenedOnlineDice(OnlineDice):
         """
         watermark = self.reorder.watermark
         states = {}
-        for device in self.detector.registry:
+        for device in self.backend.registry:
             health = self.supervisor.health_of(device.device_id)
             if health is not None:
                 states[device.device_id] = health.status.value
@@ -606,7 +500,7 @@ class HardenedOnlineDice(OnlineDice):
         handling and alert emission into *staged* (see :meth:`drain_staged`)."""
         dropped = self.guard.admit(event)
         if dropped is not None:
-            if event.device_id in self.detector.registry:
+            if event.device_id in self.backend.registry:
                 # A known device emitting garbage counts against its health.
                 transitions = self.supervisor.record_error(
                     event.device_id, self._stream_time(event)
@@ -766,51 +660,24 @@ class HardenedOnlineDice(OnlineDice):
         """State-set bits owned by currently quarantined sensors."""
         bits = 0
         layout = self.windower.layout
+        registry = self.backend.registry
         for device_id in self.supervisor.quarantined:
-            device = self.detector.registry.get(device_id)
+            device = registry.get(device_id)
             if device is None or device.is_actuator:
                 continue
             for bit in layout.bits_of_device(device_id):
                 bits |= 1 << bit
         return bits
 
-    def _check_correlation(self, mask: int) -> CorrelationResult:
-        """Correlation check that ignores quarantined devices' bits.
-
-        With no quarantine active this is the fast memoised/vectorised
-        path; while devices are quarantined, Hamming distances are computed
-        over the remaining (visible) bits only — still one vectorised
-        XOR+AND+popcount pass via :meth:`GroupRegistry.masked_distances` —
-        so a dead sensor's permanently-zero bits cannot turn every window
-        into a correlation violation.  Masked results bypass the memo: they
-        depend on the quarantine set, not just the mask.
-        """
+    def _current_qbits(self) -> int:
+        """Quarantine bits the backend's checks must ignore: the bits
+        pinned at staging time while draining, the live set otherwise."""
         pinned = self._pinned_qbits
-        qbits = self._quarantine_bits() if pinned is None else pinned
-        checker = self.detector._correlation_checker
-        if qbits == 0:
-            return checker.check(mask)
-        visible = ~qbits
-        dists = checker.groups.masked_distances(mask, visible)
-        main: Optional[int] = None
-        probable: List[Tuple[int, int]] = []
-        zero = np.nonzero(dists == 0)[0]
-        if len(zero):
-            main = int(zero[0])
-        near = np.nonzero((dists > 0) & (dists <= checker.max_distance))[0]
-        order = np.lexsort((near, dists[near]))
-        for g in near[order]:
-            probable.append((int(g), int(dists[g])))
-        return CorrelationResult(mask & visible, main, tuple(probable))
+        return self._quarantine_bits() if pinned is None else pinned
 
-    def _window_evidence(self, snapshot, corr, violations) -> dict:
-        evidence = super()._window_evidence(snapshot, corr, violations)
-        qbits = (
-            self._pinned_qbits
-            if self._pinned_qbits is not None
-            else self._quarantine_bits()
-        )
-        evidence["quarantine_bits"] = format(qbits, "x")
+    def _window_evidence(self, snapshot) -> dict:
+        evidence = super()._window_evidence(snapshot)
+        evidence["quarantine_bits"] = format(self._current_qbits(), "x")
         return evidence
 
     def _provenance_context(self) -> dict:
@@ -822,15 +689,14 @@ class HardenedOnlineDice(OnlineDice):
         context["refresh_applied"] = self.refresher.applied_total
         return context
 
-    def _observe_window(
-        self, snapshot: WindowSnapshot, corr: CorrelationResult
-    ) -> None:
-        """Feed the drift monitor; a sustained correlation-violation rate
-        declares drift and eventually refreshes the context in place."""
+    def _observe_window(self, snapshot: WindowSnapshot, outcome) -> None:
+        """Feed the drift monitor; a sustained drift signal (for DICE, a
+        correlation-violation streak) declares drift and eventually
+        refreshes the context in place."""
         self.refresher.observe(
             snapshot.mask,
             snapshot.actuator_activations,
-            corr.is_violation,
+            outcome.drift_signal,
             snapshot.end,
         )
 
@@ -851,7 +717,7 @@ class HardenedOnlineDice(OnlineDice):
         super().load_state(state)
         self.drops = DropLog.from_state_dict(state["drops"], metrics=self.metrics)
         self.guard = IngestGuard(
-            self.detector.registry, self.drops, start=state["guard"]["start"]
+            self.backend.registry, self.drops, start=state["guard"]["start"]
         )
         self.reorder.log = self.drops
         self.reorder.load_state(state["reorder"])
@@ -871,7 +737,9 @@ class HardenedOnlineDice(OnlineDice):
         save_checkpoint(self, path)
 
     @classmethod
-    def restore(cls, detector: DiceDetector, state: dict) -> "HardenedOnlineDice":
+    def restore(
+        cls, detector: Union[DiceDetector, DetectorBackend], state: dict
+    ) -> "HardenedOnlineDice":
         """Rebuild a runtime from a :meth:`checkpoint` snapshot."""
         from .checkpoint import restore_runtime
 

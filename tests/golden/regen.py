@@ -76,6 +76,17 @@ FIXTURES = (
 TRACE_CSV = FIXTURES[0].trace_csv
 EXPECTED_JSON = FIXTURES[0].expected_json
 
+# -- markov-backend golden ----------------------------------------------- #
+# The fail-stop fixture replayed through the Markov backend.  A per-device
+# transition chain has no cross-device context, so a fail-stopped fridge —
+# which DICE's correlation check catches (see expected_alerts.json) —
+# produces *no* novel transitions and the pinned alert list is empty.
+# The fixture still bites: it pins the fitted model's fingerprint and
+# content hash on the committed trace (any encoding or chain-counting
+# drift shows as a diff) and pins that the backend raises no false
+# positives on the healthy remainder of the stream.
+MARKOV_EXPECTED_JSON = os.path.join(HERE, "expected_alerts_markov.json")
+
 # -- streaming / explain golden ----------------------------------------- #
 # A third pinned artifact: the evidence record ``repro explain`` renders
 # for the first detection when the committed fail-stop trace is replayed
@@ -189,6 +200,68 @@ def report_as_json(report, fixture: GoldenFixture = FIXTURES[0]) -> dict:
     }
 
 
+def markov_document() -> dict:
+    """The Markov-backend golden document over the committed fail-stop
+    trace: fit on hours 0-24, stream hours 24-36 through the online
+    runtime, and pin model identity alongside the alerts."""
+    from repro.core import create_backend
+    from repro.datasets.io import read_trace
+    from repro.streaming import OnlineDice
+
+    trace = read_trace(FIXTURES[0].trace_csv)
+    split = TRAIN_HOURS * 3600.0
+    backend = create_backend("markov", trace.registry).fit(
+        trace.slice(0.0, split)
+    )
+    alerts = OnlineDice(backend, start=split).replay(
+        trace.slice(split, trace.end)
+    )
+    return {
+        "scenario": {
+            "backend": "markov",
+            "dataset": DATASET,
+            "seed": SEED,
+            "hours": HOURS,
+            "train_hours": TRAIN_HOURS,
+            "fault": {
+                "type": FIXTURES[0].fault_type.value,
+                "device": FAULT_DEVICE,
+                "onset_hours": FAULT_ONSET_HOURS,
+            },
+        },
+        "model": {
+            "fingerprint": backend.fingerprint(),
+            "context_hash": backend.context_hash(),
+        },
+        "alerts": [
+            {
+                "kind": a.kind,
+                "time": a.time,
+                "check": a.check,
+                "cases": [case.value for case in a.cases],
+                "devices": sorted(a.devices),
+                "converged": a.converged,
+            }
+            for a in alerts
+        ],
+    }
+
+
+def markov_document_bytes(document: dict) -> bytes:
+    return (json.dumps(document, indent=2) + "\n").encode("utf-8")
+
+
+def regen_markov_golden() -> dict:
+    document = markov_document()
+    with open(MARKOV_EXPECTED_JSON, "wb") as fh:
+        fh.write(markov_document_bytes(document))
+    print(
+        f"markov: pinned {len(document['alerts'])} alerts, "
+        f"context {document['model']['context_hash']}"
+    )
+    return document
+
+
 def regen_explain_golden() -> dict:
     """Replay the committed trace through the CLI and pin the first
     detection's evidence record as the explain golden."""
@@ -223,6 +296,7 @@ def main() -> None:
             f"{len(document['detections'])} detections, "
             f"{len(document['identifications'])} identifications"
         )
+    regen_markov_golden()
     regen_explain_golden()
 
 

@@ -62,6 +62,38 @@ def test_expected_alerts_identify_the_faulted_device(fixture):
         assert record["time"] >= onset
 
 
+class TestMarkovGolden:
+    """The Markov-backend fixture: the documented *contrast* to DICE.
+
+    A per-device transition chain has no cross-device context, so the
+    fail-stopped fridge that DICE detects produces no alerts here — the
+    fixture pins that silence (no false positives either) plus the fitted
+    model's fingerprint and content hash on the committed trace.
+    """
+
+    def test_pipeline_reproduces_committed_document(self):
+        document = regen.markov_document()
+        with open(regen.MARKOV_EXPECTED_JSON, "rb") as fh:
+            assert regen.markov_document_bytes(document) == fh.read()
+
+    def test_two_runs_are_byte_identical(self):
+        assert regen.markov_document_bytes(regen.markov_document()) == (
+            regen.markov_document_bytes(regen.markov_document())
+        )
+
+    def test_contrast_with_dice_is_pinned(self):
+        # Same committed trace, same fault: DICE's correlation check
+        # detects and blames the fridge; the context-free Markov chain
+        # stays silent.  This is the paper's context-extraction claim,
+        # pinned as data.
+        with open(regen.MARKOV_EXPECTED_JSON, encoding="utf-8") as fh:
+            markov = json.load(fh)
+        assert markov["alerts"] == []
+        dice = _expected(regen.FIXTURES[0])
+        assert dice["detections"]
+        assert dice["identifications"]
+
+
 def test_fixtures_differ():
     # The two fixtures must pin *different* behaviour: a stuck-active
     # fridge keeps reporting (more events than the base trace), a

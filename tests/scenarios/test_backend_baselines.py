@@ -1,0 +1,109 @@
+"""Per-backend scenario baselines: the matrix as a comparison harness.
+
+``run_matrix(backends=[...])`` runs every cell once per backend over the
+*same* seeded injections; the report (schema ``dice-scenario-report/2``)
+groups the rows by backend and aggregates them into a ``baselines`` table
+— the artifact the README's quickstart (``repro scenarios --backend dice
+--backend markov``) produces.  Byte-determinism across runs is part of
+the acceptance contract.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioCell,
+    ScenarioSettings,
+    build_report,
+    render_baselines,
+    run_matrix,
+    validate_report,
+    write_report,
+)
+
+FAST = ScenarioSettings(trials=1)
+BACKENDS = ("dice", "markov")
+
+CELLS = [
+    ScenarioCell("drift", "seasonal_shift", "synthetic", refresh=False),
+    ScenarioCell("fault", "stuck_at", "synthetic", refresh=False),
+]
+
+
+@pytest.fixture(scope="module")
+def doc():
+    results = run_matrix(CELLS, seed=7, settings=FAST, backends=BACKENDS)
+    return build_report(results, seed=7, settings=FAST)
+
+
+class TestMatrixRows:
+    def test_rows_group_by_backend_over_identical_cells(self, doc):
+        rows = doc["cells"]
+        assert [row["backend"] for row in rows] == (
+            ["dice"] * len(CELLS) + ["markov"] * len(CELLS)
+        )
+        # Same injections for every backend: victims and onsets agree
+        # between a cell's dice row and its markov row.
+        by_backend = {
+            name: [r for r in rows if r["backend"] == name]
+            for name in BACKENDS
+        }
+        for dice_row, markov_row in zip(*by_backend.values()):
+            assert dice_row["id"] == markov_row["id"]
+            assert dice_row["victims"] == markov_row["victims"]
+            assert dice_row["onset_hours"] == markov_row["onset_hours"]
+
+    def test_report_validates_and_carries_baselines(self, doc):
+        assert validate_report(doc) is doc
+        assert [entry["backend"] for entry in doc["baselines"]] == list(
+            BACKENDS
+        )
+        for entry in doc["baselines"]:
+            assert entry["cells"] == len(CELLS)
+            for section in ("detection", "identification"):
+                assert 0.0 <= (entry[section]["precision"] or 0.0) <= 1.0
+                assert 0.0 <= (entry[section]["recall"] or 0.0) <= 1.0
+
+    def test_render_baselines_names_every_backend(self, doc):
+        table = render_baselines(doc)
+        for name in BACKENDS:
+            assert name in table
+
+    def test_empty_backends_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_matrix(CELLS, seed=7, settings=FAST, backends=())
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self, doc, tmp_path):
+        again = build_report(
+            run_matrix(CELLS, seed=7, settings=FAST, backends=BACKENDS),
+            seed=7,
+            settings=FAST,
+        )
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_report(doc, str(first))
+        write_report(again, str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestSchemaGuards:
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d["cells"][0].update(backend=""), "backend"),
+            (lambda d: d["baselines"].pop(), "baselines"),
+            (
+                lambda d: d["baselines"].__setitem__(
+                    0, dict(d["baselines"][0], backend="markov")
+                ),
+                "baselines",
+            ),
+        ],
+    )
+    def test_mutated_report_rejected(self, doc, mutate, message):
+        mutated = json.loads(json.dumps(doc))
+        mutate(mutated)
+        with pytest.raises(ValueError, match=message):
+            validate_report(mutated)

@@ -256,7 +256,7 @@ class TestCheckpointFile:
         path = tmp_path / "gateway.ckpt.json"
         save_checkpoint(runtime, path)
         state = load_checkpoint(path)
-        assert state["version"] == CHECKPOINT_VERSION == 4
+        assert state["version"] == CHECKPOINT_VERSION == 5
         assert state["runtime"]["provenance"] is not None
         resumed = restore_from_file(detector, path)
         assert [
