@@ -6,6 +6,7 @@ from .perf import (
     bench_backends,
     bench_fleet,
     bench_provenance,
+    bench_service,
     bench_telemetry,
     run_benchmarks,
     validate_document,
@@ -17,6 +18,7 @@ __all__ = [
     "bench_backends",
     "bench_fleet",
     "bench_provenance",
+    "bench_service",
     "bench_telemetry",
     "run_benchmarks",
     "validate_document",

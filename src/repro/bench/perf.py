@@ -29,6 +29,11 @@ regress against:
 * **scenarios** — the scenario-matrix harness (``repro scenarios``) over
   the drift refresh A/B cells, so the cost of a robustness sweep and the
   graceful-degradation delta both stay on the trajectory;
+* **service** — the network front-end's cost: the same live stream
+  in-process vs over a loopback ingest socket (framing + asyncio + the
+  thread hop) with alert parity asserted, plus an overload arm proving
+  the bounded queue sheds structurally and a retrying client still lands
+  the complete stream;
 * **capacity** — the estate-scale question: H homes stamped from K
   archetypes, run shared+batched (content-addressed contexts, cross-home
   memo-prewarming tick) vs fully replicated with per-home event loops,
@@ -63,8 +68,9 @@ from ..model import DeviceRegistry, SensorType, binary_sensor
 #: /6 added the ``capacity`` shared-context section, per-kernel scan
 #: accounting, and effective worker counts in ``eval``; /7 added the
 #: ``provenance`` evidence-recorder overhead section; /8 added the
-#: ``backends`` per-backend streaming comparison section.
-BENCH_SCHEMA = "dice-bench-perf/8"
+#: ``backends`` per-backend streaming comparison section; /9 added the
+#: ``service`` loopback ingest-service overhead + overload section.
+BENCH_SCHEMA = "dice-bench-perf/9"
 DEFAULT_OUTPUT = "BENCH_perf.json"
 
 
@@ -954,6 +960,146 @@ def bench_capacity(
     }
 
 
+def bench_service(
+    seed: int, hours: float = 4.5, overload_events: int = 200
+) -> Dict:
+    """Loopback ingest-service cost and overload shedding.
+
+    Three arms over one seeded chaos home:
+
+    * **inprocess** — the live stream dispatched straight into a
+      :class:`~repro.durability.DurableFleetGateway`, the no-network
+      baseline;
+    * **service** — the same stream through a real loopback
+      :class:`~repro.service.IngestServer` on a :class:`ServiceThread`
+      (framing + asyncio + the thread hop), per-home alert parity with the
+      baseline *asserted*;
+    * **overload** — a prefix re-sent against a tiny queue with an
+      artificial per-event dispatch delay, so the offered rate is far
+      above the drain rate on any machine: the queue depth must stay
+      bounded by its capacity, every rejected event must surface as a
+      structured OVERLOAD drop (shed, never buffered or lost silently),
+      and the retrying client must still land the complete stream —
+      overload degrades throughput, not correctness.
+    """
+    import tempfile
+
+    from ..durability import DurableFleetGateway
+    from ..faults.crash import (
+        LATENESS_SECONDS,
+        POLICY,
+        build_chaos_deployment,
+        canonical_alerts,
+    )
+    from ..fleet import FleetGateway
+    from ..service import (
+        IngestServer,
+        ServiceClient,
+        ServiceConfig,
+        ServiceThread,
+    )
+    from ..streaming import HardenedOnlineDice
+    from ..streaming.guard import OVERLOAD
+
+    deployment = build_chaos_deployment(seed, hours=hours)
+    events = deployment.events
+    home = deployment.home_id
+
+    def _gateway(journal_dir: str) -> DurableFleetGateway:
+        gateway = FleetGateway(1, metrics=telemetry.NULL_REGISTRY)
+        gateway.add_runtime(
+            home,
+            HardenedOnlineDice(
+                deployment.fit_detector(metrics=telemetry.NULL_REGISTRY),
+                start=deployment.split,
+                lateness_seconds=LATENESS_SECONDS,
+                policy=POLICY,
+            ),
+        )
+        return DurableFleetGateway(gateway, journal_dir)
+
+    queue_capacity = 8
+    dispatch_delay_s = 0.002
+    with tempfile.TemporaryDirectory(prefix="dice-bench-service-") as base:
+        durable = _gateway(os.path.join(base, "inprocess"))
+        t0 = time.perf_counter()
+        for event in events:
+            durable.dispatch([(home, event)])
+        durable.finish_home(home, deployment.end)
+        inprocess_s = time.perf_counter() - t0
+        baseline_canon = canonical_alerts(durable.alerts_of(home))
+        alerts = len(durable.alerts_of(home))
+        durable.close()
+
+        durable = _gateway(os.path.join(base, "service"))
+        handle = ServiceThread(IngestServer(durable, ServiceConfig())).start()
+        client = ServiceClient("127.0.0.1", handle.port, jitter_seed=seed)
+        t0 = time.perf_counter()
+        client.send_stream(home, events, end=deployment.end)
+        service_s = time.perf_counter() - t0
+        handle.drain()
+        if canonical_alerts(durable.alerts_of(home)) != baseline_canon:
+            raise AssertionError("the ingest service changed the alert stream")
+
+        durable = _gateway(os.path.join(base, "overload"))
+        server = IngestServer(
+            durable,
+            ServiceConfig(
+                queue_capacity=queue_capacity,
+                dispatch_delay_s=dispatch_delay_s,
+                ack_every=16,
+            ),
+        )
+        handle = ServiceThread(server).start()
+        patient = ServiceClient(
+            "127.0.0.1",
+            handle.port,
+            max_attempts=400,
+            base_delay=0.002,
+            max_delay=0.05,
+            jitter_seed=seed,
+        )
+        subset = events[: min(overload_events, len(events))]
+        t0 = time.perf_counter()
+        report = patient.send_stream(home, subset, finish=False)
+        overload_s = time.perf_counter() - t0
+        sheds = handle.call(
+            lambda: durable.runtime_of(home).drops.count(OVERLOAD)
+        )
+        max_depth = handle.call(lambda: server.max_queue_depth)
+        applied = handle.call(lambda: durable.ingest_seqs.get(home, 0))
+        handle.kill()
+
+    return {
+        "events": len(events),
+        "alerts": alerts,
+        "inprocess_s": inprocess_s,
+        "service_s": service_s,
+        "events_per_s_inprocess": (
+            len(events) / inprocess_s if inprocess_s > 0 else 0.0
+        ),
+        "events_per_s_service": (
+            len(events) / service_s if service_s > 0 else 0.0
+        ),
+        "overhead_ratio": (
+            service_s / inprocess_s if inprocess_s > 0 else float("inf")
+        ),
+        "alerts_identical": True,
+        "overload": {
+            "events": len(subset),
+            "queue_capacity": queue_capacity,
+            "dispatch_delay_s": dispatch_delay_s,
+            "seconds": overload_s,
+            "events_per_s": len(subset) / overload_s if overload_s > 0 else 0.0,
+            "sheds": int(sheds),
+            "max_queue_depth": int(max_depth),
+            "reconnects": report.connects,
+            "applied": int(applied),
+            "complete": applied == len(subset),
+        },
+    }
+
+
 # --------------------------------------------------------------------- #
 # Driver
 # --------------------------------------------------------------------- #
@@ -1023,6 +1169,7 @@ def run_benchmarks(
         "provenance": bench_provenance(seed, hours=24.0),
         "scenarios": bench_scenarios(seed, trials=scenario_trials),
         "backends": bench_backends(seed),
+        "service": bench_service(seed),
         "capacity": bench_capacity(
             cap_homes, cap_archetypes, cap_windows, cap_groups,
             num_bits=num_bits, seed=seed,
@@ -1351,6 +1498,60 @@ def validate_document(doc: Dict) -> Dict:
                 isinstance(entry.get(key), int) and entry[key] >= 0,
                 f"backends[{name}].{key} must be a non-negative int",
             )
+
+    service = doc.get("service")
+    _require(isinstance(service, dict), "service must be an object")
+    for key in ("events", "alerts"):
+        _require(
+            isinstance(service.get(key), int) and service[key] >= 0,
+            f"service.{key} must be a non-negative int",
+        )
+    _require(service.get("events", 0) > 0, "service.events must be positive")
+    for key in (
+        "inprocess_s",
+        "service_s",
+        "events_per_s_inprocess",
+        "events_per_s_service",
+        "overhead_ratio",
+    ):
+        _require(
+            isinstance(service.get(key), (int, float)) and service[key] >= 0,
+            f"service.{key} must be a non-negative number",
+        )
+    _require(
+        service.get("alerts_identical") is True,
+        "service.alerts_identical must be true "
+        "(the ingest service changed the alert stream)",
+    )
+    overload = service.get("overload")
+    _require(isinstance(overload, dict), "service.overload must be an object")
+    for key in ("events", "queue_capacity", "reconnects", "applied"):
+        _require(
+            isinstance(overload.get(key), int) and overload[key] >= 1,
+            f"service.overload.{key} must be a positive int",
+        )
+    for key in ("seconds", "events_per_s", "dispatch_delay_s"):
+        _require(
+            isinstance(overload.get(key), (int, float)) and overload[key] >= 0,
+            f"service.overload.{key} must be a non-negative number",
+        )
+    # The shedding claims are load-shaped by construction (offered rate
+    # >> drain rate), so they *are* enforced: the queue must actually
+    # overflow, depth must stay bounded, and the stream must complete.
+    _require(
+        isinstance(overload.get("sheds"), int) and overload["sheds"] >= 1,
+        "service.overload.sheds must be >= 1 (the overload arm never shed)",
+    )
+    _require(
+        isinstance(overload.get("max_queue_depth"), int)
+        and 1 <= overload["max_queue_depth"] <= overload["queue_capacity"],
+        "service.overload.max_queue_depth must stay within queue_capacity",
+    )
+    _require(
+        overload.get("complete") is True,
+        "service.overload.complete must be true "
+        "(the retrying client never landed the full stream)",
+    )
 
     cap = doc.get("capacity")
     _require(isinstance(cap, dict), "capacity must be an object")

@@ -19,10 +19,22 @@ The subcommands cover the everyday workflows:
   (``--unique-homes``) and shared-context memory accounting
   (``--report-memory``; opt out of the capacity layers with
   ``--no-share-contexts``/``--no-batch-tick``);
+* ``serve`` — run the durable fleet as a long-lived network service:
+  a binary CRC-framed ingest port with bounded-queue admission control
+  plus an HTTP surface (``/metrics`` Prometheus exposition, ``/health``,
+  ``/ready``); SIGTERM/SIGINT drain gracefully (flush, optional
+  checkpoint, exit 0), and ``--resume`` restarts from checkpoint +
+  journal tails;
+* ``send`` — stream a deterministically regenerated home's events into a
+  running ``serve`` with reconnect-and-resume retries, optionally through
+  the network fault injector (``--faults``);
 * ``chaos`` — crash-injection harness: run seeded deployments, kill the
   runtime at randomized points (including mid-journal-write), recover
   from checkpoint + journal tail, and verify the alert stream matches an
-  uninterrupted run, standalone and fleet (exit 1 on any mismatch);
+  uninterrupted run — standalone, fleet, and ``--mode service`` (kill a
+  live loopback server under network faults, restart it, let retrying
+  clients heal, verify byte-identical per-home alerts and exact
+  at-least-once accounting); exit 1 on any mismatch;
 * ``metrics`` — render a telemetry snapshot as a table, Prometheus text
   exposition, or JSON; ``--watch`` re-reads it periodically with counter
   rates derived from successive reads;
@@ -299,13 +311,139 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the merged fleet telemetry snapshot to PATH as JSON",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable fleet as a long-lived network service "
+        "(binary ingest port + /metrics /health /ready; SIGTERM drains)",
+    )
+    serve.add_argument(
+        "--homes", type=int, default=4, help="number of generated homes"
+    )
+    serve.add_argument(
+        "--unique-homes", type=int, default=None, metavar="K",
+        help="cap distinct simulated lives at K archetypes (see 'repro fleet')",
+    )
+    serve.add_argument(
+        "--hours", type=float, default=48.0, help="per-home recording length"
+    )
+    serve.add_argument(
+        "--train-hours", type=float, default=36.0, help="precomputation prefix"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="fleet seed")
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="worker shard count (default 4; on --resume the manifest's count)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="ingest port (default 0 = ephemeral; see --ports-out)",
+    )
+    serve.add_argument(
+        "--http-port", type=int, default=0,
+        help="HTTP port for /metrics /health /ready (default 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--ports-out", default=None, metavar="PATH",
+        help="write the bound ports as JSON to PATH once listening "
+        "(lets scripts use ephemeral ports)",
+    )
+    serve.add_argument(
+        "--journal-dir", required=True, metavar="DIR",
+        help="per-home write-ahead journal root (the service's durability)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write a fleet checkpoint to DIR during graceful drain",
+    )
+    serve.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="restore from a checkpoint directory (plus journal tails) "
+        "instead of starting fresh",
+    )
+    serve.add_argument(
+        "--fsync", choices=["never", "interval", "always"], default="never"
+    )
+    serve.add_argument(
+        "--alerts-out", default=None, metavar="PATH",
+        help="deliver alerts at-least-once to PATH as JSON lines via the outbox",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=4096,
+        help="global admitted-event bound; beyond it the server sheds",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=10.0,
+        help="per-connection idle read bound in seconds",
+    )
+    serve.add_argument(
+        "--lateness", type=float, default=120.0,
+        help="per-home reorder-buffer lateness budget in seconds",
+    )
+    serve.add_argument(
+        "--silence", type=float, default=900.0,
+        help="supervisor: silence before a device degrades (seconds)",
+    )
+    serve.add_argument(
+        "--quarantine", type=float, default=1800.0,
+        help="supervisor: silence before a device is quarantined (seconds)",
+    )
+
+    send = sub.add_parser(
+        "send",
+        help="stream generated home events into a running 'repro serve' "
+        "with reconnect-and-resume retries",
+    )
+    send.add_argument(
+        "--homes", type=int, default=4,
+        help="fleet size the server was started with (events are "
+        "regenerated deterministically from the same parameters)",
+    )
+    send.add_argument("--unique-homes", type=int, default=None, metavar="K")
+    send.add_argument("--hours", type=float, default=48.0)
+    send.add_argument("--train-hours", type=float, default=36.0)
+    send.add_argument("--seed", type=int, default=0, help="fleet seed")
+    send.add_argument("--host", default="127.0.0.1")
+    send.add_argument(
+        "--port", type=int, default=None, help="server ingest port"
+    )
+    send.add_argument(
+        "--ports-file", default=None, metavar="PATH",
+        help="read the port from a 'repro serve --ports-out' JSON file",
+    )
+    send.add_argument(
+        "--home", default=None, metavar="ID",
+        help="send only this home's stream (default: every home in turn)",
+    )
+    send.add_argument(
+        "--no-finish", action="store_true",
+        help="barrier instead of closing the stream (a later send resumes)",
+    )
+    send.add_argument(
+        "--max-attempts", type=int, default=10,
+        help="consecutive no-progress attempts before giving up",
+    )
+    send.add_argument(
+        "--faults", action="store_true",
+        help="inject network faults into the send path (torn writes, "
+        "disconnects, garbage, slowloris, duplicate sends)",
+    )
+    send.add_argument(
+        "--fault-seed", type=int, default=0, help="fault injector seed"
+    )
+
     chaos = sub.add_parser(
         "chaos",
         help="crash-injection harness: kill seeded runs at random points, "
         "recover, and verify alert-stream parity",
     )
     chaos.add_argument(
-        "--mode", choices=["standalone", "fleet", "both"], default="both"
+        "--mode",
+        choices=["standalone", "fleet", "service", "both", "all"],
+        default="both",
+        help="'both' = standalone+fleet (the in-process harnesses); "
+        "'service' = network kill/fault trials against a live loopback "
+        "server; 'all' = everything",
     )
     chaos.add_argument(
         "--deployments", type=int, default=5, help="standalone chaos homes"
@@ -678,19 +816,39 @@ def _cmd_stream(args) -> int:
         events = injector.apply(events)
 
     driver = durable if durable is not None else runtime
-    alerts = driver.ingest_many(events)
+    # SIGTERM/SIGINT request a drain: stop at a chunk boundary, leave the
+    # stream open (checkpoint/journal carry the resume state) and exit 0.
+    from .service import GracefulShutdown
+
+    alerts = []
+    sent = 0
+    with GracefulShutdown() as shutdown:
+        chunk_size = 512
+        for offset in range(0, len(events), chunk_size):
+            if shutdown.requested:
+                break
+            chunk = events[offset : offset + chunk_size]
+            alerts += driver.ingest_many(chunk)
+            sent += len(chunk)
+    drained = shutdown.requested
+    if drained:
+        _log.info(
+            "drain_requested", signal=shutdown.signal_name, ingested=sent,
+            remaining=len(events) - sent,
+        )
     if args.save_checkpoint:
         if durable is not None:
             durable.save_checkpoint(args.save_checkpoint)
         else:
             save_checkpoint(runtime, args.save_checkpoint)
         _log.info("checkpoint saved, stream left open", path=args.save_checkpoint)
-    else:
+    elif not drained:
         alerts += driver.finish_stream(live.end)
 
     print(
-        f"streamed {len(events)} events "
+        f"streamed {sent} events "
         f"({live.duration_hours:.1f} h live segment of {args.dataset})"
+        + (" [drained early]" if drained else "")
     )
     kinds: dict = {}
     for alert in alerts:
@@ -827,10 +985,19 @@ def _cmd_fleet(args) -> int:
     else:
         gateway = fresh_gateway()
 
-    alerts = replay_fleet(
-        gateway, homes, tick_seconds=args.tick,
-        finish=not args.save_checkpoint,
-    )
+    # SIGTERM/SIGINT request a drain: replay stops at a tick boundary with
+    # streams left open; a checkpoint (when requested) makes the resume
+    # explicit, and with --journal-dir the journals alone are enough.
+    from .service import GracefulShutdown
+
+    with GracefulShutdown() as shutdown:
+        alerts = replay_fleet(
+            gateway, homes, tick_seconds=args.tick,
+            finish=not args.save_checkpoint,
+            stop=lambda: shutdown.requested,
+        )
+    if shutdown.requested:
+        _log.info("drain_requested", signal=shutdown.signal_name)
     if args.save_checkpoint:
         gateway.save_checkpoint(args.save_checkpoint)
         _log.info(
@@ -899,6 +1066,180 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+    import os
+    import signal
+
+    from .durability import AlertOutbox, DurableFleetGateway, FileSink
+    from .fleet import FleetGateway, build_fleet_homes, fit_fleet_detectors
+    from .service import IngestServer, ServiceConfig
+    from .streaming import CheckpointError, SupervisorPolicy
+
+    try:
+        homes = build_fleet_homes(
+            args.homes, seed=args.seed, hours=args.hours,
+            train_hours=args.train_hours, unique_homes=args.unique_homes,
+        )
+    except ValueError as exc:
+        _log.error("bad_fleet", reason=str(exc))
+        return 2
+    detectors = fit_fleet_detectors(homes)
+    policy = SupervisorPolicy(
+        silence_seconds=args.silence, quarantine_seconds=args.quarantine
+    )
+
+    def fresh_gateway() -> FleetGateway:
+        fresh = FleetGateway(4 if args.shards is None else args.shards)
+        for home in homes:
+            fresh.add_home(
+                home.home_id, detectors[home.home_id], start=home.split,
+                lateness_seconds=args.lateness, policy=policy,
+            )
+        return fresh
+
+    outbox = None
+    if args.alerts_out:
+        outbox = AlertOutbox(
+            os.path.join(args.journal_dir, "outbox"), FileSink(args.alerts_out)
+        )
+    try:
+        durable, replayed = DurableFleetGateway.recover(
+            detectors, args.journal_dir,
+            checkpoint_dir=args.resume,
+            gateway=None if args.resume else fresh_gateway(),
+            num_shards=args.shards, fsync=args.fsync, outbox=outbox,
+            lateness_seconds=args.lateness, policy=policy,
+        )
+    except (OSError, ValueError, KeyError, CheckpointError) as exc:
+        _log.error("resume_failed", path=args.resume, error=str(exc))
+        return 2
+    if args.resume:
+        _log.info(
+            "resumed fleet checkpoint + journal tails", path=args.resume,
+            journal=args.journal_dir, replayed_alerts=len(replayed),
+            homes=len(durable), shards=durable.num_shards,
+        )
+    config = ServiceConfig(
+        host=args.host, port=args.port, http_port=args.http_port,
+        queue_capacity=args.queue_capacity, read_timeout_s=args.read_timeout,
+        frame_timeout_s=args.read_timeout,
+    )
+    server = IngestServer(durable, config, checkpoint_dir=args.checkpoint_dir)
+
+    async def serve() -> None:
+        await server.start()
+        print(
+            f"serving {len(durable)} homes on {durable.num_shards} shards: "
+            f"ingest {args.host}:{server.port}  "
+            f"http {args.host}:{server.http_port}",
+            flush=True,
+        )
+        if args.ports_out:
+            with open(args.ports_out, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"port": server.port, "http_port": server.http_port}, handle
+                )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        _log.info("shutdown_signal_received")
+        await server.drain()
+
+    asyncio.run(serve())
+    print(
+        "drained: streams left open "
+        + (
+            f"(checkpoint at {args.checkpoint_dir})"
+            if args.checkpoint_dir
+            else "(journal only)"
+        ),
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_send(args) -> int:
+    import json
+
+    from .fleet import build_fleet_homes
+    from .service import ServiceClient, ServiceError
+
+    port = args.port
+    if port is None and args.ports_file:
+        try:
+            with open(args.ports_file, "r", encoding="utf-8") as handle:
+                port = int(json.load(handle)["port"])
+        except (OSError, ValueError, KeyError) as exc:
+            _log.error("bad_ports_file", path=args.ports_file, error=str(exc))
+            return 2
+    if port is None:
+        _log.error("bad_send", reason="one of --port or --ports-file is required")
+        return 2
+    try:
+        homes = build_fleet_homes(
+            args.homes, seed=args.seed, hours=args.hours,
+            train_hours=args.train_hours, unique_homes=args.unique_homes,
+        )
+    except ValueError as exc:
+        _log.error("bad_fleet", reason=str(exc))
+        return 2
+    if args.home is not None:
+        homes = [home for home in homes if home.home_id == args.home]
+        if not homes:
+            _log.error("unknown_home", home=args.home)
+            return 2
+    failed = 0
+    for index, home in enumerate(homes):
+        injector = None
+        if args.faults:
+            import numpy as np
+
+            from .faults import NetFaultInjector
+
+            injector = NetFaultInjector(
+                np.random.default_rng(args.fault_seed * 7919 + index)
+            )
+        client = ServiceClient(
+            args.host, port,
+            max_attempts=args.max_attempts,
+            jitter_seed=args.fault_seed + index,
+            fault_injector=injector,
+        )
+        events = list(home.live)
+        try:
+            report = client.send_stream(
+                home.home_id, events,
+                end=home.trace.end, finish=not args.no_finish,
+            )
+        except (ServiceError, OSError) as exc:
+            failed += 1
+            print(f"{home.home_id}: FAILED ({exc})")
+            continue
+        line = (
+            f"{home.home_id}: {report.applied}/{report.total_events} applied"
+            f"  connects {report.connects}  retries {report.retries}"
+            f"  resent {report.resent}"
+        )
+        if report.finished:
+            line += "  finished"
+        if injector is not None:
+            counts = injector.counts
+            line += (
+                f"  faults[torn={counts.torn_writes} disc={counts.disconnects}"
+                f" garbage={counts.garbage} slow={counts.slowloris}"
+                f" dup={counts.duplicates}]"
+            )
+        print(line)
+    return 1 if failed else 0
+
+
 def _cmd_chaos(args) -> int:
     import os
     import tempfile
@@ -910,7 +1251,7 @@ def _cmd_chaos(args) -> int:
 
     def run(base: str) -> int:
         failed = 0
-        if args.mode in ("standalone", "both"):
+        if args.mode in ("standalone", "both", "all"):
             report = run_chaos_standalone(
                 os.path.join(base, "standalone"),
                 deployments=args.deployments,
@@ -938,7 +1279,7 @@ def _cmd_chaos(args) -> int:
                         f"parity={trial.parity} counters={trial.counters_monotone} "
                         f"delivery={trial.delivery_ok}"
                     )
-        if args.mode in ("fleet", "both"):
+        if args.mode in ("fleet", "both", "all"):
             report = run_chaos_fleet(
                 os.path.join(base, "fleet"),
                 fleets=args.fleets,
@@ -962,6 +1303,36 @@ def _cmd_chaos(args) -> int:
                     failed += 1
                     print(
                         f"  FAIL fleet seed={trial.deploy_seed} "
+                        f"kill={trial.kill_index}/{trial.total_events} "
+                        f"shards={trial.shards_before}->{trial.shards_after} "
+                        f"torn={trial.torn} checkpointed={trial.checkpointed} "
+                        f"parity={trial.parity} counters={trial.counters_monotone} "
+                        f"delivery={trial.delivery_ok}"
+                    )
+        if args.mode in ("service", "all"):
+            from .faults.net import run_chaos_service
+
+            report = run_chaos_service(
+                os.path.join(base, "service"),
+                fleets=args.fleets,
+                kills_per_fleet=args.fleet_kills,
+                num_homes=args.homes,
+                seed=args.seed,
+            )
+            summary = report.summary()
+            print(
+                f"service: {summary['trials']} trials "
+                f"({summary['torn_trials']} torn, "
+                f"{summary['checkpointed_trials']} checkpointed), "
+                f"{summary['delivered']} alerts delivered, "
+                f"{summary['dead_letters']} dead-lettered -> "
+                f"{'OK' if report.ok else 'FAIL'}"
+            )
+            for trial in report.trials:
+                if not trial.ok:
+                    failed += 1
+                    print(
+                        f"  FAIL service seed={trial.deploy_seed} "
                         f"kill={trial.kill_index}/{trial.total_events} "
                         f"shards={trial.shards_before}->{trial.shards_after} "
                         f"torn={trial.torn} checkpointed={trial.checkpointed} "
@@ -1273,6 +1644,20 @@ def _cmd_bench(args) -> int:
             f"{entry['events_per_s']:.0f} events/s  "
             f"{entry['alerts']} alerts"
         )
+    service = doc["service"]
+    print(
+        f"service: {service['events_per_s_service']:.0f} events/s over "
+        f"loopback vs {service['events_per_s_inprocess']:.0f} in-process "
+        f"({service['overhead_ratio']:.2f}x), parity "
+        f"{service['alerts_identical']}"
+    )
+    overload = service["overload"]
+    print(
+        f"service overload: queue {overload['queue_capacity']} "
+        f"(max depth {overload['max_queue_depth']})  "
+        f"{overload['sheds']} sheds  {overload['reconnects']} reconnects  "
+        f"complete {overload['complete']}"
+    )
     cap = doc["capacity"]
     print(
         f"capacity: {cap['homes']} homes from {cap['archetypes']} archetypes  "
@@ -1312,6 +1697,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_stream(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "send":
+            return _cmd_send(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
         if args.command == "scenarios":

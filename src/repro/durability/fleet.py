@@ -45,7 +45,10 @@ from .runtime import (
 PathLike = Union[str, os.PathLike]
 
 DURABILITY_SIDECAR = "durability.json"
-DURABILITY_SCHEMA = "dice-fleet-durability/1"
+#: /2 added ``ingest_seqs`` (per-home journaled-event counts, the ingest
+#: service's resume points); /1 sidecars load fine — the counts rebuild
+#: from the journal tail alone in that case.
+DURABILITY_SCHEMA = "dice-fleet-durability/2"
 
 _log = telemetry.get_logger("repro.durability.fleet")
 
@@ -62,6 +65,7 @@ class DurableFleetGateway:
         fsync_interval: int = 64,
         outbox: Optional[AlertOutbox] = None,
         alert_seqs: Optional[Dict[str, int]] = None,
+        ingest_seqs: Optional[Dict[str, int]] = None,
     ) -> None:
         self.gateway = gateway
         self.journal_root = os.fspath(journal_root)
@@ -69,6 +73,10 @@ class DurableFleetGateway:
         self.fsync_interval = int(fsync_interval)
         self.outbox = outbox
         self.alert_seqs: Dict[str, int] = dict(alert_seqs or {})
+        #: Per-home count of journaled events — advances exactly when a
+        #: routed event's frame hits its journal, so it doubles as the
+        #: ingest service's exact resume sequence.
+        self.ingest_seqs: Dict[str, int] = dict(ingest_seqs or {})
         self.journals: Dict[str, EventJournal] = {}
         self.provenance_logs: Dict[str, ProvenanceLog] = {}
         for home_id in gateway.home_ids:
@@ -161,10 +169,15 @@ class DurableFleetGateway:
         for home_id, event in batch:
             if home_id in self.gateway:
                 self._journal_of(home_id).append_frame(encode_event_frame(event))
+                self.ingest_seqs[home_id] = self.ingest_seqs.get(home_id, 0) + 1
         return self._publish(self.gateway.dispatch(batch))
 
     def finish(self, ends=None) -> List[FleetAlert]:
         return self._publish(self.gateway.finish(ends))
+
+    def finish_home(self, home_id: str, end=None) -> List[FleetAlert]:
+        """Close one home's stream (the service's per-connection ``end``)."""
+        return self._publish(self.gateway.finish_home(home_id, end))
 
     def deliver_pending(self) -> dict:
         if self.outbox is None:
@@ -179,6 +192,7 @@ class DurableFleetGateway:
                 for home_id, journal in sorted(self.journals.items())
             },
             "alert_seqs": dict(sorted(self.alert_seqs.items())),
+            "ingest_seqs": dict(sorted(self.ingest_seqs.items())),
             "outbox_pending": 0 if self.outbox is None else len(self.outbox.pending),
         }
         return report
@@ -210,6 +224,7 @@ class DurableFleetGateway:
                 "schema": DURABILITY_SCHEMA,
                 "journal_epochs": epochs,
                 "alert_seqs": dict(self.alert_seqs),
+                "ingest_seqs": dict(self.ingest_seqs),
             },
             os.path.join(directory, DURABILITY_SIDECAR),
         )
@@ -282,6 +297,7 @@ class DurableFleetGateway:
             fsync_interval=fsync_interval,
             outbox=outbox,
             alert_seqs=seqs,
+            ingest_seqs=sidecar.get("ingest_seqs", {}),
         )
         replayed: List[FleetAlert] = []
         total_records = 0
@@ -294,11 +310,19 @@ class DurableFleetGateway:
             )
             total_records += len(records)
             fresh: List[FleetAlert] = []
+            replayed_events = 0
             for record in records:
                 if record.get("type") != "event":
                     continue
+                replayed_events += 1
                 for alert in runtime.ingest(record_to_event(record)):
                     fresh.append(FleetAlert(home_id, alert))
+            if replayed_events:
+                # The journal tail holds events appended after the sidecar
+                # was written — the resume sequence advances past them.
+                durable.ingest_seqs[home_id] = (
+                    durable.ingest_seqs.get(home_id, 0) + replayed_events
+                )
             gateway.alerts.extend(fresh)
             durable._publish(fresh)
             replayed.extend(fresh)

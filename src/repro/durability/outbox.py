@@ -131,7 +131,13 @@ class AlertOutbox:
         Injectable clock (tests pass a recorder; production the default).
     rng:
         Jitter source; ``random.Random`` instance or anything with
-        ``random()``.
+        ``random()``.  Takes precedence over *jitter_seed*.
+    jitter_seed:
+        Seed for the default jitter source, so chaos trials and retry
+        tests replay a byte-identical backoff schedule; two outboxes with
+        the same seed (and no explicit *rng*) draw the same delays.
+        Defaults to 0 — the backoff sequence has always been
+        deterministic-by-default.
     """
 
     def __init__(
@@ -145,6 +151,7 @@ class AlertOutbox:
         jitter: float = 0.5,
         sleep: Callable[[float], None] = time.sleep,
         rng=None,
+        jitter_seed: Optional[int] = None,
         metrics: Optional["telemetry.MetricsRegistry"] = None,
     ) -> None:
         if max_attempts < 1:
@@ -160,7 +167,7 @@ class AlertOutbox:
         if rng is None:
             import random
 
-            rng = random.Random(0)
+            rng = random.Random(0 if jitter_seed is None else jitter_seed)
         self.rng = rng
         self.metrics = metrics if metrics is not None else telemetry.NULL_REGISTRY
         self._offered_counter = self.metrics.counter(

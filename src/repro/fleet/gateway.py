@@ -377,6 +377,16 @@ class FleetGateway:
         self.alerts.extend(fresh)
         return fresh
 
+    def finish_home(
+        self, home_id: str, end: Optional[float] = None
+    ) -> List[FleetAlert]:
+        """End-of-stream for a single home (the ingest service's per-stream
+        close), leaving every other home's stream open."""
+        runtime = self._runtimes[home_id]
+        fresh = [FleetAlert(home_id, alert) for alert in runtime.finish_stream(end)]
+        self.alerts.extend(fresh)
+        return fresh
+
     # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #

@@ -221,6 +221,7 @@ def replay_fleet(
     *,
     tick_seconds: float = 300.0,
     finish: bool = True,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> List[FleetAlert]:
     """Drive *gateway* over the homes' live streams, tick by tick.
 
@@ -229,6 +230,12 @@ def replay_fleet(
     (default) every home's stream is closed at its trace end — matching a
     standalone ``replay``; pass ``finish=False`` to leave streams open
     (e.g. before taking a checkpoint).
+
+    *stop* is the drain hook: checked between ticks, and when it returns
+    True the replay ends at the tick boundary **without** finishing the
+    streams (every dispatched event is fully processed; nothing is cut
+    mid-batch), so the caller can checkpoint and a later replay resumes
+    from the watermarks.
     """
     watermarks: Dict[str, float] = {
         home.home_id: gateway.runtime_of(home.home_id).reorder.watermark
@@ -237,6 +244,9 @@ def replay_fleet(
     }
     alerts: List[FleetAlert] = []
     for _, batch in merged_ticks(homes, tick_seconds):
+        if stop is not None and stop():
+            finish = False
+            break
         live = [
             (home_id, event)
             for home_id, event in batch

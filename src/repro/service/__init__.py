@@ -1,0 +1,56 @@
+"""The network-facing ingest service (ROADMAP: async gateway service).
+
+``repro.service`` turns the durable fleet gateway into a long-running
+process using nothing beyond the standard library:
+
+* :mod:`~repro.service.protocol` — the CRC-framed wire protocol shared
+  with the event journal, plus the strict incremental decoder;
+* :mod:`~repro.service.server` — the asyncio ingest server: bounded-queue
+  admission control, load shedding with structured drop accounting, a
+  Prometheus/health/readiness HTTP surface, graceful SIGTERM drain;
+* :mod:`~repro.service.client` — the reconnect-and-resume retrying
+  sender the ``repro send`` CLI and the network chaos harness drive;
+* :mod:`~repro.service.signals` — the shared checkpoint-and-exit-0
+  signal handling the stream/fleet CLIs reuse.
+"""
+
+from .client import SendReport, ServiceClient, ServiceError
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    encode_message,
+)
+from .server import (
+    CONNECTIONS_TOTAL,
+    DISCONNECTS_TOTAL,
+    DUPLICATE_FRAMES_TOTAL,
+    FRAMES_TOTAL,
+    QUEUE_DEPTH_GAUGE,
+    SHED_TOTAL,
+    IngestServer,
+    ServiceConfig,
+    ServiceThread,
+)
+from .signals import GracefulShutdown, drain_iter
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "ProtocolError",
+    "encode_message",
+    "QUEUE_DEPTH_GAUGE",
+    "CONNECTIONS_TOTAL",
+    "DISCONNECTS_TOTAL",
+    "FRAMES_TOTAL",
+    "SHED_TOTAL",
+    "DUPLICATE_FRAMES_TOTAL",
+    "IngestServer",
+    "ServiceConfig",
+    "ServiceThread",
+    "ServiceClient",
+    "ServiceError",
+    "SendReport",
+    "GracefulShutdown",
+    "drain_iter",
+]

@@ -33,6 +33,10 @@ BEFORE_START = "before_start"
 #: string lives in one module).
 TOO_LATE = "too_late"
 DUPLICATE = "duplicate"
+#: Drop reason stamped by the ingest service when admission control sheds
+#: an event because the global queue is full (the client re-sends it after
+#: reconnecting, so an ``overload`` drop is deferred work, not data loss).
+OVERLOAD = "overload"
 
 #: Every reason a DroppedEvent may carry, in reporting order.
 ALL_DROP_REASONS = (
@@ -43,6 +47,7 @@ ALL_DROP_REASONS = (
     BEFORE_START,
     TOO_LATE,
     DUPLICATE,
+    OVERLOAD,
 )
 
 

@@ -130,6 +130,33 @@ class TestDelivery:
         with pytest.raises(ValueError, match="max_attempts"):
             AlertOutbox(tmp_path, FileSink(tmp_path / "a"), max_attempts=0)
 
+    def test_jitter_seed_makes_backoff_deterministic(self, tmp_path):
+        """Chaos trials pin the retry schedule byte-for-byte: the same
+        jitter_seed replays identical jittered delays, a different seed
+        diverges (so trials don't accidentally share a schedule)."""
+
+        def schedule(directory, seed):
+            sleep = RecordingSleep()
+            sink = FlakySink(FileSink(directory / "alerts.jsonl"), failures=3)
+            outbox = AlertOutbox(
+                directory / "outbox",
+                sink,
+                max_attempts=5,
+                base_delay=0.1,
+                jitter=0.5,
+                sleep=sleep,
+                jitter_seed=seed,
+            )
+            outbox.offer(_record())
+            outbox.deliver_pending()
+            return sleep.delays
+
+        first = schedule(tmp_path / "a", seed=7)
+        assert len(first) == 3
+        assert any(delay > base for delay, base in zip(first, (0.1, 0.2, 0.4)))
+        assert schedule(tmp_path / "b", seed=7) == first
+        assert schedule(tmp_path / "c", seed=8) != first
+
 
 class TestRestart:
     def test_unacked_alerts_redeliver_after_restart(self, tmp_path):

@@ -1,0 +1,49 @@
+"""GracefulShutdown: signals request a drain; the loop stops between items."""
+
+import os
+import signal
+
+from repro.service import GracefulShutdown, drain_iter
+
+
+def _fire(signum=signal.SIGTERM):
+    os.kill(os.getpid(), signum)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_sets_requested(self):
+        with GracefulShutdown() as shutdown:
+            assert not shutdown.requested
+            _fire(signal.SIGTERM)
+            assert shutdown.requested
+            assert shutdown.signal_name == "SIGTERM"
+
+    def test_sigint_sets_requested(self):
+        with GracefulShutdown() as shutdown:
+            _fire(signal.SIGINT)
+            assert shutdown.requested
+            assert shutdown.signal_name == "SIGINT"
+
+    def test_handlers_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGTERM) != before
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_drain_iter_stops_between_items(self):
+        """The signal lands mid-stream; the item in flight completes and
+        nothing after it is yielded — the checkpoint-consistent prefix."""
+        with GracefulShutdown() as shutdown:
+            seen = []
+            for item in drain_iter(range(10), shutdown):
+                seen.append(item)
+                if item == 3:
+                    _fire(signal.SIGTERM)
+            assert seen == [0, 1, 2, 3]
+
+    def test_drain_iter_without_shutdown_passes_through(self):
+        assert list(drain_iter(range(4), None)) == [0, 1, 2, 3]
+
+    def test_drain_iter_idle_stream_untouched(self):
+        with GracefulShutdown() as shutdown:
+            assert list(drain_iter(range(3), shutdown)) == [0, 1, 2]
